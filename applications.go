@@ -1,0 +1,37 @@
+package tanglefind
+
+import (
+	"tanglefind/internal/place"
+	"tanglefind/internal/resynth"
+)
+
+// The paper's introduction lists three uses for detected GTLs:
+// routability (cell inflation — see Inflate), floorplanning (soft
+// blocks) and logic re-synthesis. This file exposes the latter two.
+
+// Clustering is the soft-block mapping produced by Cluster.
+type Clustering = place.Clustering
+
+// Cluster collapses each GTL into one macro cell, returning the
+// clustered netlist and the id mapping — the paper's "soft block"
+// formation for floorplanning.
+func Cluster(nl *Netlist, groups [][]CellID) (*Clustering, error) {
+	return place.Cluster(nl, groups)
+}
+
+// PlaceSoftBlocks runs two-level soft-block placement: the clustered
+// netlist is placed first, then each GTL's cells are placed inside the
+// region its macro received.
+func PlaceSoftBlocks(nl *Netlist, groups [][]CellID, die Rect, opt PlaceOptions) (*Placement, error) {
+	return place.PlaceSoftBlocks(nl, groups, die, opt)
+}
+
+// ResynthResult describes a Decompose outcome.
+type ResynthResult = resynth.Result
+
+// Decompose re-instantiates every complex gate (more than maxPins
+// pins) inside the given GTLs as a chain of simple gates — the paper's
+// re-synthesis mitigation: more area, less interconnect density.
+func Decompose(nl *Netlist, groups [][]CellID, maxPins int) (*ResynthResult, error) {
+	return resynth.Decompose(nl, groups, maxPins)
+}

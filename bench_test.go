@@ -1,0 +1,388 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation chapter, plus ablations of the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment at the small
+// scale (paper sizes shrunk so the suite finishes on laptop cores; use
+// cmd/gtlexp -scale full for paper-size runs) and reports the headline
+// quantity of the table/figure as a custom metric alongside ns/op.
+package tanglefind_test
+
+import (
+	"testing"
+
+	"tanglefind/internal/core"
+	"tanglefind/internal/experiments"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+	"tanglefind/internal/route"
+)
+
+// benchCfg keeps every benchmark iteration a few hundred ms on 2 cores.
+var benchCfg = experiments.Config{Scale: 0.04, Seeds: 48, Seed: 1}
+
+// ---------------------------------------------------------------------
+// Table 1 — one benchmark per random-graph case.
+// ---------------------------------------------------------------------
+
+func benchTable1(b *testing.B, caseIdx int) {
+	b.ReportAllocs()
+	var worstMiss, worstOver float64
+	found := 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1Run(experiments.Table1Cases[caseIdx], benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstMiss, worstOver, found = 0, 0, 0
+		for _, blk := range r.Blocks {
+			if blk.Found {
+				found++
+			}
+			if blk.MissPct > worstMiss {
+				worstMiss = blk.MissPct
+			}
+			if blk.OverPct > worstOver {
+				worstOver = blk.OverPct
+			}
+		}
+	}
+	b.ReportMetric(float64(found), "GTLs-found")
+	b.ReportMetric(worstMiss, "worst-miss-%")
+	b.ReportMetric(worstOver, "worst-over-%")
+}
+
+func BenchmarkTable1_Case1(b *testing.B) { benchTable1(b, 0) }
+func BenchmarkTable1_Case2(b *testing.B) { benchTable1(b, 1) }
+func BenchmarkTable1_Case3(b *testing.B) { benchTable1(b, 2) }
+func BenchmarkTable1_Case4(b *testing.B) { benchTable1(b, 3) }
+
+// ---------------------------------------------------------------------
+// Table 2 — one benchmark per ISPD proxy circuit.
+// ---------------------------------------------------------------------
+
+func benchTable2(b *testing.B, name string) {
+	b.ReportAllocs()
+	p, ok := generate.ProfileByName(name)
+	if !ok {
+		b.Fatalf("unknown profile %s", name)
+	}
+	var found int
+	var topScore float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2Run(p, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found = r.Found
+		if len(r.Top) > 0 {
+			topScore = r.Top[0].GTLSD
+		}
+	}
+	b.ReportMetric(float64(found), "GTLs-found")
+	b.ReportMetric(topScore, "top-GTL-SD")
+}
+
+func BenchmarkTable2_Bigblue1(b *testing.B) { benchTable2(b, "bigblue1") }
+func BenchmarkTable2_Bigblue2(b *testing.B) { benchTable2(b, "bigblue2") }
+func BenchmarkTable2_Bigblue3(b *testing.B) { benchTable2(b, "bigblue3") }
+func BenchmarkTable2_Adaptec1(b *testing.B) { benchTable2(b, "adaptec1") }
+func BenchmarkTable2_Adaptec2(b *testing.B) { benchTable2(b, "adaptec2") }
+func BenchmarkTable2_Adaptec3(b *testing.B) { benchTable2(b, "adaptec3") }
+
+// ---------------------------------------------------------------------
+// Table 3 — the industrial proxy.
+// ---------------------------------------------------------------------
+
+func BenchmarkTable3_Industrial(b *testing.B) {
+	b.ReportAllocs()
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovered = 0
+		for _, blk := range r.Blocks {
+			if blk.Found && blk.MissPct <= 5 && blk.OverPct <= 5 {
+				recovered++
+			}
+		}
+	}
+	b.ReportMetric(float64(recovered), "blocks-recovered")
+}
+
+// ---------------------------------------------------------------------
+// Figures 2 and 3 — the agglomeration score curves.
+// ---------------------------------------------------------------------
+
+func benchFigure23(b *testing.B, m core.Metric) {
+	b.ReportAllocs()
+	var insideMin, outsideMin float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure23(m, benchCfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insideMin, outsideMin = r.InsideMinV, r.OutsideMinV
+	}
+	b.ReportMetric(insideMin, "inside-min")
+	b.ReportMetric(outsideMin, "outside-min")
+}
+
+func BenchmarkFigure2_NGTLS(b *testing.B) { benchFigure23(b, core.MetricNGTLS) }
+func BenchmarkFigure3_GTLSD(b *testing.B) { benchFigure23(b, core.MetricGTLSD) }
+
+// ---------------------------------------------------------------------
+// Figure 5 — metric comparison along one ordering.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure5_MetricCurves(b *testing.B) {
+	b.ReportAllocs()
+	var sep float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(benchCfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sep = float64(r.RatioCutMinK) / float64(r.NGTLSMinK)
+	}
+	// > 1 means ratio cut's minimum sits right of the GTL dip, the
+	// paper's qualitative claim.
+	b.ReportMetric(sep, "ratiocut-min/gtl-min")
+}
+
+// ---------------------------------------------------------------------
+// Figures 4 and 6 — placement overlays.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure4_Bigblue1Overlay(b *testing.B) {
+	b.ReportAllocs()
+	gtls := 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure46("bigblue1", benchCfg, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gtls = r.GTLs
+	}
+	b.ReportMetric(float64(gtls), "GTLs-shown")
+}
+
+func BenchmarkFigure6_IndustrialOverlay(b *testing.B) {
+	b.ReportAllocs()
+	gtls := 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure46("industrial", benchCfg, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gtls = r.GTLs
+	}
+	b.ReportMetric(float64(gtls), "GTLs-shown")
+}
+
+// ---------------------------------------------------------------------
+// Figures 1 and 7 + §5.1.3 statistics — the inflation experiment.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure7_Inflation(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.InflationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Inflation(benchCfg, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Ratio100, "overflow-reduction-x")
+	b.ReportMetric(r.Ratio90, "near-overflow-reduction-x")
+	b.ReportMetric(r.RatioAvg, "avg-congestion-reduction-x")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+// ---------------------------------------------------------------------
+
+// ablationWorkload builds one shared workload: a random graph with a
+// planted block, reused across ablation variants.
+func ablationWorkload(b *testing.B) (*generate.RandomGraph, core.Options) {
+	b.Helper()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  20_000,
+		Blocks: []generate.BlockSpec{{Size: 1200}},
+		Seed:   17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = 48
+	opt.MaxOrderLen = 4000
+	return rg, opt
+}
+
+func ablationRecovery(b *testing.B, rg *generate.RandomGraph, res *core.Result) float64 {
+	b.Helper()
+	in := make(map[netlist.CellID]bool, len(rg.Blocks[0]))
+	for _, c := range rg.Blocks[0] {
+		in[c] = true
+	}
+	best := 0
+	for _, g := range res.GTLs {
+		hit := 0
+		for _, c := range g.Members {
+			if in[c] {
+				hit++
+			}
+		}
+		if hit > best {
+			best = hit
+		}
+	}
+	return 100 * float64(best) / float64(len(rg.Blocks[0]))
+}
+
+func benchAblation(b *testing.B, mutate func(*core.Options)) {
+	b.ReportAllocs()
+	rg, opt := ablationWorkload(b)
+	mutate(&opt)
+	var recovery float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Find(rg.Netlist, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovery = ablationRecovery(b, rg, res)
+	}
+	b.ReportMetric(recovery, "block-recovery-%")
+}
+
+// BenchmarkAblation_Ordering compares the paper's connection-weighted
+// growth against plain min-cut greed and BFS (§3.2.1's argument).
+func BenchmarkAblation_Ordering_Weighted(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Ordering = core.OrderWeighted })
+}
+func BenchmarkAblation_Ordering_MinCut(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Ordering = core.OrderMinCut })
+}
+func BenchmarkAblation_Ordering_BFS(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Ordering = core.OrderBFS })
+}
+
+// BenchmarkAblation_Refinement toggles Phase III (boundary-seed error
+// recovery).
+func BenchmarkAblation_Refinement_On(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Refine = true })
+}
+func BenchmarkAblation_Refinement_Off(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Refine = false })
+}
+
+// BenchmarkAblation_Metric compares nGTL-S and GTL-SD as the driver Φ.
+func BenchmarkAblation_Metric_GTLSD(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Metric = core.MetricGTLSD })
+}
+func BenchmarkAblation_Metric_NGTLS(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Metric = core.MetricNGTLS })
+}
+
+// BenchmarkAblation_BigNetSkip varies the paper's λ >= 20 update-skip
+// threshold.
+func BenchmarkAblation_BigNetSkip_20(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.BigNetSkip = 20 })
+}
+func BenchmarkAblation_BigNetSkip_Off(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.BigNetSkip = 0 })
+}
+
+// ---------------------------------------------------------------------
+// Substrate microbenchmarks.
+// ---------------------------------------------------------------------
+
+func BenchmarkSubstrate_Place20K(b *testing.B) {
+	b.ReportAllocs()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 20_000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.Place(rg.Netlist, place.Rect{}, place.Options{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_RUDY20K(b *testing.B) {
+	b.ReportAllocs()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 20_000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.Place(rg.Netlist, place.Rect{}, place.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Estimate(rg.Netlist, pl, 64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_Ordering(b *testing.B) {
+	b.ReportAllocs()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  50_000,
+		Blocks: []generate.BlockSpec{{Size: 4000}},
+		Seed:   5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ord := core.GrowOrdering(rg.Netlist, rg.Blocks[0][0], 8000, opt)
+		if ord.Len() < 8000 {
+			b.Fatalf("short ordering: %d", ord.Len())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallel scaling — the paper ran 8 pthreads and projects 2-5x gains
+// from more parallel runs; these benches measure the goroutine pool's
+// scaling on this machine.
+// ---------------------------------------------------------------------
+
+func benchWorkers(b *testing.B, workers int) {
+	b.ReportAllocs()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  30_000,
+		Blocks: []generate.BlockSpec{{Size: 2000}},
+		Seed:   13,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = 32
+	opt.MaxOrderLen = 5000
+	opt.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Find(rg.Netlist, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_1Worker(b *testing.B)  { benchWorkers(b, 1) }
+func BenchmarkParallel_2Workers(b *testing.B) { benchWorkers(b, 2) }

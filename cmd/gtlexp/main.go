@@ -1,0 +1,159 @@
+// Command gtlexp regenerates the paper's evaluation: Tables 1-3 and
+// Figures 2, 3, 5 plus the Figure 4/6 placement overlays and the
+// Figure 1/7 cell-inflation congestion experiment.
+//
+// Usage:
+//
+//	gtlexp                      # everything at the small scale
+//	gtlexp -scale full          # the paper's exact sizes (slow)
+//	gtlexp -exp table1,fig5     # selected experiments only
+//	gtlexp -outdir results      # also write PPM/PGM figure images
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tanglefind/internal/core"
+	"tanglefind/internal/experiments"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "small", "workload scale: small, medium, full, or a numeric factor like 0.25")
+		exps   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation")
+		seeds  = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		outdir = flag.String("outdir", "", "directory for figure image files (optional)")
+	)
+	flag.Parse()
+
+	cfg, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Seed = *seed
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+	start := time.Now()
+	fmt.Printf("gtlexp: scale=%.3g seeds=%d seed=%d\n\n", cfg.Scale, cfg.Seeds, cfg.Seed)
+
+	if run("table1") {
+		if _, err := experiments.Table1(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("table2") {
+		if _, err := experiments.Table2(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("table3") {
+		if _, err := experiments.Table3(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("fig2") {
+		if _, err := experiments.Figure23(core.MetricNGTLS, cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("fig3") {
+		if _, err := experiments.Figure23(core.MetricGTLSD, cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("fig5") {
+		if _, err := experiments.Figure5(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("fig4") {
+		if err := runOverlay("bigblue1", cfg, *outdir); err != nil {
+			fatal(err)
+		}
+	}
+	if run("fig6") {
+		if err := runOverlay("industrial", cfg, *outdir); err != nil {
+			fatal(err)
+		}
+	}
+	if run("inflation") {
+		if _, err := experiments.Inflation(cfg, os.Stdout, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("ablation") {
+		if _, err := experiments.Ablation(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runOverlay(design string, cfg experiments.Config, outdir string) error {
+	var ppm *os.File
+	var err error
+	if outdir != "" {
+		if err = os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+		ppm, err = os.Create(filepath.Join(outdir, design+"_placement.ppm"))
+		if err != nil {
+			return err
+		}
+		defer ppm.Close()
+	}
+	if ppm != nil {
+		_, err = experiments.Figure46(design, cfg, os.Stdout, ppm)
+	} else {
+		_, err = experiments.Figure46(design, cfg, os.Stdout, nil)
+	}
+	if err == nil && ppm != nil {
+		fmt.Printf("wrote %s\n\n", ppm.Name())
+	}
+	return err
+}
+
+func parseScale(s string) (experiments.Config, error) {
+	switch s {
+	case "small":
+		return experiments.ScaleSmall, nil
+	case "medium":
+		return experiments.ScaleMedium, nil
+	case "full":
+		return experiments.ScaleFull, nil
+	}
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil || f <= 0 || f > 1 {
+		return experiments.Config{}, fmt.Errorf("bad scale %q (want small/medium/full or a factor in (0,1])", s)
+	}
+	cfg := experiments.ScaleSmall
+	cfg.Scale = f
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtlexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		scale   float64
+		wantErr bool
+	}{
+		{"small", 0.08, false},
+		{"medium", 0.25, false},
+		{"full", 1.0, false},
+		{"0.5", 0.5, false},
+		{"0", 0, true},
+		{"-1", 0, true},
+		{"2", 0, true},
+		{"bogus", 0, true},
+	} {
+		cfg, err := parseScale(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseScale(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseScale(%q): %v", tc.in, err)
+			continue
+		}
+		if cfg.Scale != tc.scale {
+			t.Errorf("parseScale(%q).Scale = %v, want %v", tc.in, cfg.Scale, tc.scale)
+		}
+		if cfg.Seeds <= 0 {
+			t.Errorf("parseScale(%q).Seeds = %d", tc.in, cfg.Seeds)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tanglefind/internal/generate"
+)
+
+func TestLoadTfnet(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x.tfnet")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Netlist.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	nl, err := load(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 200 {
+		t.Fatalf("cells = %d", nl.NumCells())
+	}
+	if _, err := load(filepath.Join(dir, "missing.tfnet"), ""); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,138 @@
+// Command gtlgen generates benchmark netlists — random graphs with
+// planted GTLs, ISPD benchmark proxies and the industrial-circuit
+// proxy — and writes them as .tfnet (and optionally Bookshelf) files
+// together with a ground-truth sidecar.
+//
+// Usage:
+//
+//	gtlgen -kind random -cells 100000 -blocks 2000,15000 -out case2.tfnet
+//	gtlgen -kind ispd -profile bigblue1 -scale 0.1 -out bb1.tfnet
+//	gtlgen -kind industrial -scale 0.1 -out ind.tfnet -bookshelf outdir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tanglefind/internal/bookshelf"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "random", "workload kind: random, hier, ispd, industrial")
+		cells   = flag.Int("cells", 100_000, "cell count (random/hier)")
+		blocks  = flag.String("blocks", "", "comma-separated planted block sizes (random)")
+		rent    = flag.Float64("rent", 0.65, "Rent exponent target (hier)")
+		profile = flag.String("profile", "bigblue1", "ISPD profile name (ispd)")
+		scale   = flag.Float64("scale", 1.0, "size scale factor (ispd/industrial)")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output .tfnet path (required)")
+		bkshelf = flag.String("bookshelf", "", "also write Bookshelf files into this directory")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gtlgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var nl *netlist.Netlist
+	var truth [][]netlist.CellID
+	var err error
+	switch *kind {
+	case "random":
+		spec := generate.RandomGraphSpec{Cells: *cells, Seed: *seed}
+		if *blocks != "" {
+			for _, tok := range strings.Split(*blocks, ",") {
+				size, perr := strconv.Atoi(strings.TrimSpace(tok))
+				if perr != nil {
+					fatal(fmt.Errorf("bad block size %q", tok))
+				}
+				spec.Blocks = append(spec.Blocks, generate.BlockSpec{Size: size})
+			}
+		}
+		var rg *generate.RandomGraph
+		rg, err = generate.NewRandomGraph(spec)
+		if err == nil {
+			nl, truth = rg.Netlist, rg.Blocks
+		}
+	case "hier":
+		nl, err = generate.NewHierarchical(generate.HierSpec{Cells: *cells, Rent: *rent, Seed: *seed})
+	case "ispd":
+		p, ok := generate.ProfileByName(*profile)
+		if !ok {
+			fatal(fmt.Errorf("unknown ISPD profile %q", *profile))
+		}
+		var d *generate.Design
+		d, err = generate.NewISPDProxy(p, *scale, *seed)
+		if err == nil {
+			nl, truth = d.Netlist, d.Structures
+		}
+	case "industrial":
+		var d *generate.Design
+		d, err = generate.NewIndustrialProxy(*scale, *seed)
+		if err == nil {
+			nl, truth = d.Netlist, d.Structures
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := nl.Write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st := nl.Stats()
+	fmt.Printf("wrote %s: %d cells, %d nets, %d pins (A_G = %.2f)\n",
+		*out, st.Cells, st.Nets, st.Pins, st.AvgPins)
+
+	if len(truth) > 0 {
+		truthPath := strings.TrimSuffix(*out, filepath.Ext(*out)) + ".truth"
+		tf, err := os.Create(truthPath)
+		if err != nil {
+			fatal(err)
+		}
+		for i, block := range truth {
+			fmt.Fprintf(tf, "block %d", i)
+			for _, c := range block {
+				fmt.Fprintf(tf, " %d", c)
+			}
+			fmt.Fprintln(tf)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d ground-truth blocks\n", truthPath, len(truth))
+	}
+
+	if *bkshelf != "" {
+		if err := os.MkdirAll(*bkshelf, 0o755); err != nil {
+			fatal(err)
+		}
+		base := strings.TrimSuffix(filepath.Base(*out), filepath.Ext(*out))
+		if err := bookshelf.Write(*bkshelf, base, nl); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Bookshelf files %s/%s.{aux,nodes,nets}\n", *bkshelf, base)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtlgen:", err)
+	os.Exit(1)
+}

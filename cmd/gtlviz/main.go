@@ -1,0 +1,118 @@
+// Command gtlviz places a netlist, optionally runs the finder, and
+// renders the placement (with GTL overlay) and the RUDY congestion map
+// as ASCII art and PPM/PGM images.
+//
+// Usage:
+//
+//	gtlviz -in design.tfnet -out dir          # placement + congestion
+//	gtlviz -in design.tfnet -find -out dir    # color detected GTLs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tanglefind/internal/core"
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+	"tanglefind/internal/route"
+	"tanglefind/internal/viz"
+)
+
+func main() {
+	var (
+		inPath = flag.String("in", "", "input netlist (.tfnet)")
+		outDir = flag.String("out", "", "output directory for images (optional; ASCII always prints)")
+		find   = flag.Bool("find", false, "run the finder and overlay detected GTLs")
+		seeds  = flag.Int("seeds", 100, "finder seeds when -find is set")
+		grid   = flag.Int("grid", 64, "congestion grid resolution")
+		ascii  = flag.Int("ascii", 48, "ASCII render size")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "gtlviz: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := netlist.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var groups [][]netlist.CellID
+	if *find {
+		opt := core.DefaultOptions()
+		opt.Seeds = *seeds
+		opt.RandSeed = *seed
+		if opt.MaxOrderLen >= nl.NumCells() {
+			opt.MaxOrderLen = nl.NumCells() / 2
+		}
+		res, err := core.Find(nl, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("found %d GTLs\n", len(res.GTLs))
+		for i := range res.GTLs {
+			groups = append(groups, res.GTLs[i].Members)
+		}
+	}
+
+	pl, err := place.Place(nl, place.Rect{}, place.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("placed %d cells, HPWL = %.0f\n\n", nl.NumCells(), place.HPWL(nl, pl))
+	fmt.Println("placement (GTLs as digits):")
+	if err := viz.PlacementASCII(pl, groups, *ascii, os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	m, err := route.Estimate(nl, pl, *grid, *grid)
+	if err != nil {
+		fatal(err)
+	}
+	m.SetCapacityRelative(1.25)
+	fmt.Println("\ncongestion ('@' is >= 100% utilization):")
+	if err := viz.CongestionASCII(m, os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		writeImg := func(name string, fn func(*os.File) error) {
+			p := filepath.Join(*outDir, name)
+			f, err := os.Create(p)
+			if err != nil {
+				fatal(err)
+			}
+			if err := fn(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", p)
+		}
+		writeImg("placement.ppm", func(f *os.File) error {
+			return viz.PlacementPPM(pl, groups, 768, f)
+		})
+		writeImg("congestion.pgm", func(f *os.File) error {
+			return viz.CongestionPGM(m, f)
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gtlviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Congestion example: the paper's §5.1.3 flow on the industrial-circuit
+// proxy — find GTLs, place, measure RUDY congestion, inflate the GTL
+// cells 4×, re-place, and show how much the hotspots relax (the paper's
+// Figure 1 → Figure 7 transition).
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tanglefind"
+	"tanglefind/internal/viz"
+)
+
+func main() {
+	design, err := tanglefind.NewIndustrialProxy(0.03, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl := design.Netlist
+	fmt.Printf("industrial proxy: %d cells, %d nets (5 dissolved-ROM blocks)\n",
+		nl.NumCells(), nl.NumNets())
+
+	// 1. Detect the tangled blocks with the finder (not ground truth).
+	opt := tanglefind.DefaultOptions()
+	opt.Seeds = 128
+	opt.MaxOrderLen = nl.NumCells() / 2
+	found, err := tanglefind.Find(nl, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups := make([][]tanglefind.CellID, len(found.GTLs))
+	tangled := 0
+	for i, g := range found.GTLs {
+		groups[i] = g.Members
+		tangled += g.Size()
+	}
+	fmt.Printf("finder: %d GTLs covering %d cells (%.1f%% of design)\n\n",
+		len(found.GTLs), tangled, 100*float64(tangled)/float64(nl.NumCells()))
+
+	// 2. Place and measure congestion.
+	pl, err := tanglefind.Place(nl, tanglefind.Rect{}, tanglefind.PlaceOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := tanglefind.EstimateCongestion(nl, pl, 48, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before.SetCapacityRelative(1.25)
+	stBefore := tanglefind.CongestionStatsFor(nl, pl, before)
+
+	// 3. Inflate the found GTL cells 4× and re-place.
+	inflated, err := tanglefind.Inflate(nl, groups, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl2, err := tanglefind.Place(inflated, tanglefind.Rect{}, tanglefind.PlaceOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := tanglefind.EstimateCongestion(inflated, pl2, 48, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fixed absolute capacity per unit die area across both runs.
+	after.Capacity = before.Capacity * (after.Die.Area() / before.Die.Area())
+	stAfter := tanglefind.CongestionStatsFor(inflated, pl2, after)
+
+	fmt.Printf("%-34s %10s %10s\n", "metric", "before", "after")
+	fmt.Printf("%-34s %10d %10d\n", "nets through >=100% tiles", stBefore.NetsThrough100, stAfter.NetsThrough100)
+	fmt.Printf("%-34s %10d %10d\n", "nets through >=90% tiles", stBefore.NetsThrough90, stAfter.NetsThrough90)
+	fmt.Printf("%-34s %9.0f%% %9.0f%%\n", "avg congestion (worst 20% nets)", 100*stBefore.AvgWorst20, 100*stAfter.AvgWorst20)
+	fmt.Printf("%-34s %9.0f%% %9.0f%%\n", "max tile utilization", 100*stBefore.MaxTile, 100*stAfter.MaxTile)
+
+	fmt.Println("\ncongestion before ('@' = overflow):")
+	if err := viz.CongestionASCII(before, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncongestion after 4x inflation:")
+	if err := viz.CongestionASCII(after, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

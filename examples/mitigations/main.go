@@ -1,0 +1,121 @@
+// Mitigations example: the paper's introduction proposes three uses for
+// detected GTLs — cell inflation (routability), soft blocks
+// (floorplanning) and re-synthesis. This example runs all three on the
+// same design and compares the resulting congestion side by side.
+//
+//	go run ./examples/mitigations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tanglefind"
+)
+
+func main() {
+	design, err := tanglefind.NewIndustrialProxy(0.02, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl := design.Netlist
+	fmt.Printf("design: %d cells, %d nets\n", nl.NumCells(), nl.NumNets())
+
+	// Detect the GTLs once.
+	opt := tanglefind.DefaultOptions()
+	opt.Seeds = 128
+	opt.MaxOrderLen = nl.NumCells() / 2
+	found, err := tanglefind.Find(nl, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Mitigate only the strong GTLs (score « 1): the paper applies its
+	// techniques "to a small fraction of the design" — inflating or
+	// re-synthesizing weak, near-ambient groups wastes area for no
+	// congestion win.
+	var groups [][]tanglefind.CellID
+	mitigated := 0
+	for _, g := range found.GTLs {
+		if g.Score <= 0.1 {
+			groups = append(groups, g.Members)
+			mitigated += g.Size()
+		}
+	}
+	fmt.Printf("finder: %d GTLs, %d strong ones selected for mitigation (%.0f%% of cells)\n\n",
+		len(found.GTLs), len(groups), 100*float64(mitigated)/float64(nl.NumCells()))
+
+	const grid = 48
+	type outcome struct {
+		name string
+		st   tanglefind.CongestionStats
+		hpwl float64
+		nets int
+	}
+	var rows []outcome
+	var baseCapPerArea float64
+
+	measure := func(name string, n *tanglefind.Netlist, pl *tanglefind.Placement) {
+		m, err := tanglefind.EstimateCongestion(n, pl, grid, grid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tileArea := pl.Die.Area() / float64(grid*grid)
+		if baseCapPerArea == 0 {
+			m.SetCapacityRelative(1.25)
+			baseCapPerArea = m.Capacity / tileArea
+		} else {
+			m.Capacity = baseCapPerArea * tileArea // same absolute supply
+		}
+		rows = append(rows, outcome{name, tanglefind.CongestionStatsFor(n, pl, m), tanglefind.HPWL(n, pl), n.NumNets()})
+	}
+
+	// Baseline: flat placement.
+	pl, err := tanglefind.Place(nl, tanglefind.Rect{}, tanglefind.PlaceOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure("baseline (flat)", nl, pl)
+
+	// Mitigation 1: 4x cell inflation of the GTLs.
+	inflated, err := tanglefind.Inflate(nl, groups, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plInf, err := tanglefind.Place(inflated, tanglefind.Rect{}, tanglefind.PlaceOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure("inflation 4x", inflated, plInf)
+
+	// Mitigation 2: soft-block floorplanning.
+	plSoft, err := tanglefind.PlaceSoftBlocks(nl, groups, tanglefind.Rect{}, tanglefind.PlaceOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure("soft blocks", nl, plSoft)
+
+	// Mitigation 3: re-synthesize GTL complex gates into simple gates.
+	rs, err := tanglefind.Decompose(nl, groups, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plRs, err := tanglefind.Place(rs.Netlist, tanglefind.Rect{}, tanglefind.PlaceOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure(fmt.Sprintf("resynthesis (+%d cells)", rs.CellsAdded), rs.Netlist, plRs)
+
+	// Resynthesis adds nets, so overflow counts are reported as a
+	// fraction of that flow's nets to stay comparable.
+	fmt.Printf("%-26s %14s %14s %14s %10s\n",
+		"flow", ">=100% nets", ">=90% nets", "worst20% cong", "HPWL")
+	for _, r := range rows {
+		fmt.Printf("%-26s %7d (%2.0f%%) %7d (%2.0f%%) %13.0f%% %10.0f\n",
+			r.name,
+			r.st.NetsThrough100, 100*float64(r.st.NetsThrough100)/float64(r.nets),
+			r.st.NetsThrough90, 100*float64(r.st.NetsThrough90)/float64(r.nets),
+			100*r.st.AvgWorst20, r.hpwl)
+	}
+	fmt.Println("\n(inflation and resynthesis trade area/wirelength for lower peak")
+	fmt.Println(" congestion; soft blocks keep each GTL together as a placement unit)")
+}

@@ -1,0 +1,293 @@
+// Package bookshelf reads and writes the UCLA/ISPD Bookshelf placement
+// format (.aux, .nodes, .nets, .pl) used by the ISPD 2005/06 placement
+// benchmarks the paper evaluates on. With real benchmark files on disk
+// the finder runs on the genuine circuits; without them the generate
+// package's proxies stand in.
+//
+// Only the subset of the format the experiments need is implemented:
+// node names/sizes (terminals flagged), net pin lists, and optional
+// placement coordinates. Pin offsets inside macros are parsed and
+// ignored — the finder is purely topological.
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tanglefind/internal/netlist"
+)
+
+// Design is a parsed Bookshelf circuit.
+type Design struct {
+	Netlist *netlist.Netlist
+	// Terminal flags pads/fixed IO per cell.
+	Terminal []bool
+	// X, Y hold .pl coordinates when present (nil otherwise).
+	X, Y []float64
+}
+
+// ReadAux loads a design from its .aux file, resolving the .nodes,
+// .nets and (optionally) .pl files it references.
+func ReadAux(path string) (*Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var nodesFile, netsFile, plFile string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		for _, tok := range strings.Fields(sc.Text()) {
+			switch strings.ToLower(filepath.Ext(tok)) {
+			case ".nodes":
+				nodesFile = tok
+			case ".nets":
+				netsFile = tok
+			case ".pl":
+				plFile = tok
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if nodesFile == "" || netsFile == "" {
+		return nil, fmt.Errorf("bookshelf: %s references no .nodes/.nets files", path)
+	}
+	dir := filepath.Dir(path)
+	return ReadFiles(filepath.Join(dir, nodesFile), filepath.Join(dir, netsFile), plMaybe(dir, plFile))
+}
+
+func plMaybe(dir, pl string) string {
+	if pl == "" {
+		return ""
+	}
+	return filepath.Join(dir, pl)
+}
+
+// ReadFiles loads a design from explicit .nodes/.nets paths; plPath may
+// be empty.
+func ReadFiles(nodesPath, netsPath, plPath string) (*Design, error) {
+	nodes, err := os.Open(nodesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer nodes.Close()
+	names, areas, terminal, err := parseNodes(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("bookshelf: %s: %w", nodesPath, err)
+	}
+	nets, err := os.Open(netsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer nets.Close()
+	d, err := assemble(names, areas, terminal, nets)
+	if err != nil {
+		return nil, fmt.Errorf("bookshelf: %s: %w", netsPath, err)
+	}
+	if plPath != "" {
+		pl, err := os.Open(plPath)
+		if err != nil {
+			return nil, err
+		}
+		defer pl.Close()
+		if err := parsePl(pl, names, d); err != nil {
+			return nil, fmt.Errorf("bookshelf: %s: %w", plPath, err)
+		}
+	}
+	return d, nil
+}
+
+// lineScanner yields non-comment, non-blank, non-header lines.
+type lineScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return &lineScanner{sc: sc}
+}
+
+func (ls *lineScanner) next() (string, bool) {
+	for ls.sc.Scan() {
+		ls.line++
+		t := strings.TrimSpace(ls.sc.Text())
+		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "UCLA") {
+			continue
+		}
+		return t, true
+	}
+	return "", false
+}
+
+func parseNodes(r io.Reader) (names []string, areas []float64, terminal []bool, err error) {
+	ls := newLineScanner(r)
+	for {
+		t, ok := ls.next()
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(t, "NumNodes") || strings.HasPrefix(t, "NumTerminals") {
+			continue
+		}
+		fields := strings.Fields(t)
+		name := fields[0]
+		w, h := 1.0, 1.0
+		if len(fields) >= 3 {
+			if v, e := strconv.ParseFloat(fields[1], 64); e == nil {
+				w = v
+			}
+			if v, e := strconv.ParseFloat(fields[2], 64); e == nil {
+				h = v
+			}
+		}
+		isTerminal := len(fields) >= 4 && strings.EqualFold(fields[3], "terminal")
+		names = append(names, name)
+		areas = append(areas, w*h)
+		terminal = append(terminal, isTerminal)
+	}
+	return names, areas, terminal, ls.sc.Err()
+}
+
+func assemble(names []string, areas []float64, terminal []bool, nets io.Reader) (*Design, error) {
+	index := make(map[string]netlist.CellID, len(names))
+	var b netlist.Builder
+	for i, n := range names {
+		id := b.AddCell(n)
+		b.SetCellArea(id, areas[i])
+		index[n] = id
+	}
+	ls := newLineScanner(nets)
+	var current []netlist.CellID
+	var currentName string
+	degree := -1
+	flush := func() {
+		if degree >= 0 {
+			b.AddNet(currentName, current...)
+		}
+		current = nil
+	}
+	for {
+		t, ok := ls.next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(t, "NumNets"), strings.HasPrefix(t, "NumPins"):
+			continue
+		case strings.HasPrefix(t, "NetDegree"):
+			flush()
+			fields := strings.Fields(t)
+			// "NetDegree : <k> [name]"
+			degree = 0
+			currentName = ""
+			for i := 1; i < len(fields); i++ {
+				if fields[i] == ":" {
+					continue
+				}
+				if d, err := strconv.Atoi(fields[i]); err == nil && degree == 0 {
+					degree = d
+				} else {
+					currentName = fields[i]
+				}
+			}
+		default:
+			if degree < 0 {
+				return nil, fmt.Errorf("line %d: pin line before NetDegree", ls.line)
+			}
+			nodeName := strings.Fields(t)[0]
+			id, ok := index[nodeName]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown node %q", ls.line, nodeName)
+			}
+			current = append(current, id)
+		}
+	}
+	flush()
+	if err := ls.sc.Err(); err != nil {
+		return nil, err
+	}
+	nl, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Netlist: nl, Terminal: terminal}, nil
+}
+
+func parsePl(r io.Reader, names []string, d *Design) error {
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	d.X = make([]float64, len(names))
+	d.Y = make([]float64, len(names))
+	ls := newLineScanner(r)
+	for {
+		t, ok := ls.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(t)
+		if len(fields) < 3 {
+			continue
+		}
+		i, ok := index[fields[0]]
+		if !ok {
+			continue
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("line %d: bad coordinates %q", ls.line, t)
+		}
+		d.X[i], d.Y[i] = x, y
+	}
+	return ls.sc.Err()
+}
+
+// Write emits the design as .nodes/.nets files (plus .aux) under dir
+// with the given base name, so generated proxies can feed external
+// placement tools.
+func Write(dir, base string, nl *netlist.Netlist) error {
+	aux := fmt.Sprintf("RowBasedPlacement : %s.nodes %s.nets\n", base, base)
+	if err := os.WriteFile(filepath.Join(dir, base+".aux"), []byte(aux), 0o644); err != nil {
+		return err
+	}
+	nodes, err := os.Create(filepath.Join(dir, base+".nodes"))
+	if err != nil {
+		return err
+	}
+	defer nodes.Close()
+	w := bufio.NewWriter(nodes)
+	fmt.Fprintf(w, "UCLA nodes 1.0\n\nNumNodes : %d\nNumTerminals : 0\n", nl.NumCells())
+	for c := 0; c < nl.NumCells(); c++ {
+		a := nl.CellArea(netlist.CellID(c))
+		fmt.Fprintf(w, "  %s %g 1\n", nl.CellName(netlist.CellID(c)), a)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	nets, err := os.Create(filepath.Join(dir, base+".nets"))
+	if err != nil {
+		return err
+	}
+	defer nets.Close()
+	w = bufio.NewWriter(nets)
+	fmt.Fprintf(w, "UCLA nets 1.0\n\nNumNets : %d\nNumPins : %d\n", nl.NumNets(), nl.NumPins())
+	for n := 0; n < nl.NumNets(); n++ {
+		pins := nl.NetPins(netlist.NetID(n))
+		fmt.Fprintf(w, "NetDegree : %d %s\n", len(pins), nl.NetName(netlist.NetID(n)))
+		for _, c := range pins {
+			fmt.Fprintf(w, "  %s B\n", nl.CellName(c))
+		}
+	}
+	return w.Flush()
+}

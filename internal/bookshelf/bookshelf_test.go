@@ -1,0 +1,178 @@
+package bookshelf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadHandWrittenDesign(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "d.aux", "RowBasedPlacement : d.nodes d.nets d.pl\n")
+	writeFile(t, dir, "d.nodes", `UCLA nodes 1.0
+# comment
+NumNodes : 3
+NumTerminals : 1
+  a1 2 1
+  a2 1 1
+  p0 1 1 terminal
+`)
+	writeFile(t, dir, "d.nets", `UCLA nets 1.0
+
+NumNets : 2
+NumPins : 5
+NetDegree : 3 n0
+  a1 B : 0 0
+  a2 B
+  p0 B
+NetDegree : 2
+  a1 O
+  a2 I
+`)
+	writeFile(t, dir, "d.pl", `UCLA pl 1.0
+a1 10.0 20.0 : N
+a2 30 40 : N
+p0 0 0 : N /FIXED
+`)
+	d, err := ReadAux(filepath.Join(dir, "d.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := d.Netlist
+	if nl.NumCells() != 3 || nl.NumNets() != 2 || nl.NumPins() != 5 {
+		t.Fatalf("counts = %d/%d/%d", nl.NumCells(), nl.NumNets(), nl.NumPins())
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Terminal[2] || d.Terminal[0] {
+		t.Error("terminal flags wrong")
+	}
+	if nl.CellArea(0) != 2 {
+		t.Errorf("a1 area = %v, want 2", nl.CellArea(0))
+	}
+	if d.X[1] != 30 || d.Y[1] != 40 {
+		t.Errorf("a2 placed at (%v,%v)", d.X[1], d.Y[1])
+	}
+	if nl.NetName(0) != "n0" {
+		t.Errorf("net name = %q", nl.NetName(0))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Pin line before any NetDegree header.
+	writeFile(t, dir, "bad.nodes", "UCLA nodes 1.0\n a1 1 1\n")
+	writeFile(t, dir, "bad.nets", "UCLA nets 1.0\n a1 B\n")
+	if _, err := ReadFiles(filepath.Join(dir, "bad.nodes"), filepath.Join(dir, "bad.nets"), ""); err == nil {
+		t.Error("expected error for pin before NetDegree")
+	}
+	// Unknown node in a net.
+	writeFile(t, dir, "unk.nets", "UCLA nets 1.0\nNetDegree : 1\n ghost B\n")
+	if _, err := ReadFiles(filepath.Join(dir, "bad.nodes"), filepath.Join(dir, "unk.nets"), ""); err == nil {
+		t.Error("expected error for unknown node")
+	}
+	// Aux without .nets reference.
+	aux := writeFile(t, dir, "empty.aux", "RowBasedPlacement : foo.bar\n")
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("expected error for aux without nodes/nets")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  800,
+		Blocks: []generate.BlockSpec{{Size: 100}},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rg.Netlist
+	dir := t.TempDir()
+	if err := Write(dir, "rt", nl); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadAux(filepath.Join(dir, "rt.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := d.Netlist
+	if back.NumCells() != nl.NumCells() || back.NumNets() != nl.NumNets() || back.NumPins() != nl.NumPins() {
+		t.Fatalf("round trip: %d/%d/%d vs %d/%d/%d",
+			back.NumCells(), back.NumNets(), back.NumPins(),
+			nl.NumCells(), nl.NumNets(), nl.NumPins())
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Net contents must survive (names map ids 1:1 since Write emits
+	// synthesized names in id order).
+	for n := 0; n < nl.NumNets(); n++ {
+		want := nl.NetPins(netlist.NetID(n))
+		got := back.NetPins(netlist.NetID(n))
+		if len(want) != len(got) {
+			t.Fatalf("net %d size changed: %d vs %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("net %d pin %d: %d vs %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParserRobustness: mutated and truncated inputs must produce
+// errors or valid designs, never panics.
+func TestParserRobustness(t *testing.T) {
+	nodes := "UCLA nodes 1.0\nNumNodes : 3\n a 1 1\n b 1 1\n c 1 1\n"
+	nets := "UCLA nets 1.0\nNumNets : 2\nNetDegree : 2\n a B\n b B\nNetDegree : 2\n b B\n c B\n"
+	dir := t.TempDir()
+	check := func(nodesContent, netsContent string) {
+		t.Helper()
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("parser panicked: %v", p)
+			}
+		}()
+		np := writeFile(t, dir, "f.nodes", nodesContent)
+		tp := writeFile(t, dir, "f.nets", netsContent)
+		d, err := ReadFiles(np, tp, "")
+		if err == nil {
+			if vErr := d.Netlist.Validate(); vErr != nil {
+				t.Fatalf("accepted invalid design: %v", vErr)
+			}
+		}
+	}
+	// Truncations of both files.
+	for cut := 0; cut <= len(nodes); cut += 5 {
+		check(nodes[:cut], nets)
+	}
+	for cut := 0; cut <= len(nets); cut += 5 {
+		check(nodes, nets[:cut])
+	}
+	// Structured adversarial inputs.
+	adversarial := []string{
+		"UCLA nets 1.0\nNetDegree : -3\n a B\n",
+		"UCLA nets 1.0\nNetDegree : 99999999999999999999\n",
+		"UCLA nets 1.0\n a B\n",
+		"NetDegree : 2 x y z w\n a B\n b B\n",
+	}
+	for _, a := range adversarial {
+		check(nodes, a)
+	}
+	check(" a not-a-number 1\n", nets)
+	check("", "")
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/group"
+	"tanglefind/internal/metrics"
+	"tanglefind/internal/netlist"
+)
+
+// GTL is one detected group of tangled logic.
+type GTL struct {
+	Members []netlist.CellID
+	Cut     int     // T(C)
+	Pins    int     // Σ deg(c), so A_C = Pins/len(Members)
+	Score   float64 // Φ under Options.Metric
+	NGTLS   float64 // normalized GTL-Score
+	GTLSD   float64 // density-aware GTL-Score
+	Rent    float64 // Rent exponent used for the scores
+	Seed    netlist.CellID
+}
+
+// Size returns |C|.
+func (g *GTL) Size() int { return len(g.Members) }
+
+// SeedTrace records what one Phase I/II seed produced; used by the
+// figure generators and by tests probing intermediate behavior.
+type SeedTrace struct {
+	Seed      netlist.CellID
+	OrderLen  int
+	Extracted bool
+	Size      int
+	Score     float64
+	Curve     *Curve // only when Options.KeepCurves
+}
+
+// Result is the outcome of one finder run.
+type Result struct {
+	GTLs       []GTL // disjoint, sorted best (smallest Φ) first
+	Candidates int   // refined candidates before pruning
+	Seeds      []SeedTrace
+	Elapsed    time.Duration
+	Rent       float64 // mean Rent exponent across successful seeds
+	AG         float64
+}
+
+// Find runs the TangledLogicFinder over nl with the given options and
+// returns the disjoint set of detected GTLs. The run is deterministic
+// for a fixed Options.RandSeed.
+func Find(nl *netlist.Netlist, opt Options) (*Result, error) {
+	if nl.NumCells() == 0 {
+		return nil, fmt.Errorf("core: empty netlist")
+	}
+	if opt.Seeds <= 0 {
+		return nil, fmt.Errorf("core: Seeds must be positive, got %d", opt.Seeds)
+	}
+	if opt.MaxOrderLen < 2 {
+		return nil, fmt.Errorf("core: MaxOrderLen must be at least 2, got %d", opt.MaxOrderLen)
+	}
+	start := time.Now()
+	aG := nl.AvgPins()
+
+	// I.1: the seed list comes from the master RNG up front so results
+	// do not depend on goroutine scheduling. Seeds are stratified —
+	// one uniform draw per equal-width slice of the cell-id space —
+	// instead of the paper's i.i.d. draws: each seed is still uniform
+	// within its stratum, but no region of the netlist can be starved
+	// by an unlucky sequence, which matters for deterministic
+	// reproduction (i.i.d. leaves a structure covering fraction f a
+	// (1-f)^m chance of receiving no seed at all).
+	master := ds.NewRNG(opt.RandSeed)
+	seeds := make([]netlist.CellID, opt.Seeds)
+	stride := float64(nl.NumCells()) / float64(opt.Seeds)
+	for i := range seeds {
+		lo := int(float64(i) * stride)
+		hi := int(float64(i+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > nl.NumCells() {
+			hi = nl.NumCells()
+		}
+		if lo >= hi {
+			lo = hi - 1
+		}
+		seeds[i] = netlist.CellID(lo + master.Intn(hi-lo))
+	}
+
+	type seedOut struct {
+		trace     SeedTrace
+		candidate *group.Set // refined candidate B̂_i (nil if none)
+		score     float64
+		rent      float64
+	}
+	outs := make([]seedOut, opt.Seeds)
+
+	nWorkers := opt.workers()
+	if nWorkers > opt.Seeds {
+		nWorkers = opt.Seeds
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gr := newGrower(nl, &opt)
+			ev := group.NewEvaluator(nl)
+			for i := range jobs {
+				// Per-seed RNG derived from (RandSeed, i): identical
+				// streams no matter which worker runs the job.
+				rng := ds.NewRNG(opt.RandSeed ^ (0x9e37_79b9_7f4a_7c15 * uint64(i+1)))
+				outs[i] = runSeed(nl, gr, ev, rng, seeds[i], &opt, aG)
+			}
+		}()
+	}
+	for i := 0; i < opt.Seeds; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Phase III pruning: sort refined candidates by score, greedily
+	// keep the disjoint prefix-best set.
+	res := &Result{AG: aG}
+	type cand struct {
+		set   *group.Set
+		score float64
+		rent  float64
+		seed  netlist.CellID
+	}
+	var cands []cand
+	rentSum, rentN := 0.0, 0
+	for i := range outs {
+		res.Seeds = append(res.Seeds, outs[i].trace)
+		if outs[i].candidate != nil {
+			cands = append(cands, cand{outs[i].candidate, outs[i].score, outs[i].rent, seeds[i]})
+			rentSum += outs[i].rent
+			rentN++
+		}
+	}
+	if rentN > 0 {
+		res.Rent = rentSum / float64(rentN)
+	}
+	res.Candidates = len(cands)
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	taken := ds.NewBitset(nl.NumCells())
+	pruneEval := group.NewEvaluator(nl)
+	for _, c := range cands {
+		overlap := 0
+		for _, m := range c.set.Members {
+			if taken.Has(int(m)) {
+				overlap++
+			}
+		}
+		if float64(overlap) > opt.PruneOverlapTolerance*float64(c.set.Size()) {
+			continue // substantially the same structure as a better GTL
+		}
+		set := *c.set
+		score := c.score
+		if overlap > 0 {
+			// Trim the junction cells already owned by a better GTL
+			// and re-evaluate the remainder.
+			kept := make([]netlist.CellID, 0, set.Size()-overlap)
+			for _, m := range set.Members {
+				if !taken.Has(int(m)) {
+					kept = append(kept, m)
+				}
+			}
+			if len(kept) < opt.MinGroupSize {
+				continue
+			}
+			set = pruneEval.Eval(kept)
+			switch opt.Metric {
+			case MetricNGTLS:
+				score = metrics.NGTLScore(set.Cut, set.Size(), c.rent, aG)
+			default:
+				score = metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, aG)
+			}
+		}
+		for _, m := range set.Members {
+			taken.Add(int(m))
+		}
+		res.GTLs = append(res.GTLs, GTL{
+			Members: set.Members,
+			Cut:     set.Cut,
+			Pins:    set.Pins,
+			Score:   score,
+			NGTLS:   metrics.NGTLScore(set.Cut, set.Size(), c.rent, aG),
+			GTLSD:   metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, aG),
+			Rent:    c.rent,
+			Seed:    c.seed,
+		})
+	}
+	// Trimming can disturb the best-first order slightly; restore it.
+	sort.SliceStable(res.GTLs, func(i, j int) bool { return res.GTLs[i].Score < res.GTLs[j].Score })
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runSeed executes Phases I–III (refinement, not pruning) for one seed.
+func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, seed netlist.CellID, opt *Options, aG float64) (out struct {
+	trace     SeedTrace
+	candidate *group.Set
+	score     float64
+	rent      float64
+}) {
+	ord := gr.grow(seed, opt.MaxOrderLen)
+	curve := ScoreCurve(ord, opt.Metric, aG)
+	ex := extract(curve, opt)
+	out.trace = SeedTrace{Seed: seed, OrderLen: ord.Len()}
+	if opt.KeepCurves {
+		out.trace.Curve = curve
+	}
+	if !ex.ok {
+		return out
+	}
+	out.trace.Extracted = true
+	out.trace.Size = ex.size
+	out.trace.Score = ex.score
+
+	base := ev.Eval(ord.Prefix(ex.size))
+	if !opt.Refine {
+		out.candidate = &base
+		out.score = ex.score
+		out.rent = ex.rent
+		return out
+	}
+	refined, score := refine(gr, ev, rng, base, ex, opt, aG)
+	out.candidate = refined
+	out.score = score
+	out.rent = ex.rent
+	return out
+}
+
+// refine implements Phase III for one candidate B: re-grow from
+// RefineSeeds random interior cells, then search the closure of the
+// resulting family under pairwise union, intersection and difference
+// for the best-scoring set (the paper's "genetic" recombination).
+func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex extraction, opt *Options, aG float64) (*group.Set, float64) {
+	family := []group.Set{base}
+	for r := 0; r < opt.RefineSeeds && base.Size() > 0; r++ {
+		s := base.Members[rng.Intn(base.Size())]
+		ord := gr.grow(s, opt.MaxOrderLen)
+		curve := ScoreCurve(ord, opt.Metric, aG)
+		ex2 := extract(curve, opt)
+		if !ex2.ok {
+			continue
+		}
+		family = append(family, ev.Eval(ord.Prefix(ex2.size)))
+	}
+	// Pairwise recombination (paper steps III.6–III.12).
+	var combos [][]netlist.CellID
+	for i := 0; i < len(family); i++ {
+		for j := i + 1; j < len(family); j++ {
+			a, b := family[i].Members, family[j].Members
+			inter := group.Intersect(a, b)
+			combos = append(combos,
+				group.Union(a, b),
+				inter,
+				group.Difference(a, inter),
+				group.Difference(b, inter),
+			)
+		}
+	}
+	best := base
+	bestScore := score(&base, ex.rent, aG, opt.Metric)
+	consider := func(s group.Set) {
+		if s.Size() < opt.MinGroupSize {
+			return
+		}
+		if v := score(&s, ex.rent, aG, opt.Metric); v < bestScore {
+			best, bestScore = s, v
+		}
+	}
+	for _, f := range family[1:] {
+		consider(f)
+	}
+	for _, members := range combos {
+		if len(members) < opt.MinGroupSize {
+			continue
+		}
+		consider(ev.Eval(members))
+	}
+	return &best, bestScore
+}
+
+// score evaluates Φ for an arbitrary set under the chosen metric.
+func score(s *group.Set, rent, aG float64, m Metric) float64 {
+	switch m {
+	case MetricNGTLS:
+		return metrics.NGTLScore(s.Cut, s.Size(), rent, aG)
+	default:
+		return metrics.GTLSD(s.Cut, s.Size(), s.Pins, rent, aG)
+	}
+}
+
+// GrowOrdering exposes Phase I for one seed — the building block the
+// figure generators (Figures 2, 3, 5) use to plot raw score curves.
+func GrowOrdering(nl *netlist.Netlist, seed netlist.CellID, maxLen int, opt Options) *OrderingStats {
+	gr := newGrower(nl, &opt)
+	return gr.grow(seed, maxLen)
+}

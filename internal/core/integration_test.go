@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+func overlapCount(a []netlist.CellID, set map[netlist.CellID]bool) int {
+	n := 0
+	for _, c := range a {
+		if set[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFindIndustrialBlocks is the Table 3 scenario: five dissolved-ROM
+// blocks in a host circuit, all of which the finder must recover with
+// tight size agreement.
+func TestFindIndustrialBlocks(t *testing.T) {
+	d, err := generate.NewIndustrialProxy(0.04, 3) // blocks ~1275/437 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	// The paper uses 100 seeds; we use a few more because the scaled
+	// proxy's smallest block covers only ~2% of the cells and every
+	// block must receive at least one seed for the 5/5 recovery check.
+	opt.Seeds = 160
+	opt.MaxOrderLen = 4000
+	res, err := Find(d.Netlist, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("found %d GTLs from %d candidates (|V|=%d)", len(res.GTLs), res.Candidates, d.Netlist.NumCells())
+	recovered := 0
+	for i, truth := range d.Structures {
+		in := make(map[netlist.CellID]bool, len(truth))
+		for _, c := range truth {
+			in[c] = true
+		}
+		best, bestHit := -1, 0
+		for gi := range res.GTLs {
+			if hit := overlapCount(res.GTLs[gi].Members, in); hit > bestHit {
+				bestHit, best = hit, gi
+			}
+		}
+		if best < 0 {
+			t.Errorf("block %d (%d cells): not found", i, len(truth))
+			continue
+		}
+		g := &res.GTLs[best]
+		missFrac := 1 - float64(bestHit)/float64(len(truth))
+		overFrac := float64(g.Size()-bestHit) / float64(len(truth))
+		t.Logf("block %d: truth=%d found=%d cut=%d score=%.4f miss=%.2f%% over=%.2f%%",
+			i, len(truth), g.Size(), g.Cut, g.Score, 100*missFrac, 100*overFrac)
+		if missFrac <= 0.05 && overFrac <= 0.05 {
+			recovered++
+		}
+	}
+	if recovered < len(d.Structures) {
+		t.Errorf("recovered %d of %d blocks within 5%%", recovered, len(d.Structures))
+	}
+}
+
+// TestFindISPDStructures is the Table 2 scenario: the finder should
+// return a healthy population of disjoint GTLs on an ISPD-profile
+// proxy, with top scores well below 1.
+func TestFindISPDStructures(t *testing.T) {
+	p, _ := generate.ProfileByName("adaptec1")
+	d, err := generate.NewISPDProxy(p, 0.04, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Seeds = 80
+	opt.MaxOrderLen = 4000
+	res, err := Find(d.Netlist, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("|V|=%d planted=%d found=%d candidates=%d",
+		d.Netlist.NumCells(), len(d.Structures), len(res.GTLs), res.Candidates)
+	if len(res.GTLs) < 5 {
+		t.Fatalf("found only %d GTLs, want >= 5", len(res.GTLs))
+	}
+	if res.GTLs[0].Score > 0.3 {
+		t.Errorf("best GTL score = %.3f, want « 1", res.GTLs[0].Score)
+	}
+	// All returned GTLs must be pairwise disjoint (the pruning
+	// contract).
+	seen := make(map[netlist.CellID]bool)
+	for _, g := range res.GTLs {
+		for _, c := range g.Members {
+			if seen[c] {
+				t.Fatalf("GTLs overlap at cell %d", c)
+			}
+			seen[c] = true
+		}
+	}
+	// Most found GTLs should correspond to planted structures: count
+	// found GTLs whose majority of cells lie in some planted block.
+	planted := make(map[netlist.CellID]int)
+	for bi, block := range d.Structures {
+		for _, c := range block {
+			planted[c] = bi + 1
+		}
+	}
+	matched := 0
+	for _, g := range res.GTLs {
+		inPlanted := 0
+		for _, c := range g.Members {
+			if planted[c] != 0 {
+				inPlanted++
+			}
+		}
+		if 2*inPlanted > g.Size() {
+			matched++
+		}
+	}
+	t.Logf("%d of %d found GTLs are majority-planted", matched, len(res.GTLs))
+	if matched*3 < len(res.GTLs)*2 {
+		t.Errorf("only %d of %d GTLs correspond to planted structures", matched, len(res.GTLs))
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's contribution: the
+// TangledLogicFinder, a three-phase randomized algorithm that detects
+// groups of tangled logic (GTLs) in a synthesized netlist.
+//
+//   - Phase I grows a linear ordering of cells from a random seed,
+//     always taking the frontier cell with the strongest connection
+//     weight Σ 1/(λ(e)+1) to the group, ties broken by minimum net cut.
+//   - Phase II scores every prefix of the ordering with the Rent-based
+//     GTL metrics and extracts the prefix at a clear interior minimum
+//     as a candidate GTL.
+//   - Phase III re-seeds from inside each candidate, combines the
+//     resulting sets with union/intersection/difference operations,
+//     keeps the best-scoring combination, and finally prunes
+//     overlapping inferior candidates to yield a disjoint set of GTLs.
+//
+// All seeds run in parallel (the paper used 8 pthreads; we use a
+// goroutine worker pool) and the run is deterministic for a fixed
+// Options.RandSeed regardless of scheduling.
+package core
+
+import "runtime"
+
+// Metric selects the score Φ that drives candidate extraction,
+// refinement and pruning.
+type Metric int
+
+const (
+	// MetricGTLSD uses the density-aware GTL-Score (the paper's final
+	// metric; its minima contrast most sharply, per Figure 3).
+	MetricGTLSD Metric = iota
+	// MetricNGTLS uses the normalized GTL-Score.
+	MetricNGTLS
+)
+
+// String returns the metric's paper name.
+func (m Metric) String() string {
+	switch m {
+	case MetricGTLSD:
+		return "GTL-SD"
+	case MetricNGTLS:
+		return "nGTL-S"
+	}
+	return "unknown"
+}
+
+// Ordering selects the Phase I growth rule; variants other than
+// OrderWeighted exist for the ablation benchmarks.
+type Ordering int
+
+const (
+	// OrderWeighted is the paper's rule: maximize Σ 1/(λ(e)+1), break
+	// ties by minimum cut delta.
+	OrderWeighted Ordering = iota
+	// OrderMinCut greedily minimizes the net cut alone — the
+	// alternative the paper argues against in §3.2.1.
+	OrderMinCut
+	// OrderBFS adds frontier cells in breadth-first discovery order, a
+	// connectivity-blind baseline.
+	OrderBFS
+)
+
+// String names the ordering rule.
+func (o Ordering) String() string {
+	switch o {
+	case OrderWeighted:
+		return "weighted"
+	case OrderMinCut:
+		return "mincut"
+	case OrderBFS:
+		return "bfs"
+	}
+	return "unknown"
+}
+
+// Options configures a finder run. The zero value is not valid; start
+// from DefaultOptions.
+type Options struct {
+	// Seeds is m, the number of random starting cells (paper: 100).
+	Seeds int
+	// MaxOrderLen is Z, the cap on each linear ordering's length
+	// (paper: 100K). It is clamped to the netlist size.
+	MaxOrderLen int
+	// Metric is Φ, the score driving extraction and pruning.
+	Metric Metric
+	// Ordering is the Phase I growth rule (OrderWeighted = paper).
+	Ordering Ordering
+	// MinGroupSize is the smallest prefix considered in Phase II; the
+	// paper does "not care about tiny clusters with a handful of
+	// cells".
+	MinGroupSize int
+	// AcceptThreshold is the largest Φ value a candidate minimum may
+	// have. Average-quality groups score ≈ 1, strong GTLs « 1.
+	AcceptThreshold float64
+	// DipRatio qualifies a "clear minimum": the minimum must be at
+	// most DipRatio times the curve value at both ends of the search
+	// window, rejecting monotone curves from seeds outside any GTL.
+	DipRatio float64
+	// BigNetSkip is the λ(e) threshold above which Phase I skips
+	// connection-weight updates for a net (paper: 20).
+	BigNetSkip int
+	// RefineSeeds is the number of interior re-seeds per candidate in
+	// Phase III (paper: 3).
+	RefineSeeds int
+	// PruneOverlapTolerance is the fraction of a candidate's cells
+	// allowed to collide with already-accepted GTLs during final
+	// pruning; colliding cells are trimmed and the remainder kept.
+	// Candidate growth can absorb a few "junction" cells that sit on
+	// the boundary nets of two structures, and pruning on any
+	// single-cell overlap would then discard a whole structure — the
+	// paper notes a few extra cells are negligible (§5.1.1).
+	PruneOverlapTolerance float64
+	// Refine disables Phase III when false (ablation).
+	Refine bool
+	// Workers caps the goroutine pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// RandSeed makes the whole run reproducible.
+	RandSeed uint64
+	// KeepCurves retains each seed's score curve in the result (memory
+	// heavy; used by the figure generators).
+	KeepCurves bool
+}
+
+// DefaultOptions returns the paper's parameter settings.
+func DefaultOptions() Options {
+	return Options{
+		Seeds:                 100,
+		MaxOrderLen:           100_000,
+		Metric:                MetricGTLSD,
+		Ordering:              OrderWeighted,
+		MinGroupSize:          24,
+		AcceptThreshold:       0.8,
+		DipRatio:              0.75,
+		BigNetSkip:            20,
+		RefineSeeds:           3,
+		Refine:                true,
+		PruneOverlapTolerance: 0.02,
+		Workers:               0,
+		RandSeed:              1,
+	}
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

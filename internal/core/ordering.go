@@ -1,0 +1,180 @@
+package core
+
+import (
+	"tanglefind/internal/ds"
+	"tanglefind/internal/group"
+	"tanglefind/internal/netlist"
+)
+
+// OrderingStats is the outcome of Phase I for one seed: the ordering
+// itself plus the per-prefix cut and pin totals Phase II scores.
+// Cuts[k-1] and Pins[k-1] describe the prefix of the first k cells.
+type OrderingStats struct {
+	Members []netlist.CellID
+	Cuts    []int32
+	Pins    []int64
+}
+
+// Len returns the ordering length.
+func (o *OrderingStats) Len() int { return len(o.Members) }
+
+// Prefix returns the first k members (aliasing the ordering).
+func (o *OrderingStats) Prefix(k int) []netlist.CellID { return o.Members[:k] }
+
+// grower owns the reusable state for running Phase I repeatedly over
+// one netlist. It is not safe for concurrent use; the parallel driver
+// gives each worker its own.
+type grower struct {
+	nl      *netlist.Netlist
+	tracker *group.Tracker
+	heap    ds.GainHeap
+	gain    []float64 // current connection weight per frontier cell
+	tie     []int32   // last verified cut-delta per frontier cell
+	inFront []bool
+	touched []netlist.CellID
+	opt     *Options
+}
+
+func newGrower(nl *netlist.Netlist, opt *Options) *grower {
+	return &grower{
+		nl:      nl,
+		tracker: group.NewTracker(nl),
+		gain:    make([]float64, nl.NumCells()),
+		tie:     make([]int32, nl.NumCells()),
+		inFront: make([]bool, nl.NumCells()),
+		opt:     opt,
+	}
+}
+
+func (g *grower) reset() {
+	g.tracker.Reset()
+	g.heap.Reset()
+	for _, c := range g.touched {
+		g.gain[c] = 0
+		g.tie[c] = 0
+		g.inFront[c] = false
+	}
+	g.touched = g.touched[:0]
+}
+
+// grow runs Phase I from seed, producing an ordering of at most maxLen
+// cells (shorter if the seed's reachable region is exhausted).
+func (g *grower) grow(seed netlist.CellID, maxLen int) *OrderingStats {
+	g.reset()
+	if maxLen > g.nl.NumCells() {
+		maxLen = g.nl.NumCells()
+	}
+	out := &OrderingStats{
+		Members: make([]netlist.CellID, 0, maxLen),
+		Cuts:    make([]int32, 0, maxLen),
+		Pins:    make([]int64, 0, maxLen),
+	}
+	record := func() {
+		out.Members = append(out.Members, g.tracker.Members()[g.tracker.Size()-1])
+		out.Cuts = append(out.Cuts, int32(g.tracker.Cut()))
+		out.Pins = append(out.Pins, int64(g.tracker.Pins()))
+	}
+	g.addCell(seed)
+	record()
+	for g.tracker.Size() < maxLen {
+		v, ok := g.popBest()
+		if !ok {
+			break
+		}
+		g.addCell(v)
+		record()
+	}
+	return out
+}
+
+// popBest pops the best frontier cell under the configured ordering
+// rule, discarding stale entries and re-verifying cut deltas lazily.
+func (g *grower) popBest() (netlist.CellID, bool) {
+	for {
+		v, gain, tie, ok := g.heap.Pop()
+		if !ok {
+			return 0, false
+		}
+		if g.tracker.Has(int(v)) || !g.inFront[v] {
+			continue // already absorbed
+		}
+		if gain != g.gain[v] {
+			continue // stale gain; a fresher entry exists
+		}
+		if g.opt.Ordering == OrderBFS {
+			return v, true // tie is the discovery index, always valid
+		}
+		fresh := int32(g.tracker.DeltaCut(v))
+		if fresh != tie {
+			// The cut delta drifted since this entry was pushed;
+			// requeue at the exact value and keep popping.
+			g.tie[v] = fresh
+			g.heap.Push(v, gain, fresh)
+			continue
+		}
+		return v, true
+	}
+}
+
+// addCell absorbs v into the group and refreshes frontier weights.
+func (g *grower) addCell(v netlist.CellID) {
+	t := g.tracker
+	if g.inFront[v] {
+		g.inFront[v] = false
+	} else {
+		g.touched = append(g.touched, v) // ensure reset clears it
+	}
+	t.Add(v)
+	for _, e := range g.nl.CellPins(v) {
+		sz := g.nl.NetSize(e)
+		p := t.NetPinsIn(e) // pins inside after adding v
+		lambda := sz - p    // pins still outside
+		if lambda == 0 {
+			continue // fully internal: no frontier contribution left
+		}
+		if g.opt.BigNetSkip > 0 && lambda >= g.opt.BigNetSkip {
+			// The paper's K-factor optimization: weight changes on
+			// nets with many outside pins are negligible; skip them.
+			continue
+		}
+		var delta float64
+		switch g.opt.Ordering {
+		case OrderWeighted:
+			wNew := 1.0 / float64(lambda+1)
+			if p == 1 {
+				delta = wNew // net newly connected to the group
+			} else {
+				delta = wNew - 1.0/float64(lambda+2)
+			}
+		case OrderMinCut, OrderBFS:
+			delta = 0 // gain unused; frontier membership only
+		}
+		for _, w := range g.nl.NetPins(e) {
+			if t.Has(int(w)) {
+				continue
+			}
+			if !g.inFront[w] {
+				g.inFront[w] = true
+				g.touched = append(g.touched, w)
+				g.gain[w] = 0
+				switch g.opt.Ordering {
+				case OrderBFS:
+					// Discovery order: earlier index wins. Encode as
+					// constant gain with index tiebreak.
+					g.tie[w] = int32(len(g.touched))
+					g.heap.Push(w, 0, g.tie[w])
+				case OrderMinCut:
+					g.tie[w] = int32(t.DeltaCut(w))
+					g.heap.Push(w, 0, g.tie[w])
+				}
+			}
+			switch g.opt.Ordering {
+			case OrderWeighted:
+				g.gain[w] += delta
+				g.heap.Push(w, g.gain[w], g.tie[w])
+			case OrderMinCut:
+				// Gain stays 0; cut deltas are re-verified at pop.
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package ds
+
+// GainHeap is a lazy max-heap over int32 keys ordered by
+// (gain descending, tie ascending, key ascending).
+//
+// It is "lazy": Update pushes a fresh entry instead of sifting the old
+// one, and Pop discards entries whose (gain, tie) no longer match the
+// caller-supplied current values. This is the classic pattern for
+// agglomerative growth where a cell's connection weight is revised many
+// times before it is ever popped.
+type GainHeap struct {
+	entries []gainEntry
+}
+
+type gainEntry struct {
+	gain float64
+	tie  int32 // secondary criterion, smaller wins (e.g. cut delta)
+	key  int32
+}
+
+// Len returns the number of queued entries, including stale ones.
+func (h *GainHeap) Len() int { return len(h.entries) }
+
+// Reset empties the heap, retaining capacity.
+func (h *GainHeap) Reset() { h.entries = h.entries[:0] }
+
+// Push queues key with the given gain and tiebreak value.
+func (h *GainHeap) Push(key int32, gain float64, tie int32) {
+	h.entries = append(h.entries, gainEntry{gain, tie, key})
+	h.up(len(h.entries) - 1)
+}
+
+// Pop removes and returns the best entry. ok is false when empty.
+func (h *GainHeap) Pop() (key int32, gain float64, tie int32, ok bool) {
+	if len(h.entries) == 0 {
+		return 0, 0, 0, false
+	}
+	e := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return e.key, e.gain, e.tie, true
+}
+
+func (h *GainHeap) less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
+	}
+	return a.key < b.key
+}
+
+func (h *GainHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.entries[i], h.entries[p] = h.entries[p], h.entries[i]
+		i = p
+	}
+}
+
+func (h *GainHeap) down(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.entries[i], h.entries[best] = h.entries[best], h.entries[i]
+		i = best
+	}
+}

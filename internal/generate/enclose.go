@@ -1,0 +1,43 @@
+package generate
+
+// WithReducedInterface narrows a fragment's interface to roughly
+// keepOpen nets by absorbing the remainder into 4-to-1 reduction cells,
+// modeling the consumer logic (output cones, operand registers) a
+// structure is synthesized together with. A bare decoder exposes 2^n
+// output nets and would score near ambient; decoder-plus-consumers is
+// the tangled unit a placer actually clumps. The reduction cells carry
+// ~5 pins each, matching the complex-gate density the paper associates
+// with GTLs.
+func WithReducedInterface(f Fragment, keepOpen int) Fragment {
+	if keepOpen < 1 {
+		keepOpen = 1
+	}
+	if len(f.OpenNets) <= keepOpen {
+		return f
+	}
+	out := Fragment{Name: f.Name, Cells: f.Cells}
+	out.InternalNets = append(out.InternalNets, f.InternalNets...)
+	out.OpenNets = append(out.OpenNets, f.OpenNets[:keepOpen]...)
+	cur := f.OpenNets[keepOpen:]
+	for len(cur) > 4 {
+		next := make([][]int32, 0, (len(cur)+3)/4)
+		for i := 0; i < len(cur); i += 4 {
+			end := i + 4
+			if end > len(cur) {
+				end = len(cur)
+			}
+			c := int32(out.Cells)
+			out.Cells++
+			for _, net := range cur[i:end] {
+				withCell := make([]int32, 0, len(net)+1)
+				withCell = append(withCell, net...)
+				withCell = append(withCell, c)
+				out.InternalNets = append(out.InternalNets, withCell)
+			}
+			next = append(next, []int32{c})
+		}
+		cur = next
+	}
+	out.OpenNets = append(out.OpenNets, cur...)
+	return out
+}

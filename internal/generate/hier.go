@@ -1,0 +1,144 @@
+package generate
+
+import (
+	"fmt"
+	"math"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// HierSpec configures a Rent-rule-driven hierarchical netlist, the
+// stand-in for the ISPD placement benchmarks' background logic. The
+// construction is the classic gnl-style bottom-up one: leaf cells carry
+// AvgPins open pins each; groups of Fanout modules merge recursively,
+// and at each merge enough open pins are consumed by new internal nets
+// that the merged module retains ≈ T·size^Rent open terminals. The
+// resulting netlist obeys Rent's rule with exponent ≈ Rent by
+// construction.
+type HierSpec struct {
+	// Cells is the approximate number of leaf cells (rounded to a
+	// power of Fanout).
+	Cells int
+	// Rent is the target Rent exponent p (0 means 0.65, a typical
+	// value for control-dominated logic).
+	Rent float64
+	// AvgPins is the leaf pin budget per cell (0 means 4.2).
+	AvgPins float64
+	// Fanout is the module grouping factor (0 means 4).
+	Fanout int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+// NewHierarchical builds the hierarchical netlist.
+func NewHierarchical(spec HierSpec) (*netlist.Netlist, error) {
+	b, _, err := buildHier(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// NewHierarchicalHost builds the hierarchy into a fresh Builder and
+// returns the builder plus the top module's open pins, so callers can
+// Embed structures of their own before finalizing.
+func NewHierarchicalHost(spec HierSpec) (*netlist.Builder, []netlist.CellID, error) {
+	return buildHier(spec, nil)
+}
+
+// buildHier constructs the hierarchy inside a Builder and returns the
+// builder plus the top module's leftover open pins (cells that still
+// want connections — embedding splices planted structures onto them).
+// When reuse is non-nil the hierarchy is appended to it instead of a
+// fresh builder.
+func buildHier(spec HierSpec, reuse *netlist.Builder) (*netlist.Builder, []netlist.CellID, error) {
+	if spec.Cells < 8 {
+		return nil, nil, fmt.Errorf("generate: hierarchical netlist needs >= 8 cells, got %d", spec.Cells)
+	}
+	p := spec.Rent
+	if p <= 0 {
+		p = 0.65
+	}
+	if p >= 1 {
+		return nil, nil, fmt.Errorf("generate: Rent exponent must be < 1, got %v", p)
+	}
+	avg := spec.AvgPins
+	if avg <= 0 {
+		avg = 4.2
+	}
+	g := spec.Fanout
+	if g <= 1 {
+		g = 4
+	}
+	rng := ds.NewRNG(spec.Seed + 0x41e2)
+	leaves := spec.Cells // partial top-level groups are fine
+
+	b := reuse
+	if b == nil {
+		b = &netlist.Builder{}
+	}
+	b.DropDegenerateNets = true
+	first := b.AddCells(leaves)
+
+	// module = multiset of open pins, each an owning cell id. Leaf
+	// modules start with round(avg) pins (jittered to hit the average).
+	type module struct {
+		open []netlist.CellID
+		size int
+	}
+	mods := make([]module, leaves)
+	for i := 0; i < leaves; i++ {
+		c := first + netlist.CellID(i)
+		pins := int(avg)
+		if rng.Float64() < avg-math.Floor(avg) {
+			pins++
+		}
+		m := module{size: 1, open: make([]netlist.CellID, pins)}
+		for j := range m.open {
+			m.open[j] = c
+		}
+		mods[i] = m
+	}
+
+	t := avg // Rent coefficient: T(1 cell) = avg pins
+	for len(mods) > 1 {
+		var nextMods []module
+		for i := 0; i < len(mods); i += g {
+			end := i + g
+			if end > len(mods) {
+				end = len(mods)
+			}
+			children := mods[i:end]
+			merged := module{}
+			for _, ch := range children {
+				merged.size += ch.size
+				merged.open = append(merged.open, ch.open...)
+			}
+			target := int(math.Ceil(t * math.Pow(float64(merged.size), p)))
+			// Consume open pins into internal nets until only ~target
+			// remain. Net sizes 2-4, pins drawn at random so nets mix
+			// children (that is what makes the hierarchy connected).
+			shuffle(rng, merged.open)
+			for len(merged.open) > target && len(merged.open) >= 2 {
+				sz := 2 + rng.Intn(3)
+				if sz > len(merged.open) {
+					sz = len(merged.open)
+				}
+				net := merged.open[len(merged.open)-sz:]
+				merged.open = merged.open[:len(merged.open)-sz]
+				b.AddNet("", net...)
+			}
+			nextMods = append(nextMods, merged)
+		}
+		mods = nextMods
+	}
+	return b, mods[0].open, nil
+}
+
+func shuffle(rng *ds.RNG, a []netlist.CellID) {
+	for i := len(a) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		a[i], a[j] = a[j], a[i]
+	}
+}

@@ -1,0 +1,64 @@
+package generate
+
+import (
+	"fmt"
+
+	"tanglefind/internal/ds"
+)
+
+// IndustrialBlockSizes are the ground-truth dissolved-ROM block sizes
+// of the paper's 65 nm industrial circuit (Table 3, "Size of GTL in
+// design") with the interface widths implied by its cut column.
+var IndustrialBlockSizes = []struct {
+	Cells int
+	Cut   int
+}{
+	{31880, 36},
+	{31914, 36},
+	{31754, 36},
+	{32002, 36},
+	{10932, 28},
+}
+
+// NewIndustrialProxy builds the industrial-circuit stand-in: a
+// hierarchical host plus the five dissolved-ROM blocks at the paper's
+// sizes times scale. The blocks' cells are returned as ground truth.
+func NewIndustrialProxy(scale float64, seed uint64) (*Design, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := ds.NewRNG(seed + 0x1d5)
+	blockCells := 0
+	frags := make([]Fragment, 0, len(IndustrialBlockSizes))
+	for _, bs := range IndustrialBlockSizes {
+		size := int(float64(bs.Cells) * scale)
+		if size < 64 {
+			size = 64
+		}
+		f := DissolvedROM(size, bs.Cut, rng.Uint64())
+		frags = append(frags, f)
+		blockCells += f.Cells
+	}
+	// The host is ~3× the combined block area, as in the paper's die
+	// shots where the blobs cover a modest fraction of the design.
+	hostCells := 3 * blockCells
+	if hostCells < 4000 {
+		hostCells = 4000
+	}
+	b, hostOpen, err := buildHier(HierSpec{Cells: hostCells, Rent: 0.62, Seed: seed + 23}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("generate: industrial host: %w", err)
+	}
+	d := &Design{Name: "industrial"}
+	for _, f := range frags {
+		cells := Embed(b, f, hostOpen, rng)
+		d.Structures = append(d.Structures, cells)
+		d.Kinds = append(d.Kinds, f.Name)
+	}
+	nl, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	d.Netlist = nl
+	return d, nil
+}

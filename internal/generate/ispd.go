@@ -1,0 +1,169 @@
+package generate
+
+import (
+	"fmt"
+	"math"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// ISPDProfile parameterizes a proxy for one ISPD 2005/06 placement
+// benchmark: a Rent-driven hierarchical host of the benchmark's size
+// with a population of embedded logic structures comparable to what the
+// paper's finder discovered there (Table 2). Real Bookshelf benchmarks
+// can be loaded through internal/bookshelf instead when available.
+type ISPDProfile struct {
+	Name       string
+	Cells      int // paper |V|
+	Structures int // paper "# GTL found" — how many structures to plant
+	Rent       float64
+}
+
+// ISPDProfiles mirrors Table 2's six circuits.
+var ISPDProfiles = []ISPDProfile{
+	{Name: "bigblue1", Cells: 278164, Structures: 72, Rent: 0.62},
+	{Name: "bigblue2", Cells: 557786, Structures: 93, Rent: 0.60},
+	{Name: "bigblue3", Cells: 1096812, Structures: 112, Rent: 0.64},
+	{Name: "adaptec1", Cells: 211447, Structures: 78, Rent: 0.63},
+	{Name: "adaptec2", Cells: 255023, Structures: 54, Rent: 0.61},
+	{Name: "adaptec3", Cells: 451650, Structures: 109, Rent: 0.65},
+}
+
+// ProfileByName looks an ISPD profile up; ok is false for unknown names.
+func ProfileByName(name string) (ISPDProfile, bool) {
+	for _, p := range ISPDProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ISPDProfile{}, false
+}
+
+// Design is a generated circuit with ground-truth structure membership.
+type Design struct {
+	Name    string
+	Netlist *netlist.Netlist
+	// Structures holds the planted blocks' cells (ground truth).
+	Structures [][]netlist.CellID
+	// Kinds names each planted structure ("rom12345", "cla64", ...).
+	Kinds []string
+}
+
+// NewISPDProxy builds the proxy at the given scale (1.0 = the paper's
+// cell count; benchmarks default to ~1/8 so the suite runs on laptop
+// cores). The planted structure count shrinks with sqrt(scale) so
+// scaled designs still contain tens of structures.
+func NewISPDProxy(p ISPDProfile, scale float64, seed uint64) (*Design, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	totalCells := int(float64(p.Cells) * scale)
+	if totalCells < 4000 {
+		totalCells = 4000
+	}
+	nStructs := int(float64(p.Structures) * math.Sqrt(scale))
+	if nStructs < 8 {
+		nStructs = 8
+	}
+	rng := ds.NewRNG(seed ^ hashName(p.Name))
+
+	// Draw the structure mix first so we know how many host cells to
+	// generate. Sizes are log-uniform over the Table 2 range, scaled.
+	minSize := 64.0
+	maxSize := 14000.0 * scale
+	if maxSize < 4*minSize {
+		maxSize = 4 * minSize
+	}
+	frags := make([]Fragment, 0, nStructs)
+	structCells := 0
+	for i := 0; i < nStructs; i++ {
+		target := int(math.Exp(math.Log(minSize) + rng.Float64()*(math.Log(maxSize)-math.Log(minSize))))
+		frags = append(frags, drawStructure(rng, target))
+		structCells += frags[len(frags)-1].Cells
+	}
+	hostCells := totalCells - structCells
+	if hostCells < totalCells/2 {
+		hostCells = totalCells / 2
+	}
+
+	b, hostOpen, err := buildHier(HierSpec{Cells: hostCells, Rent: p.Rent, Seed: seed + 17}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("generate: %s host: %w", p.Name, err)
+	}
+	d := &Design{Name: p.Name}
+	for _, f := range frags {
+		cells := Embed(b, f, hostOpen, rng)
+		d.Structures = append(d.Structures, cells)
+		d.Kinds = append(d.Kinds, f.Name)
+	}
+	nl, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	d.Netlist = nl
+	return d, nil
+}
+
+// drawStructure picks a structure kind with a realistic mix and sizes
+// it as close to target cells as its parameter grid allows.
+func drawStructure(rng *ds.RNG, target int) Fragment {
+	u := rng.Float64()
+	switch {
+	case u < 0.55:
+		// Dissolved-ROM-style dense logic dominates the hotspot
+		// population; interface width grows slowly with size.
+		open := 24 + rng.Intn(16)
+		return DissolvedROM(target, open, rng.Uint64())
+	case u < 0.70:
+		width := clampInt(target/11, 8, 128) // ~11 cells per CLA bit
+		return WithReducedInterface(CarryLookaheadAdder(width), width/4+8)
+	case u < 0.80:
+		width := clampInt(target/5, 8, 256) // 5 cells per RCA bit
+		return WithReducedInterface(RippleCarryAdder(width), width/4+8)
+	case u < 0.90:
+		n := clampInt(intLog2(target), 5, 9)
+		return WithReducedInterface(Decoder(n), n+4)
+	case u < 0.97:
+		ways := clampInt(target/2, 32, 1024)
+		return WithReducedInterface(MuxTree(ways), 8)
+	default:
+		width := clampInt(intSqrt(target/2), 6, 24)
+		return WithReducedInterface(ArrayMultiplier(width), width/2+8)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func intLog2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func intSqrt(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return int(math.Sqrt(float64(v)))
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+package group
+
+import (
+	"sort"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// Set is an evaluated cell group: its members plus the cut and pin
+// totals needed to score it. Members order is unspecified unless stated.
+type Set struct {
+	Members []netlist.CellID
+	Cut     int // T(C)
+	Pins    int // Σ_{c∈C} deg(c)
+}
+
+// Size returns |C|.
+func (s Set) Size() int { return len(s.Members) }
+
+// AvgPins returns A_C (0 for an empty set).
+func (s Set) AvgPins() float64 {
+	if len(s.Members) == 0 {
+		return 0
+	}
+	return float64(s.Pins) / float64(len(s.Members))
+}
+
+// sortedCopy returns the members sorted ascending.
+func sortedCopy(a []netlist.CellID) []netlist.CellID {
+	out := make([]netlist.CellID, len(a))
+	copy(out, a)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns a ∪ b as a sorted id slice.
+func Union(a, b []netlist.CellID) []netlist.CellID {
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	out := make([]netlist.CellID, 0, len(sa)+len(sb))
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			out = append(out, sa[i])
+			i++
+		case sa[i] > sb[j]:
+			out = append(out, sb[j])
+			j++
+		default:
+			out = append(out, sa[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, sa[i:]...)
+	out = append(out, sb[j:]...)
+	return out
+}
+
+// Intersect returns a ∩ b as a sorted id slice.
+func Intersect(a, b []netlist.CellID) []netlist.CellID {
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	var out []netlist.CellID
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			i++
+		case sa[i] > sb[j]:
+			j++
+		default:
+			out = append(out, sa[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Difference returns a − b as a sorted id slice.
+func Difference(a, b []netlist.CellID) []netlist.CellID {
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	var out []netlist.CellID
+	i, j := 0, 0
+	for i < len(sa) {
+		switch {
+		case j >= len(sb) || sa[i] < sb[j]:
+			out = append(out, sa[i])
+			i++
+		case sa[i] > sb[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Evaluator computes Cut/Pins of arbitrary cell sets with reusable
+// scratch space. Not safe for concurrent use.
+type Evaluator struct {
+	nl      *netlist.Netlist
+	in      *ds.Bitset
+	netSeen []int32 // stamp per net
+	stamp   int32
+}
+
+// NewEvaluator returns an evaluator over nl.
+func NewEvaluator(nl *netlist.Netlist) *Evaluator {
+	return &Evaluator{
+		nl:      nl,
+		in:      ds.NewBitset(nl.NumCells()),
+		netSeen: make([]int32, nl.NumNets()),
+	}
+}
+
+// Eval computes the Set value (cut and pins) for the given members.
+// Duplicate ids are tolerated and collapsed.
+func (e *Evaluator) Eval(members []netlist.CellID) Set {
+	e.stamp++
+	uniq := members[:0:0]
+	for _, c := range members {
+		if e.in.Add(int(c)) {
+			uniq = append(uniq, c)
+		}
+	}
+	cut, pins := 0, 0
+	for _, c := range uniq {
+		nets := e.nl.CellPins(c)
+		pins += len(nets)
+		for _, n := range nets {
+			if e.netSeen[n] == e.stamp {
+				continue
+			}
+			e.netSeen[n] = e.stamp
+			for _, other := range e.nl.NetPins(n) {
+				if !e.in.Has(int(other)) {
+					cut++
+					break
+				}
+			}
+		}
+	}
+	for _, c := range uniq {
+		e.in.Remove(int(c))
+	}
+	return Set{Members: uniq, Cut: cut, Pins: pins}
+}

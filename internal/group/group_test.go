@@ -1,0 +1,216 @@
+package group
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tanglefind/internal/netlist"
+)
+
+func randomNetlist(r *rand.Rand, cells, nets int) *netlist.Netlist {
+	var b netlist.Builder
+	b.AddCells(cells)
+	for i := 0; i < nets; i++ {
+		sz := 1 + r.Intn(5)
+		pins := make([]netlist.CellID, sz)
+		for j := range pins {
+			pins[j] = netlist.CellID(r.Intn(cells))
+		}
+		b.AddNet("", pins...)
+	}
+	return b.MustBuild()
+}
+
+// TestTrackerMatchesBruteForce is the central property test of the
+// incremental tracker: after any sequence of adds, Cut and Pins must
+// equal the one-shot reference computation.
+func TestTrackerMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl := randomNetlist(r, 2+r.Intn(40), 1+r.Intn(60))
+		tr := NewTracker(nl)
+		perm := r.Perm(nl.NumCells())
+		addCount := 1 + r.Intn(nl.NumCells())
+		for _, c := range perm[:addCount] {
+			tr.Add(netlist.CellID(c))
+			members := tr.Members()
+			wantCut := nl.Cut(members, tr)
+			if tr.Cut() != wantCut {
+				t.Logf("cut mismatch after %d adds: got %d want %d", tr.Size(), tr.Cut(), wantCut)
+				return false
+			}
+			if tr.Pins() != nl.PinsIn(members) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeltaCutMatchesAdd: DeltaCut(c) must equal the cut change an
+// actual Add produces.
+func TestDeltaCutMatchesAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl := randomNetlist(r, 2+r.Intn(30), 1+r.Intn(40))
+		tr := NewTracker(nl)
+		perm := r.Perm(nl.NumCells())
+		for _, c := range perm {
+			d := tr.DeltaCut(netlist.CellID(c))
+			before := tr.Cut()
+			tr.Add(netlist.CellID(c))
+			if tr.Cut()-before != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerResetReuses(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	nl := randomNetlist(r, 30, 50)
+	tr := NewTracker(nl)
+	tr.Add(0)
+	tr.Add(5)
+	firstCut := tr.Cut()
+	tr.Reset()
+	if tr.Size() != 0 || tr.Cut() != 0 || tr.Pins() != 0 {
+		t.Fatal("Reset left state")
+	}
+	tr.Add(0)
+	tr.Add(5)
+	if tr.Cut() != firstCut {
+		t.Errorf("cut after reset = %d, want %d", tr.Cut(), firstCut)
+	}
+}
+
+func TestTrackerPanicsOnDoubleAdd(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(2)), 10, 10)
+	tr := NewTracker(nl)
+	tr.Add(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double add")
+		}
+	}()
+	tr.Add(3)
+}
+
+func TestTrackerSnapshot(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(3)), 20, 30)
+	tr := NewTracker(nl)
+	tr.Add(1)
+	tr.Add(2)
+	snap := tr.Snapshot()
+	tr.Add(3)
+	if snap.Size() != 2 || len(snap.Members) != 2 {
+		t.Error("snapshot mutated by later Add")
+	}
+	if snap.Cut == tr.Cut() && snap.Pins == tr.Pins() && tr.Size() == snap.Size() {
+		t.Error("snapshot should differ after Add")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := []netlist.CellID{5, 1, 3}
+	b := []netlist.CellID{3, 7, 1}
+	if got := Union(a, b); !reflect.DeepEqual(got, []netlist.CellID{1, 3, 5, 7}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Intersect(a, b); !reflect.DeepEqual(got, []netlist.CellID{1, 3}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Difference(a, b); !reflect.DeepEqual(got, []netlist.CellID{5}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if got := Difference(b, a); !reflect.DeepEqual(got, []netlist.CellID{7}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if got := Intersect(a, nil); len(got) != 0 {
+		t.Errorf("Intersect with empty = %v", got)
+	}
+}
+
+// TestSetAlgebraProperties: |A∪B| + |A∩B| == |A| + |B| for sets, and
+// difference/intersection partition A.
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		dedupe := func(v []uint8) []netlist.CellID {
+			seen := map[netlist.CellID]bool{}
+			var out []netlist.CellID
+			for _, x := range v {
+				id := netlist.CellID(x % 64)
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+		a, b := dedupe(av), dedupe(bv)
+		u, i := Union(a, b), Intersect(a, b)
+		if len(u)+len(i) != len(a)+len(b) {
+			return false
+		}
+		d := Difference(a, b)
+		return len(d)+len(i) == len(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluatorMatchesTracker: Eval of a member list equals the
+// tracker's incremental result.
+func TestEvaluatorMatchesTracker(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl := randomNetlist(r, 2+r.Intn(40), 1+r.Intn(60))
+		tr := NewTracker(nl)
+		ev := NewEvaluator(nl)
+		perm := r.Perm(nl.NumCells())
+		k := 1 + r.Intn(nl.NumCells())
+		var members []netlist.CellID
+		for _, c := range perm[:k] {
+			tr.Add(netlist.CellID(c))
+			members = append(members, netlist.CellID(c))
+		}
+		got := ev.Eval(members)
+		return got.Cut == tr.Cut() && got.Pins == tr.Pins() && got.Size() == tr.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluatorToleratesDuplicates(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(5)), 20, 30)
+	ev := NewEvaluator(nl)
+	a := ev.Eval([]netlist.CellID{1, 2, 3})
+	b := ev.Eval([]netlist.CellID{1, 2, 3, 2, 1})
+	if a.Cut != b.Cut || a.Pins != b.Pins || a.Size() != b.Size() {
+		t.Error("duplicates changed the evaluation")
+	}
+}
+
+func TestEvaluatorIsReusable(t *testing.T) {
+	nl := randomNetlist(rand.New(rand.NewSource(6)), 25, 40)
+	ev := NewEvaluator(nl)
+	first := ev.Eval([]netlist.CellID{0, 1, 2})
+	for i := 0; i < 10; i++ {
+		ev.Eval([]netlist.CellID{netlist.CellID(i), netlist.CellID((i + 7) % 25)})
+	}
+	again := ev.Eval([]netlist.CellID{0, 1, 2})
+	if first.Cut != again.Cut || first.Pins != again.Pins {
+		t.Error("evaluator state leaked between calls")
+	}
+}

@@ -1,0 +1,132 @@
+// Package group maintains growing cell groups over a netlist with
+// incremental cut bookkeeping, plus the set algebra and one-shot
+// evaluation used by the finder's refinement phase.
+//
+// The paper's Phase I adds one cell at a time to a group of up to
+// Z = 100K cells; recomputing T(C) from scratch each step would be
+// quadratic. Tracker keeps per-net inside-pin counts so Add is
+// O(deg(cell)) and T(C), Σ pins and per-net λ(e) are always current.
+package group
+
+import (
+	"fmt"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// Tracker is an append-only growing group over a fixed netlist.
+// Create with NewTracker; Reset recycles it for a new seed without
+// reallocating. Tracker is not safe for concurrent use — the finder
+// gives each parallel seed its own.
+type Tracker struct {
+	nl      *netlist.Netlist
+	in      *ds.Bitset
+	pinsIn  []int32 // per net: pins inside the group
+	touched []netlist.NetID
+	members []netlist.CellID
+	cut     int // T(S)
+	pins    int // Σ_{c∈S} deg(c)
+}
+
+// NewTracker returns an empty tracker over nl.
+func NewTracker(nl *netlist.Netlist) *Tracker {
+	return &Tracker{
+		nl:     nl,
+		in:     ds.NewBitset(nl.NumCells()),
+		pinsIn: make([]int32, nl.NumNets()),
+	}
+}
+
+// Reset empties the group, retaining all allocations.
+func (t *Tracker) Reset() {
+	for _, n := range t.touched {
+		t.pinsIn[n] = 0
+	}
+	t.touched = t.touched[:0]
+	t.members = t.members[:0]
+	t.in.Clear()
+	t.cut = 0
+	t.pins = 0
+}
+
+// Netlist returns the netlist the tracker operates on.
+func (t *Tracker) Netlist() *netlist.Netlist { return t.nl }
+
+// Size returns |S|.
+func (t *Tracker) Size() int { return len(t.members) }
+
+// Cut returns T(S): nets with pins both inside and outside the group.
+func (t *Tracker) Cut() int { return t.cut }
+
+// Pins returns the total pin count of the group's cells.
+func (t *Tracker) Pins() int { return t.pins }
+
+// AvgPins returns A_C = Pins/|S| (0 for an empty group).
+func (t *Tracker) AvgPins() float64 {
+	if len(t.members) == 0 {
+		return 0
+	}
+	return float64(t.pins) / float64(len(t.members))
+}
+
+// Has reports whether cell c is in the group.
+func (t *Tracker) Has(c int) bool { return t.in.Has(c) }
+
+// Members returns the cells in insertion order (do not modify).
+func (t *Tracker) Members() []netlist.CellID { return t.members }
+
+// NetPinsIn returns |e ∩ S| for net n.
+func (t *Tracker) NetPinsIn(n netlist.NetID) int { return int(t.pinsIn[n]) }
+
+// Add inserts cell c into the group, updating cut and pin counts in
+// O(deg(c)). It panics if c is already a member (a finder logic error).
+func (t *Tracker) Add(c netlist.CellID) {
+	if !t.in.Add(int(c)) {
+		panic(fmt.Sprintf("group: cell %d added twice", c))
+	}
+	nets := t.nl.CellPins(c)
+	t.pins += len(nets)
+	t.members = append(t.members, c)
+	for _, n := range nets {
+		sz := t.nl.NetSize(n)
+		p := t.pinsIn[n]
+		if p == 0 {
+			t.touched = append(t.touched, n)
+			if sz > 1 {
+				t.cut++ // net becomes externally connected
+			}
+		}
+		p++
+		t.pinsIn[n] = p
+		if int(p) == sz && sz > 1 {
+			t.cut-- // net became fully internal
+		}
+	}
+}
+
+// DeltaCut returns the change in T(S) if cell c (currently outside)
+// were added. It does not modify the group.
+func (t *Tracker) DeltaCut(c netlist.CellID) int {
+	d := 0
+	for _, n := range t.nl.CellPins(c) {
+		sz := t.nl.NetSize(n)
+		if sz <= 1 {
+			continue
+		}
+		switch int(t.pinsIn[n]) {
+		case 0:
+			d++
+		case sz - 1:
+			d--
+		}
+	}
+	return d
+}
+
+// Snapshot captures the current group as an immutable value.
+func (t *Tracker) Snapshot() Set {
+	m := make([]netlist.CellID, len(t.members))
+	copy(m, t.members)
+	return Set{Members: m, Cut: t.cut, Pins: t.pins}
+}

@@ -1,0 +1,135 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on
+// float-capacity digraphs. It is the substrate for the expensive
+// min-cut-based baselines the paper surveys — edge separability
+// (Cong–Lim) and adhesion (Kudva et al.) — whose cost the paper cites
+// as the reason they are impractical at netlist scale.
+package maxflow
+
+import "math"
+
+const eps = 1e-12
+
+// Graph is a flow network under construction. Nodes are dense ints;
+// use AddEdge to add directed capacity. The zero value of Graph is not
+// usable; call New.
+type Graph struct {
+	head []int32 // per node: first arc index, -1 none
+	next []int32 // per arc: next arc of same node
+	to   []int32
+	cap  []float64
+	// level/iter are Dinic working state
+	level []int32
+	iter  []int32
+}
+
+// New returns an empty flow network with n nodes.
+func New(n int) *Graph {
+	g := &Graph{head: make([]int32, n)}
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.head) }
+
+// AddEdge adds a directed edge u→v with the given capacity plus its
+// zero-capacity reverse arc (arc pairs live at indices 2k, 2k+1).
+func (g *Graph) AddEdge(u, v int32, capacity float64) {
+	g.addArc(u, v, capacity)
+	g.addArc(v, u, 0)
+}
+
+// AddUndirected adds capacity in both directions (an undirected edge).
+func (g *Graph) AddUndirected(u, v int32, capacity float64) {
+	g.addArc(u, v, capacity)
+	g.addArc(v, u, capacity)
+}
+
+func (g *Graph) addArc(u, v int32, c float64) {
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, c)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = int32(len(g.to) - 1)
+}
+
+// MaxFlow computes the maximum s→t flow, mutating residual capacities.
+func (g *Graph) MaxFlow(s, t int32) float64 {
+	if s == t {
+		return math.Inf(1)
+	}
+	if g.level == nil {
+		g.level = make([]int32, len(g.head))
+		g.iter = make([]int32, len(g.head))
+	}
+	total := 0.0
+	for g.bfs(s, t) {
+		copy(g.iter, g.head)
+		for {
+			f := g.dfs(s, t, math.Inf(1))
+			if f <= eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *Graph) bfs(s, t int32) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int32{s}
+	g.level[s] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for a := g.head[u]; a >= 0; a = g.next[a] {
+			v := g.to[a]
+			if g.cap[a] > eps && g.level[v] < 0 {
+				g.level[v] = g.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t int32, f float64) float64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] >= 0; g.iter[u] = g.next[g.iter[u]] {
+		a := g.iter[u]
+		v := g.to[a]
+		if g.cap[a] > eps && g.level[v] == g.level[u]+1 {
+			d := g.dfs(v, t, math.Min(f, g.cap[a]))
+			if d > eps {
+				g.cap[a] -= d
+				g.cap[a^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// MinCutSide returns the source side of the minimum cut after MaxFlow
+// has run: all nodes reachable from s in the residual graph.
+func (g *Graph) MinCutSide(s int32) []bool {
+	side := make([]bool, len(g.head))
+	queue := []int32{s}
+	side[s] = true
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for a := g.head[u]; a >= 0; a = g.next[a] {
+			v := g.to[a]
+			if g.cap[a] > eps && !side[v] {
+				side[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return side
+}

@@ -1,0 +1,122 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 6-node example with max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); math.Abs(got-23) > 1e-9 {
+		t.Errorf("max flow = %v, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("flow across disconnection = %v, want 0", got)
+	}
+}
+
+func TestMaxFlowParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 1, 4)
+	if got := g.MaxFlow(0, 1); math.Abs(got-7) > 1e-9 {
+		t.Errorf("parallel edges flow = %v, want 7", got)
+	}
+}
+
+func TestUndirectedEdge(t *testing.T) {
+	g := New(3)
+	g.AddUndirected(0, 1, 2)
+	g.AddUndirected(1, 2, 5)
+	if got := g.MaxFlow(0, 2); math.Abs(got-2) > 1e-9 {
+		t.Errorf("path flow = %v, want bottleneck 2", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1) // bottleneck
+	g.AddEdge(2, 3, 10)
+	g.MaxFlow(0, 3)
+	side := g.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("cut side = %v, want {0,1} | {2,3}", side)
+	}
+}
+
+// bruteMinCut enumerates all s-t cuts of a small undirected graph.
+func bruteMinCut(n int, edges [][3]float64, s, t int) float64 {
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		cut := 0.0
+		for _, e := range edges {
+			u, v := int(e[0]), int(e[1])
+			uIn, vIn := mask&(1<<u) != 0, mask&(1<<v) != 0
+			if uIn != vIn {
+				cut += e[2]
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// TestMaxFlowMinCutDuality: on random small undirected graphs, Dinic's
+// flow equals the brute-force minimum cut.
+func TestMaxFlowMinCutDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		var edges [][3]float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					edges = append(edges, [3]float64{float64(i), float64(j), float64(1 + r.Intn(5))})
+				}
+			}
+		}
+		g := New(n)
+		for _, e := range edges {
+			g.AddUndirected(int32(e[0]), int32(e[1]), e[2])
+		}
+		got := g.MaxFlow(0, int32(n-1))
+		want := bruteMinCut(n, edges, 0, n-1)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	if got := g.MaxFlow(0, 0); !math.IsInf(got, 1) {
+		t.Errorf("s==t flow = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// This file implements the connectivity-style baseline metrics from the
+// paper's previous-work chapter. They exist so the library can
+// reproduce the paper's qualitative comparisons (and so downstream
+// users can check the survey's claims: absorption grows with size,
+// degree separation ignores external connections, the min-cut-based
+// metrics are expensive). They operate on the hypergraph directly or on
+// its clique expansion (netlist.Adjacency).
+
+// Absorption returns Σ_{e: e∩C≠∅} (|e∩C|−1)/(|e|−1), the Alpert–Kahng
+// absorption of group C. It rises with group size, which is why it
+// cannot compare candidate GTLs of different sizes.
+func Absorption(nl *netlist.Netlist, members []netlist.CellID) float64 {
+	in := ds.NewBitset(nl.NumCells())
+	for _, c := range members {
+		in.Add(int(c))
+	}
+	seen := make(map[netlist.NetID]bool)
+	total := 0.0
+	for _, c := range members {
+		for _, n := range nl.CellPins(c) {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			sz := nl.NetSize(n)
+			if sz < 2 {
+				continue
+			}
+			inside := 0
+			for _, other := range nl.NetPins(n) {
+				if in.Has(int(other)) {
+					inside++
+				}
+			}
+			total += float64(inside-1) / float64(sz-1)
+		}
+	}
+	return total
+}
+
+// DegreeSeparation returns the Hagen–Kahng DS value of the group:
+// Degree = average nets per member cell, Separation = average shortest
+// path length (in the clique expansion, hops) between member pairs.
+// For groups above samplePairs members the separation is estimated from
+// that many random pairs using rng; pass samplePairs <= 0 for exact
+// all-pairs (small groups only). Unreachable pairs count as |C| hops.
+func DegreeSeparation(nl *netlist.Netlist, adj *netlist.Adjacency, members []netlist.CellID, samplePairs int, rng *ds.RNG) (degree, separation, dsValue float64) {
+	if len(members) < 2 {
+		return 0, 0, 0
+	}
+	pins := 0
+	for _, c := range members {
+		pins += nl.CellDegree(c)
+	}
+	degree = float64(pins) / float64(len(members))
+
+	in := ds.NewBitset(nl.NumCells())
+	for _, c := range members {
+		in.Add(int(c))
+	}
+	type pair struct{ a, b netlist.CellID }
+	var pairs []pair
+	if samplePairs <= 0 || len(members)*(len(members)-1)/2 <= samplePairs {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				pairs = append(pairs, pair{members[i], members[j]})
+			}
+		}
+	} else {
+		for k := 0; k < samplePairs; k++ {
+			i, j := rng.Intn(len(members)), rng.Intn(len(members))
+			if i == j {
+				k--
+				continue
+			}
+			pairs = append(pairs, pair{members[i], members[j]})
+		}
+	}
+	dist := make(map[int32]int)
+	var queue []netlist.CellID
+	totalHops := 0.0
+	for _, pr := range pairs {
+		// BFS restricted to the group.
+		clear(dist)
+		queue = queue[:0]
+		queue = append(queue, pr.a)
+		dist[pr.a] = 0
+		found := -1
+		for head := 0; head < len(queue) && found < 0; head++ {
+			u := queue[head]
+			du := dist[u]
+			for _, v := range adj.NeighborsOf(u) {
+				if !in.Has(int(v)) {
+					continue
+				}
+				if _, ok := dist[v]; ok {
+					continue
+				}
+				dist[v] = du + 1
+				if v == pr.b {
+					found = du + 1
+					break
+				}
+				queue = append(queue, v)
+			}
+		}
+		if found < 0 {
+			found = len(members) // disconnected inside the group
+		}
+		totalHops += float64(found)
+	}
+	separation = totalHops / float64(len(pairs))
+	if separation > 0 {
+		dsValue = degree / separation
+	}
+	return degree, separation, dsValue
+}
+
+// KLConnected reports whether cells a and b are (K,2)-connected in the
+// clique expansion: K edge-disjoint paths of length at most 2. Length-2
+// paths through distinct middle vertices are edge-disjoint from each
+// other and from the direct edge, so the count is
+// [a~b] + |common neighbors|, the construction Garbers et al. use.
+func KLConnected(adj *netlist.Adjacency, a, b netlist.CellID, k int) bool {
+	count := 0
+	na, nb := adj.NeighborsOf(a), adj.NeighborsOf(b)
+	for _, v := range na {
+		if v == b {
+			count++ // the direct edge (counted once)
+			break
+		}
+	}
+	i, j := 0, 0
+	for i < len(na) && j < len(nb) {
+		switch {
+		case na[i] < nb[j]:
+			i++
+		case na[i] > nb[j]:
+			j++
+		default:
+			if na[i] != a && na[i] != b {
+				count++ // common neighbor: one length-2 path
+			}
+			i++
+			j++
+		}
+		if count >= k {
+			return true
+		}
+	}
+	return count >= k
+}
+
+// KLClusterConnected reports whether every sampled pair of the group is
+// (K,2)-connected. samplePairs <= 0 checks all pairs.
+func KLClusterConnected(adj *netlist.Adjacency, members []netlist.CellID, k, samplePairs int, rng *ds.RNG) bool {
+	n := len(members)
+	if n < 2 {
+		return true
+	}
+	if samplePairs <= 0 || n*(n-1)/2 <= samplePairs {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !KLConnected(adj, members[i], members[j], k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for t := 0; t < samplePairs; t++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			t--
+			continue
+		}
+		if !KLConnected(adj, members[i], members[j], k) {
+			return false
+		}
+	}
+	return true
+}

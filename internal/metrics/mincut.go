@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"tanglefind/internal/ds"
+	"tanglefind/internal/maxflow"
+	"tanglefind/internal/netlist"
+)
+
+// EdgeSeparability returns the Cong–Lim separability of the edge
+// (a, b): the weighted min-cut between a and b in the clique expansion.
+// hopLimit restricts the flow network to cells within that many hops of
+// a or b (0 means the whole graph) — the standard trick to keep the
+// computation local, and still exact whenever the min cut is local.
+func EdgeSeparability(adj *netlist.Adjacency, a, b netlist.CellID, hopLimit int) float64 {
+	nodes, index := neighborhood(adj, []netlist.CellID{a, b}, hopLimit)
+	g := maxflow.New(len(nodes))
+	for _, u := range nodes {
+		iu := index[u]
+		for k, v := range adj.NeighborsOf(u) {
+			iv, ok := index[v]
+			if !ok || iu > iv {
+				continue // absent or already added from the other side
+			}
+			g.AddUndirected(int32(iu), int32(iv), adj.WeightsOf(u)[k])
+		}
+	}
+	return g.MaxFlow(int32(index[a]), int32(index[b]))
+}
+
+// Adhesion returns the Kudva et al. adhesion of the group: the sum of
+// pairwise min-cuts inside the clique expansion restricted to the
+// group. Pairs above samplePairs are sampled (the paper notes full
+// adhesion is "hardly practical"; the sampled estimate is scaled back
+// to the full pair count). rng may be nil when sampling is not needed.
+func Adhesion(adj *netlist.Adjacency, members []netlist.CellID, samplePairs int, rng *ds.RNG) float64 {
+	n := len(members)
+	if n < 2 {
+		return 0
+	}
+	index := make(map[netlist.CellID]int, n)
+	for i, c := range members {
+		index[c] = i
+	}
+	build := func() *maxflow.Graph {
+		g := maxflow.New(n)
+		for _, u := range members {
+			iu := index[u]
+			for k, v := range adj.NeighborsOf(u) {
+				iv, ok := index[v]
+				if !ok || iu > iv {
+					continue
+				}
+				g.AddUndirected(int32(iu), int32(iv), adj.WeightsOf(u)[k])
+			}
+		}
+		return g
+	}
+	totalPairs := n * (n - 1) / 2
+	if samplePairs <= 0 || totalPairs <= samplePairs {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += build().MaxFlow(int32(i), int32(j))
+			}
+		}
+		return sum
+	}
+	sum := 0.0
+	for t := 0; t < samplePairs; t++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			t--
+			continue
+		}
+		sum += build().MaxFlow(int32(i), int32(j))
+	}
+	return sum * float64(totalPairs) / float64(samplePairs)
+}
+
+// neighborhood collects cells within hopLimit hops of the given roots
+// (hopLimit 0 = entire graph) and returns them with an id→index map.
+func neighborhood(adj *netlist.Adjacency, roots []netlist.CellID, hopLimit int) ([]netlist.CellID, map[netlist.CellID]int) {
+	index := make(map[netlist.CellID]int)
+	var nodes []netlist.CellID
+	type item struct {
+		c netlist.CellID
+		d int
+	}
+	var queue []item
+	for _, r := range roots {
+		if _, ok := index[r]; !ok {
+			index[r] = len(nodes)
+			nodes = append(nodes, r)
+			queue = append(queue, item{r, 0})
+		}
+	}
+	if hopLimit <= 0 {
+		n := len(adj.Start) - 1
+		nodes = nodes[:0]
+		clear(index)
+		for c := 0; c < n; c++ {
+			index[netlist.CellID(c)] = c
+			nodes = append(nodes, netlist.CellID(c))
+		}
+		return nodes, index
+	}
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		if it.d == hopLimit {
+			continue
+		}
+		for _, v := range adj.NeighborsOf(it.c) {
+			if _, ok := index[v]; !ok {
+				index[v] = len(nodes)
+				nodes = append(nodes, v)
+				queue = append(queue, item{v, it.d + 1})
+			}
+		}
+	}
+	return nodes, index
+}

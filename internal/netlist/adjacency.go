@@ -1,0 +1,79 @@
+package netlist
+
+import "sort"
+
+// Adjacency is a weighted cell-to-cell graph derived from the
+// hypergraph by clique expansion: every net e contributes an edge of
+// weight 1/(|e|-1) between each pair of its cells, and parallel edges
+// are merged by summing weights.
+//
+// The baselines from the paper's related-work chapter — degree
+// separation, (K,L)-connectivity, edge separability, adhesion — are all
+// defined on an ordinary graph, so they operate on this expansion.
+type Adjacency struct {
+	Start  []int32   // CSR offsets, len NumCells+1
+	Adj    []CellID  // neighbor ids
+	Weight []float64 // merged clique weights, parallel to Adj
+}
+
+// Degree returns the number of distinct neighbors of cell c.
+func (a *Adjacency) Degree(c CellID) int { return int(a.Start[c+1] - a.Start[c]) }
+
+// NeighborsOf returns the neighbor slice of cell c (do not modify).
+func (a *Adjacency) NeighborsOf(c CellID) []CellID { return a.Adj[a.Start[c]:a.Start[c+1]] }
+
+// WeightsOf returns the edge weights parallel to NeighborsOf(c).
+func (a *Adjacency) WeightsOf(c CellID) []float64 { return a.Weight[a.Start[c]:a.Start[c+1]] }
+
+// CliqueExpand builds the weighted adjacency graph. Nets larger than
+// maxNetSize are skipped (0 means no limit): expanding a 10K-pin clock
+// net would add 10^8 edges while carrying almost no clustering signal,
+// which is the same pruning every clustering tool in the literature
+// applies.
+func (nl *Netlist) CliqueExpand(maxNetSize int) *Adjacency {
+	n := nl.NumCells()
+	type edge struct {
+		to CellID
+		w  float64
+	}
+	adj := make([][]edge, n)
+	for _, cells := range nl.netPins {
+		k := len(cells)
+		if k < 2 || (maxNetSize > 0 && k > maxNetSize) {
+			continue
+		}
+		w := 1.0 / float64(k-1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				adj[cells[i]] = append(adj[cells[i]], edge{cells[j], w})
+				adj[cells[j]] = append(adj[cells[j]], edge{cells[i], w})
+			}
+		}
+	}
+	out := &Adjacency{Start: make([]int32, n+1)}
+	for c := 0; c < n; c++ {
+		es := adj[c]
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+		// Merge parallel edges.
+		m := 0
+		for i := 0; i < len(es); {
+			j := i
+			w := 0.0
+			for j < len(es) && es[j].to == es[i].to {
+				w += es[j].w
+				j++
+			}
+			es[m] = edge{es[i].to, w}
+			m++
+			i = j
+		}
+		es = es[:m]
+		out.Start[c+1] = out.Start[c] + int32(m)
+		for _, e := range es {
+			out.Adj = append(out.Adj, e.to)
+			out.Weight = append(out.Weight, e.w)
+		}
+		adj[c] = nil
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder incrementally assembles a Netlist. It dedupes repeated
+// (cell, net) incidences so the finished netlist has set semantics, and
+// can optionally drop degenerate nets (fewer than two distinct cells).
+//
+// The zero value is ready to use.
+type Builder struct {
+	netCells  [][]CellID
+	netNames  []string
+	cellNames []string
+	cellArea  []float64
+	numCells  int
+
+	// DropDegenerateNets discards nets with < 2 distinct cells at
+	// Build time. Single-pin nets can never be cut and only perturb
+	// the average pin count, so generators usually drop them.
+	DropDegenerateNets bool
+}
+
+// AddCell registers a new cell and returns its id. name may be empty.
+func (b *Builder) AddCell(name string) CellID {
+	id := CellID(b.numCells)
+	b.numCells++
+	b.cellNames = append(b.cellNames, name)
+	b.cellArea = append(b.cellArea, 1)
+	return id
+}
+
+// AddCells registers n anonymous unit-area cells and returns the id of
+// the first; the ids are contiguous.
+func (b *Builder) AddCells(n int) CellID {
+	first := CellID(b.numCells)
+	b.numCells += n
+	for i := 0; i < n; i++ {
+		b.cellNames = append(b.cellNames, "")
+		b.cellArea = append(b.cellArea, 1)
+	}
+	return first
+}
+
+// SetCellArea overrides the placement area of cell c.
+func (b *Builder) SetCellArea(c CellID, area float64) { b.cellArea[c] = area }
+
+// NumCells returns the number of cells added so far.
+func (b *Builder) NumCells() int { return b.numCells }
+
+// AddNet registers a net pinning the given cells and returns its id.
+// Duplicate cells within one net are collapsed. name may be empty.
+func (b *Builder) AddNet(name string, cells ...CellID) NetID {
+	id := NetID(len(b.netCells))
+	cp := make([]CellID, len(cells))
+	copy(cp, cells)
+	b.netCells = append(b.netCells, cp)
+	b.netNames = append(b.netNames, name)
+	return id
+}
+
+// Build finalizes the netlist. It returns an error if any net pins an
+// unknown cell id.
+func (b *Builder) Build() (*Netlist, error) {
+	nl := &Netlist{
+		cellPins:  make([][]NetID, b.numCells),
+		cellNames: b.cellNames,
+		cellArea:  b.cellArea,
+	}
+	degree := make([]int32, b.numCells)
+	type finalNet struct {
+		name  string
+		cells []CellID
+	}
+	finals := make([]finalNet, 0, len(b.netCells))
+	for i, cells := range b.netCells {
+		uniq := dedupe(cells)
+		for _, c := range uniq {
+			if c < 0 || int(c) >= b.numCells {
+				return nil, fmt.Errorf("netlist: net %q pins unknown cell %d", b.netNames[i], c)
+			}
+		}
+		if b.DropDegenerateNets && len(uniq) < 2 {
+			continue
+		}
+		finals = append(finals, finalNet{b.netNames[i], uniq})
+	}
+	nl.netPins = make([][]CellID, len(finals))
+	nl.netNames = make([]string, len(finals))
+	for i, fn := range finals {
+		nl.netPins[i] = fn.cells
+		nl.netNames[i] = fn.name
+		for _, c := range fn.cells {
+			degree[c]++
+		}
+		nl.numPins += len(fn.cells)
+	}
+	for c := range nl.cellPins {
+		nl.cellPins[c] = make([]NetID, 0, degree[c])
+	}
+	for n, cells := range nl.netPins {
+		for _, c := range cells {
+			nl.cellPins[c] = append(nl.cellPins[c], NetID(n))
+		}
+	}
+	return nl, nil
+}
+
+// MustBuild is Build but panics on error; for tests and generators
+// whose inputs are constructed correctly by design.
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}
+
+func dedupe(cells []CellID) []CellID {
+	if len(cells) <= 1 {
+		return cells
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	out := cells[:1]
+	for _, c := range cells[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package netlist
+
+import "tanglefind/internal/ds"
+
+// Components returns the connected components of the netlist as cell
+// id lists, largest first. The finder's linear orderings cannot cross
+// component boundaries, so callers seeding searches or sanity-checking
+// generated circuits use this to see what is reachable.
+func (nl *Netlist) Components() [][]CellID {
+	n := nl.NumCells()
+	if n == 0 {
+		return nil
+	}
+	dsu := ds.NewDSU(n)
+	for _, pins := range nl.netPins {
+		for i := 1; i < len(pins); i++ {
+			dsu.Union(pins[0], pins[i])
+		}
+	}
+	byRoot := make(map[CellID][]CellID)
+	for c := 0; c < n; c++ {
+		r := dsu.Find(CellID(c))
+		byRoot[r] = append(byRoot[r], CellID(c))
+	}
+	out := make([][]CellID, 0, len(byRoot))
+	for _, comp := range byRoot {
+		out = append(out, comp)
+	}
+	// Largest first; ties by first cell id for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b []CellID) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	return a[0] < b[0]
+}

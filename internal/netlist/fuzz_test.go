@@ -1,0 +1,80 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadNeverPanics feeds the parser structured garbage: mutated
+// valid files, truncations and random bytes. The parser must return an
+// error or a valid netlist — never panic, never return a netlist that
+// fails Validate.
+func TestReadNeverPanics(t *testing.T) {
+	var b Builder
+	b.AddCells(20)
+	for i := 0; i < 19; i++ {
+		b.AddNet("", CellID(i), CellID(i+1))
+	}
+	nl := b.MustBuild()
+	var valid bytes.Buffer
+	if err := nl.Write(&valid); err != nil {
+		t.Fatal(err)
+	}
+	base := valid.Bytes()
+
+	r := rand.New(rand.NewSource(42))
+	check := func(input []byte) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("parser panicked on %q: %v", truncate(input), p)
+			}
+		}()
+		got, err := Read(bytes.NewReader(input))
+		if err == nil {
+			if vErr := got.Validate(); vErr != nil {
+				t.Fatalf("parser accepted invalid netlist from %q: %v", truncate(input), vErr)
+			}
+		}
+	}
+	// Truncations.
+	for cut := 0; cut < len(base); cut += 7 {
+		check(base[:cut])
+	}
+	// Byte mutations.
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), base...)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			mut[r.Intn(len(mut))] = byte(r.Intn(256))
+		}
+		check(mut)
+	}
+	// Random garbage.
+	for trial := 0; trial < 200; trial++ {
+		g := make([]byte, r.Intn(200))
+		for i := range g {
+			g[i] = byte(r.Intn(256))
+		}
+		check(g)
+	}
+	// Adversarial structured inputs.
+	for _, s := range []string{
+		"tfnet 1\ncells -5\n",
+		"tfnet 1\ncells 999999999999999999999\n",
+		"tfnet 1\ncells 2\nnet x -1\n",
+		"tfnet 1\ncells 2\nnet x 99999999\n",
+		"tfnet 1\ncells 1\nnet\n",
+		strings.Repeat("tfnet 1\n", 50),
+	} {
+		check([]byte(s))
+	}
+}
+
+func truncate(b []byte) string {
+	s := string(b)
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

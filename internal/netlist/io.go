@@ -1,0 +1,95 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The .tfnet text format is a minimal portable netlist exchange format:
+//
+//	tfnet 1
+//	cells <numCells>
+//	net <name> <cellID> <cellID> ...
+//	...
+//
+// Lines starting with '#' are comments. Cell names and areas are not
+// serialized — the format exists so generated benchmarks can be saved
+// and re-loaded by the CLI tools; full-fidelity exchange uses the
+// Bookshelf reader/writer in internal/bookshelf.
+
+// Write serializes the netlist in .tfnet form.
+func (nl *Netlist) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "tfnet 1")
+	fmt.Fprintf(bw, "cells %d\n", nl.NumCells())
+	for n, cells := range nl.netPins {
+		fmt.Fprintf(bw, "net %s", nl.NetName(NetID(n)))
+		for _, c := range cells {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a .tfnet stream produced by Write.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimSpace(sc.Text())
+			if t == "" || strings.HasPrefix(t, "#") {
+				continue
+			}
+			return t, true
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || !strings.HasPrefix(hdr, "tfnet ") {
+		return nil, fmt.Errorf("netlist: line %d: missing tfnet header", line)
+	}
+	cellsLine, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("netlist: line %d: missing cells line", line)
+	}
+	var numCells int
+	if _, err := fmt.Sscanf(cellsLine, "cells %d", &numCells); err != nil {
+		return nil, fmt.Errorf("netlist: line %d: bad cells line: %v", line, err)
+	}
+	if numCells < 0 || numCells > math.MaxInt32 {
+		return nil, fmt.Errorf("netlist: line %d: cell count %d out of range", line, numCells)
+	}
+	var b Builder
+	b.AddCells(numCells)
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(t)
+		if fields[0] != "net" || len(fields) < 2 {
+			return nil, fmt.Errorf("netlist: line %d: expected net line, got %q", line, t)
+		}
+		cells := make([]CellID, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			id, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: bad cell id %q", line, f)
+			}
+			cells = append(cells, CellID(id))
+		}
+		b.AddNet(fields[1], cells...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %w", err)
+	}
+	return b.Build()
+}

@@ -1,0 +1,183 @@
+// Package netlist models a synthesized VLSI netlist as a hypergraph:
+// cells (gates) connected by nets, where each net pins a set of cells.
+//
+// This is the substrate every other tanglefind package builds on. The
+// representation is flat and id-based — cells and nets are dense int32
+// ids — so that the tangled-logic finder can run over netlists with
+// hundreds of thousands of cells without pointer-chasing overhead.
+//
+// Pin semantics follow the paper: a net e is a subset of cells, so a
+// cell contributes at most one pin to a given net (the Builder dedupes
+// repeated connections), |e| is the number of cells on e, and the pin
+// count of a cell is the number of distinct nets incident to it.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CellID identifies a cell (gate) within a Netlist.
+type CellID = int32
+
+// NetID identifies a net within a Netlist.
+type NetID = int32
+
+// Netlist is an immutable hypergraph of cells and nets.
+// Construct one with a Builder or a generator; the zero value is an
+// empty netlist.
+type Netlist struct {
+	cellPins [][]NetID  // cell -> distinct incident nets
+	netPins  [][]CellID // net -> distinct incident cells
+	numPins  int        // Σ len(cellPins[i]) == Σ len(netPins[j])
+
+	cellNames []string  // optional; empty means synthesized names
+	netNames  []string  // optional
+	cellArea  []float64 // optional; nil means unit area
+}
+
+// NumCells returns the number of cells.
+func (nl *Netlist) NumCells() int { return len(nl.cellPins) }
+
+// NumNets returns the number of nets.
+func (nl *Netlist) NumNets() int { return len(nl.netPins) }
+
+// NumPins returns the total pin count Σ_e |e|.
+func (nl *Netlist) NumPins() int { return nl.numPins }
+
+// CellPins returns the nets incident to cell c. The caller must not
+// modify the returned slice.
+func (nl *Netlist) CellPins(c CellID) []NetID { return nl.cellPins[c] }
+
+// NetPins returns the cells on net n. The caller must not modify the
+// returned slice.
+func (nl *Netlist) NetPins(n NetID) []CellID { return nl.netPins[n] }
+
+// CellDegree returns the number of pins on cell c (distinct nets).
+func (nl *Netlist) CellDegree(c CellID) int { return len(nl.cellPins[c]) }
+
+// NetSize returns |e| for net n: the number of cells it pins.
+func (nl *Netlist) NetSize(n NetID) int { return len(nl.netPins[n]) }
+
+// AvgPins returns A(G): total pins divided by the number of cells.
+// This is the paper's normalization constant A_G. It returns 0 for an
+// empty netlist.
+func (nl *Netlist) AvgPins() float64 {
+	if len(nl.cellPins) == 0 {
+		return 0
+	}
+	return float64(nl.numPins) / float64(len(nl.cellPins))
+}
+
+// CellName returns the name of cell c, synthesizing "c<id>" when the
+// netlist carries no names.
+func (nl *Netlist) CellName(c CellID) string {
+	if int(c) < len(nl.cellNames) && nl.cellNames[c] != "" {
+		return nl.cellNames[c]
+	}
+	return fmt.Sprintf("c%d", c)
+}
+
+// NetName returns the name of net n, synthesizing "n<id>" when absent.
+func (nl *Netlist) NetName(n NetID) string {
+	if int(n) < len(nl.netNames) && nl.netNames[n] != "" {
+		return nl.netNames[n]
+	}
+	return fmt.Sprintf("n%d", n)
+}
+
+// CellArea returns the placement area of cell c (1.0 when unset).
+func (nl *Netlist) CellArea(c CellID) float64 {
+	if nl.cellArea == nil {
+		return 1
+	}
+	return nl.cellArea[c]
+}
+
+// TotalArea returns the sum of all cell areas.
+func (nl *Netlist) TotalArea() float64 {
+	if nl.cellArea == nil {
+		return float64(len(nl.cellPins))
+	}
+	sum := 0.0
+	for _, a := range nl.cellArea {
+		sum += a
+	}
+	return sum
+}
+
+// WithAreas returns a shallow copy of the netlist with the given cell
+// areas (len must equal NumCells). The hypergraph itself is shared.
+func (nl *Netlist) WithAreas(area []float64) (*Netlist, error) {
+	if len(area) != nl.NumCells() {
+		return nil, fmt.Errorf("netlist: area slice has %d entries for %d cells", len(area), nl.NumCells())
+	}
+	cp := *nl
+	cp.cellArea = area
+	return &cp, nil
+}
+
+// Validate checks the structural invariants of the netlist: pin lists
+// are symmetric, ids in range, no duplicate incidences.
+func (nl *Netlist) Validate() error {
+	if nl.numPins < 0 {
+		return errors.New("netlist: negative pin count")
+	}
+	seen := make(map[int64]bool)
+	pins := 0
+	for c, nets := range nl.cellPins {
+		for _, n := range nets {
+			if n < 0 || int(n) >= len(nl.netPins) {
+				return fmt.Errorf("netlist: cell %d pins out-of-range net %d", c, n)
+			}
+			key := int64(c)<<32 | int64(n)
+			if seen[key] {
+				return fmt.Errorf("netlist: duplicate incidence cell %d / net %d", c, n)
+			}
+			seen[key] = true
+			pins++
+		}
+	}
+	if pins != nl.numPins {
+		return fmt.Errorf("netlist: pin count %d != recorded %d", pins, nl.numPins)
+	}
+	back := 0
+	for n, cells := range nl.netPins {
+		for _, c := range cells {
+			if c < 0 || int(c) >= len(nl.cellPins) {
+				return fmt.Errorf("netlist: net %d pins out-of-range cell %d", n, c)
+			}
+			if !seen[int64(c)<<32|int64(n)] {
+				return fmt.Errorf("netlist: net %d lists cell %d but cell does not list net", n, c)
+			}
+			back++
+		}
+	}
+	if back != pins {
+		return fmt.Errorf("netlist: net-side pin count %d != cell-side %d", back, pins)
+	}
+	return nil
+}
+
+// Stats summarizes a netlist for reports and sanity checks.
+type Stats struct {
+	Cells, Nets, Pins     int
+	AvgPins               float64 // A(G)
+	MaxNetSize, MaxDegree int
+}
+
+// Stats computes summary statistics.
+func (nl *Netlist) Stats() Stats {
+	s := Stats{Cells: nl.NumCells(), Nets: nl.NumNets(), Pins: nl.numPins, AvgPins: nl.AvgPins()}
+	for _, p := range nl.netPins {
+		if len(p) > s.MaxNetSize {
+			s.MaxNetSize = len(p)
+		}
+	}
+	for _, p := range nl.cellPins {
+		if len(p) > s.MaxDegree {
+			s.MaxDegree = len(p)
+		}
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package netlist
+
+// Membership abstracts "is cell c in the group?", so subset queries work
+// with bitsets, maps or slices without copying.
+type Membership interface {
+	Has(c int) bool
+}
+
+// SliceMembers adapts a []CellID to a Membership (linear scan; use only
+// for small groups or tests).
+type SliceMembers []CellID
+
+// Has reports whether c is in the slice.
+func (s SliceMembers) Has(c int) bool {
+	for _, x := range s {
+		if int(x) == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Cut returns T(C): the number of nets with at least one pin inside the
+// group and at least one outside. members enumerates the group's cells;
+// in is the membership test (must agree with members).
+//
+// This is the one-shot O(Σ_{c∈C} deg(c) · |e|) reference used by tests
+// and by Phase III set algebra; the finder's inner loop uses the
+// incremental tracker in package group instead.
+func (nl *Netlist) Cut(members []CellID, in Membership) int {
+	seen := make(map[NetID]bool)
+	cut := 0
+	for _, c := range members {
+		for _, n := range nl.cellPins[c] {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			for _, other := range nl.netPins[n] {
+				if !in.Has(int(other)) {
+					cut++
+					break
+				}
+			}
+		}
+	}
+	return cut
+}
+
+// PinsIn returns the total pin count of the group's cells: Σ_{c∈C} deg(c).
+// Divided by |C| this is the paper's A_C.
+func (nl *Netlist) PinsIn(members []CellID) int {
+	pins := 0
+	for _, c := range members {
+		pins += len(nl.cellPins[c])
+	}
+	return pins
+}
+
+// InternalNets returns the number of nets entirely inside the group.
+func (nl *Netlist) InternalNets(members []CellID, in Membership) int {
+	seen := make(map[NetID]bool)
+	internal := 0
+	for _, c := range members {
+		for _, n := range nl.cellPins[c] {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			inside := true
+			for _, other := range nl.netPins[n] {
+				if !in.Has(int(other)) {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				internal++
+			}
+		}
+	}
+	return internal
+}
+
+// Neighbors returns the distinct cells outside the group that share a
+// net with it (the group's frontier).
+func (nl *Netlist) Neighbors(members []CellID, in Membership) []CellID {
+	seenNet := make(map[NetID]bool)
+	seenCell := make(map[CellID]bool)
+	var out []CellID
+	for _, c := range members {
+		for _, n := range nl.cellPins[c] {
+			if seenNet[n] {
+				continue
+			}
+			seenNet[n] = true
+			for _, other := range nl.netPins[n] {
+				if !in.Has(int(other)) && !seenCell[other] {
+					seenCell[other] = true
+					out = append(out, other)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// This file implements the paper's floorplanning application: "since a
+// GTL will stay together during placement, the designer may wish to
+// form a soft block for the gates in the GTL", with the soft block
+// driving placement as a unit. We realize it as two-level clustered
+// placement: each GTL collapses into one macro cell, the clustered
+// netlist is placed, and each macro's members are then placed inside
+// the die region the macro received.
+
+// Clustering maps a netlist onto a clustered version where each given
+// group is one macro cell.
+type Clustering struct {
+	// Clustered is the macro-level netlist: first the untouched cells
+	// (renumbered), then one macro cell per group.
+	Clustered *netlist.Netlist
+	// MacroOf maps an original cell to its clustered id (its own new
+	// id, or the macro's id when it belongs to a group).
+	MacroOf []netlist.CellID
+	// Groups holds each macro's original member cells.
+	Groups [][]netlist.CellID
+	// MacroStart is the clustered id of the first macro.
+	MacroStart netlist.CellID
+}
+
+// Cluster builds the soft-block netlist. Groups must be disjoint; a
+// cell in two groups is an error.
+func Cluster(nl *netlist.Netlist, groups [][]netlist.CellID) (*Clustering, error) {
+	n := nl.NumCells()
+	macroOf := make([]netlist.CellID, n)
+	for i := range macroOf {
+		macroOf[i] = -1
+	}
+	for gi, g := range groups {
+		for _, c := range g {
+			if macroOf[c] != -1 {
+				return nil, fmt.Errorf("place: cell %d in multiple groups", c)
+			}
+			macroOf[c] = netlist.CellID(gi) // temporarily the group index
+		}
+	}
+	var b netlist.Builder
+	// Untouched cells first, preserving relative order.
+	newID := make([]netlist.CellID, n)
+	for c := 0; c < n; c++ {
+		if macroOf[c] == -1 {
+			id := b.AddCell(nl.CellName(netlist.CellID(c)))
+			b.SetCellArea(id, nl.CellArea(netlist.CellID(c)))
+			newID[c] = id
+		}
+	}
+	macroStart := netlist.CellID(b.NumCells())
+	for gi, g := range groups {
+		id := b.AddCell(fmt.Sprintf("gtl_macro_%d", gi))
+		area := 0.0
+		for _, c := range g {
+			area += nl.CellArea(c)
+		}
+		b.SetCellArea(id, area)
+		for _, c := range g {
+			newID[c] = id
+		}
+	}
+	for c := 0; c < n; c++ {
+		macroOf[c] = newID[c]
+	}
+	// Nets: map pins through newID; Builder dedupes pins that collapse
+	// into the same macro, and drops nets that become single-pin.
+	b.DropDegenerateNets = true
+	for ni := 0; ni < nl.NumNets(); ni++ {
+		pins := nl.NetPins(netlist.NetID(ni))
+		mapped := make([]netlist.CellID, len(pins))
+		for i, c := range pins {
+			mapped[i] = newID[c]
+		}
+		b.AddNet(nl.NetName(netlist.NetID(ni)), mapped...)
+	}
+	clustered, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	cp := make([][]netlist.CellID, len(groups))
+	for i, g := range groups {
+		cp[i] = append([]netlist.CellID(nil), g...)
+	}
+	return &Clustering{
+		Clustered:  clustered,
+		MacroOf:    macroOf,
+		Groups:     cp,
+		MacroStart: macroStart,
+	}, nil
+}
+
+// PlaceSoftBlocks runs the two-level flow: place the clustered netlist,
+// then place each GTL's members inside the region its macro occupies
+// (sized to the macro's area share of the die). It returns a placement
+// of the original netlist.
+func PlaceSoftBlocks(nl *netlist.Netlist, groups [][]netlist.CellID, die Rect, opt Options) (*Placement, error) {
+	cl, err := Cluster(nl, groups)
+	if err != nil {
+		return nil, err
+	}
+	top, err := Place(cl.Clustered, die, opt)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Placement{
+		Die: top.Die,
+		X:   make([]float64, nl.NumCells()),
+		Y:   make([]float64, nl.NumCells()),
+	}
+	// Untouched cells take their clustered position directly.
+	for c := 0; c < nl.NumCells(); c++ {
+		id := cl.MacroOf[c]
+		pl.X[c] = top.X[id]
+		pl.Y[c] = top.Y[id]
+	}
+	// Each macro expands into a local square region centered on the
+	// macro position, sized so the members sit at the die's average
+	// density.
+	density := nl.TotalArea() / top.Die.Area()
+	for gi, g := range cl.Groups {
+		macro := cl.MacroStart + netlist.CellID(gi)
+		area := cl.Clustered.CellArea(macro) / density
+		half := math.Sqrt(area) / 2
+		cx, cy := top.X[macro], top.Y[macro]
+		region := Rect{
+			X0: clamp(cx-half, top.Die.X0, top.Die.X1),
+			Y0: clamp(cy-half, top.Die.Y0, top.Die.Y1),
+			X1: clamp(cx+half, top.Die.X0, top.Die.X1),
+			Y1: clamp(cy+half, top.Die.Y0, top.Die.Y1),
+		}
+		sub := opt
+		sub.Seed = opt.Seed + uint64(gi) + 1
+		subPl, err := placeSubset(nl, g, region, sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range g {
+			pl.X[c] = subPl.X[c]
+			pl.Y[c] = subPl.Y[c]
+		}
+	}
+	return pl, nil
+}
+
+// placeSubset recursively bisects just the given cells into region,
+// writing their coordinates into a full-size placement.
+func placeSubset(nl *netlist.Netlist, cells []netlist.CellID, region Rect, opt Options) (*Placement, error) {
+	opt.fill()
+	pl := &Placement{
+		Die: region,
+		X:   make([]float64, nl.NumCells()),
+		Y:   make([]float64, nl.NumCells()),
+	}
+	if region.Area() <= 0 {
+		for _, c := range cells {
+			pl.X[c] = region.X0
+			pl.Y[c] = region.Y0
+		}
+		return pl, nil
+	}
+	opt.ParallelDepth = -1 // sequential: per-group placements are small
+	var wg sync.WaitGroup
+	bisect(nl, pl, cells, region, 0, ds.NewRNG(opt.Seed+0x50f7), &opt, &wg)
+	wg.Wait()
+	return pl, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,268 @@
+// Package place provides the placement substrate for the paper's
+// congestion experiments: a Fiduccia–Mattheyses hypergraph
+// bipartitioner driving a recursive-bisection global placer, plus the
+// cell-inflation transform the paper applies to detected GTLs.
+//
+// A min-cut placer is exactly the kind of engine the paper's premise
+// assumes: it pulls highly interconnected cells together, so a GTL's
+// cells land in a tight clump and create a local routing hotspot —
+// which 4× inflation then spreads apart.
+package place
+
+import (
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// fmProblem is one bipartitioning instance over a subset of cells.
+// Cells and nets use local indices; nets with fewer than two local pins
+// are dropped (they cannot be cut inside the region).
+type fmProblem struct {
+	cells    []netlist.CellID
+	area     []float64
+	nets     [][]int32 // local pin lists
+	netOf    [][]int32 // local cell -> incident local nets
+	side     []uint8
+	cnt      [][2]int32 // per net: pins on each side
+	gain     []int32
+	locked   []bool
+	sideArea [2]float64
+	maxArea  float64 // per-side area cap
+	cut      int
+}
+
+// buildFM extracts the sub-hypergraph induced by cells (pins outside
+// the region are ignored — free terminals).
+func buildFM(nl *netlist.Netlist, cells []netlist.CellID, balanceTol float64) *fmProblem {
+	p := &fmProblem{cells: cells}
+	local := make(map[netlist.CellID]int32, len(cells))
+	for i, c := range cells {
+		local[c] = int32(i)
+	}
+	p.area = make([]float64, len(cells))
+	total := 0.0
+	for i, c := range cells {
+		p.area[i] = nl.CellArea(c)
+		total += p.area[i]
+	}
+	p.maxArea = total * (0.5 + balanceTol)
+	seen := make(map[netlist.NetID]bool)
+	p.netOf = make([][]int32, len(cells))
+	for _, c := range cells {
+		for _, n := range nl.CellPins(c) {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			var pins []int32
+			for _, other := range nl.NetPins(n) {
+				if li, ok := local[other]; ok {
+					pins = append(pins, li)
+				}
+			}
+			if len(pins) < 2 {
+				continue
+			}
+			ni := int32(len(p.nets))
+			p.nets = append(p.nets, pins)
+			for _, li := range pins {
+				p.netOf[li] = append(p.netOf[li], ni)
+			}
+		}
+	}
+	p.side = make([]uint8, len(cells))
+	p.cnt = make([][2]int32, len(p.nets))
+	p.gain = make([]int32, len(cells))
+	p.locked = make([]bool, len(cells))
+	return p
+}
+
+// randomInit assigns sides greedily in random order, always to the
+// lighter side, giving a balanced random start.
+func (p *fmProblem) randomInit(rng *ds.RNG) {
+	order := rng.Perm(len(p.cells))
+	p.sideArea = [2]float64{}
+	for _, i := range order {
+		s := 0
+		if p.sideArea[1] < p.sideArea[0] {
+			s = 1
+		}
+		p.side[i] = uint8(s)
+		p.sideArea[s] += p.area[i]
+	}
+	p.recount()
+}
+
+// recount rebuilds per-net side counts and the cut from scratch.
+func (p *fmProblem) recount() {
+	p.cut = 0
+	for ni, pins := range p.nets {
+		c := [2]int32{}
+		for _, li := range pins {
+			c[p.side[li]]++
+		}
+		p.cnt[ni] = c
+		if c[0] > 0 && c[1] > 0 {
+			p.cut++
+		}
+	}
+}
+
+// computeGains initializes the FM gain of every cell.
+func (p *fmProblem) computeGains() {
+	for i := range p.gain {
+		g := int32(0)
+		f := p.side[i]
+		t := 1 - f
+		for _, ni := range p.netOf[i] {
+			if p.cnt[ni][f] == 1 {
+				g++ // moving i uncuts the net
+			}
+			if p.cnt[ni][t] == 0 {
+				g-- // moving i cuts the net
+			}
+		}
+		p.gain[i] = g
+	}
+}
+
+// move flips cell i to the other side, updating counts, cut and the
+// gains of unlocked cells on its nets (standard FM delta rules). push
+// receives every cell whose gain changed.
+func (p *fmProblem) move(i int32, push func(cell int32)) {
+	f := p.side[i]
+	t := 1 - f
+	for _, ni := range p.netOf[i] {
+		pins := p.nets[ni]
+		// Before the move.
+		switch p.cnt[ni][t] {
+		case 0:
+			for _, d := range pins {
+				if !p.locked[d] && d != i {
+					p.gain[d]++
+					push(d)
+				}
+			}
+		case 1:
+			for _, d := range pins {
+				if !p.locked[d] && d != i && p.side[d] == t {
+					p.gain[d]--
+					push(d)
+				}
+			}
+		}
+		if p.cnt[ni][f] > 0 && p.cnt[ni][t] == 0 {
+			p.cut++ // net becomes cut
+		}
+		p.cnt[ni][f]--
+		p.cnt[ni][t]++
+		if p.cnt[ni][f] == 0 && p.cnt[ni][t] > 0 {
+			p.cut-- // net becomes uncut
+		}
+		// After the move.
+		switch p.cnt[ni][f] {
+		case 0:
+			for _, d := range pins {
+				if !p.locked[d] && d != i {
+					p.gain[d]--
+					push(d)
+				}
+			}
+		case 1:
+			for _, d := range pins {
+				if !p.locked[d] && d != i && p.side[d] == f {
+					p.gain[d]++
+					push(d)
+				}
+			}
+		}
+	}
+	p.side[i] = t
+	p.sideArea[f] -= p.area[i]
+	p.sideArea[t] += p.area[i]
+}
+
+// pass runs one FM pass: move every cell once in best-gain order,
+// remember the best prefix, roll back the rest. Returns the cut
+// improvement (>= 0).
+func (p *fmProblem) pass(rng *ds.RNG) int {
+	for i := range p.locked {
+		p.locked[i] = false
+	}
+	p.computeGains()
+	var heap ds.GainHeap
+	for i := range p.cells {
+		heap.Push(int32(i), float64(p.gain[i]), int32(rng.Intn(1<<20)))
+	}
+	push := func(c int32) {
+		heap.Push(c, float64(p.gain[c]), int32(rng.Intn(1<<20)))
+	}
+	startCut := p.cut
+	bestCut := p.cut
+	var moves []int32
+	bestPrefix := 0
+	for {
+		var pick int32 = -1
+		for {
+			c, g, _, ok := heap.Pop()
+			if !ok {
+				break
+			}
+			if p.locked[c] || float64(p.gain[c]) != g {
+				continue
+			}
+			// Balance check: the destination side must stay in bounds.
+			t := 1 - p.side[c]
+			if p.sideArea[t]+p.area[c] > p.maxArea {
+				continue // cannot move now; dropped for this pass
+			}
+			pick = c
+			break
+		}
+		if pick < 0 {
+			break
+		}
+		p.locked[pick] = true
+		p.move(pick, push)
+		moves = append(moves, pick)
+		if p.cut < bestCut {
+			bestCut = p.cut
+			bestPrefix = len(moves)
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		p.move(moves[i], func(int32) {})
+	}
+	return startCut - p.cut
+}
+
+// BipartitionResult is the outcome of one min-cut bipartitioning.
+type BipartitionResult struct {
+	Side [2][]netlist.CellID
+	Area [2]float64
+	Cut  int
+}
+
+// Bipartition splits the given cells into two area-balanced sides with
+// small hypergraph cut using FM with random initialization. balanceTol
+// is the allowed deviation from an even area split (e.g. 0.1), and
+// maxPasses bounds the FM passes (4 is plenty; passes stop early once a
+// pass yields no gain).
+func Bipartition(nl *netlist.Netlist, cells []netlist.CellID, balanceTol float64, maxPasses int, rng *ds.RNG) BipartitionResult {
+	p := buildFM(nl, cells, balanceTol)
+	p.randomInit(rng)
+	for pass := 0; pass < maxPasses; pass++ {
+		if p.pass(rng) <= 0 {
+			break
+		}
+	}
+	var res BipartitionResult
+	res.Cut = p.cut
+	res.Area = p.sideArea
+	for i, c := range cells {
+		s := p.side[i]
+		res.Side[s] = append(res.Side[s], c)
+	}
+	return res
+}

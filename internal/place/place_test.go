@@ -1,0 +1,166 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+func chainNetlist(n int) *netlist.Netlist {
+	var b netlist.Builder
+	b.AddCells(n)
+	for i := 1; i < n; i++ {
+		b.AddNet("", netlist.CellID(i-1), netlist.CellID(i))
+	}
+	return b.MustBuild()
+}
+
+func TestBipartitionBalanced(t *testing.T) {
+	nl := chainNetlist(1000)
+	cells := make([]netlist.CellID, nl.NumCells())
+	for i := range cells {
+		cells[i] = netlist.CellID(i)
+	}
+	res := Bipartition(nl, cells, 0.1, 4, ds.NewRNG(1))
+	total := res.Area[0] + res.Area[1]
+	if res.Area[0] < 0.4*total || res.Area[0] > 0.6*total {
+		t.Errorf("unbalanced: %v of %v", res.Area[0], total)
+	}
+	if len(res.Side[0])+len(res.Side[1]) != 1000 {
+		t.Fatalf("lost cells: %d + %d", len(res.Side[0]), len(res.Side[1]))
+	}
+	// A chain has a 1-net min bisection; FM from random start should
+	// get close. Random splits cut ~500.
+	if res.Cut > 60 {
+		t.Errorf("chain cut = %d, want near-optimal (< 60)", res.Cut)
+	}
+}
+
+func TestBipartitionRespectsCutCount(t *testing.T) {
+	// Two 100-cell cliques joined by one net: optimal cut is 1 and FM
+	// must find it.
+	var b netlist.Builder
+	b.AddCells(200)
+	for g := 0; g < 2; g++ {
+		base := netlist.CellID(g * 100)
+		for i := 0; i < 99; i++ {
+			b.AddNet("", base+netlist.CellID(i), base+netlist.CellID(i+1))
+			b.AddNet("", base+netlist.CellID(i), base+netlist.CellID((i+37)%100))
+		}
+	}
+	b.AddNet("", 0, 100)
+	nl := b.MustBuild()
+	cells := make([]netlist.CellID, 200)
+	for i := range cells {
+		cells[i] = netlist.CellID(i)
+	}
+	res := Bipartition(nl, cells, 0.1, 8, ds.NewRNG(3))
+	if res.Cut != 1 {
+		t.Errorf("two-clique cut = %d, want 1", res.Cut)
+	}
+}
+
+func TestPlaceBasics(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(rg.Netlist, Rect{}, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cell inside the die.
+	for c := 0; c < rg.Netlist.NumCells(); c++ {
+		if pl.X[c] < pl.Die.X0 || pl.X[c] > pl.Die.X1 || pl.Y[c] < pl.Die.Y0 || pl.Y[c] > pl.Die.Y1 {
+			t.Fatalf("cell %d at (%v,%v) outside die %+v", c, pl.X[c], pl.Y[c], pl.Die)
+		}
+	}
+	// Min-cut placement must beat random placement on HPWL by a wide
+	// margin.
+	rng := ds.NewRNG(9)
+	rand := &Placement{Die: pl.Die, X: make([]float64, 2000), Y: make([]float64, 2000)}
+	for c := range rand.X {
+		rand.X[c] = pl.Die.X0 + rng.Float64()*pl.Die.W()
+		rand.Y[c] = pl.Die.Y0 + rng.Float64()*pl.Die.H()
+	}
+	got, base := HPWL(rg.Netlist, pl), HPWL(rg.Netlist, rand)
+	t.Logf("HPWL placed=%.0f random=%.0f ratio=%.2f", got, base, got/base)
+	if got > 0.7*base {
+		t.Errorf("placed HPWL %.0f not clearly better than random %.0f", got, base)
+	}
+}
+
+func TestPlacerClustersGTL(t *testing.T) {
+	// The paper's premise: a placer pulls a tangled block's cells into
+	// a tight clump. Check the block's spatial spread is far below the
+	// die size.
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  8000,
+		Blocks: []generate.BlockSpec{{Size: 800}},
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(rg.Netlist, Rect{}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := groupStddev(pl, rg.Blocks[0])
+	die := pl.Die.W()
+	t.Logf("block stddev=%.1f die=%.1f ratio=%.3f", spread, die, spread/die)
+	// A uniformly scattered 10% subset would have stddev ≈ 0.29·die.
+	if spread > 0.2*die {
+		t.Errorf("block spread %.1f of die %.1f; placer did not cluster it", spread, die)
+	}
+}
+
+func groupStddev(pl *Placement, cells []netlist.CellID) float64 {
+	mx, my := 0.0, 0.0
+	for _, c := range cells {
+		mx += pl.X[c]
+		my += pl.Y[c]
+	}
+	mx /= float64(len(cells))
+	my /= float64(len(cells))
+	v := 0.0
+	for _, c := range cells {
+		dx, dy := pl.X[c]-mx, pl.Y[c]-my
+		v += dx*dx + dy*dy
+	}
+	return math.Sqrt(v / float64(len(cells)))
+}
+
+func TestInflate(t *testing.T) {
+	nl := chainNetlist(100)
+	inflated, err := Inflate(nl, [][]netlist.CellID{{1, 2, 3}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inflated.CellArea(2); got != 4 {
+		t.Errorf("inflated area = %v, want 4", got)
+	}
+	if got := inflated.CellArea(50); got != 1 {
+		t.Errorf("untouched area = %v, want 1", got)
+	}
+	if nl.CellArea(2) != 1 {
+		t.Error("Inflate mutated the original netlist")
+	}
+	if _, err := Inflate(nl, nil, -1); err == nil {
+		t.Error("expected error for negative factor")
+	}
+}
+
+func TestHPWLKnownValue(t *testing.T) {
+	var b netlist.Builder
+	b.AddCells(3)
+	b.AddNet("", 0, 1, 2)
+	nl := b.MustBuild()
+	pl := &Placement{Die: Rect{0, 0, 10, 10}, X: []float64{0, 4, 10}, Y: []float64{0, 8, 2}}
+	if got := HPWL(nl, pl); got != 18 {
+		t.Errorf("HPWL = %v, want 18 (10 wide + 8 tall)", got)
+	}
+}

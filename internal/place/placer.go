@@ -1,0 +1,201 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/netlist"
+)
+
+// Rect is an axis-aligned placement region.
+type Rect struct{ X0, Y0, X1, Y1 float64 }
+
+// W returns the rectangle width.
+func (r Rect) W() float64 { return r.X1 - r.X0 }
+
+// H returns the rectangle height.
+func (r Rect) H() float64 { return r.Y1 - r.Y0 }
+
+// Area returns the rectangle area.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Placement maps every cell to a die coordinate.
+type Placement struct {
+	Die  Rect
+	X, Y []float64 // indexed by CellID
+}
+
+// Options configures the recursive-bisection placer.
+type Options struct {
+	// LeafSize stops recursion when a region holds this many cells or
+	// fewer (0 means 12).
+	LeafSize int
+	// BalanceTol is the FM area-balance tolerance (0 means 0.1).
+	BalanceTol float64
+	// MaxPasses bounds FM passes per bisection (0 means 4).
+	MaxPasses int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+	// Parallel recursion depth: levels at or above this spawn
+	// goroutines (0 means 4; negative disables parallelism).
+	ParallelDepth int
+}
+
+func (o *Options) fill() {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 12
+	}
+	if o.BalanceTol <= 0 {
+		o.BalanceTol = 0.1
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 4
+	}
+	if o.ParallelDepth == 0 {
+		o.ParallelDepth = 4
+	}
+}
+
+// Place runs recursive min-cut bisection of the whole netlist into the
+// die and returns cell coordinates. The die is sized to the total cell
+// area at the given utilization when die.Area() is zero.
+func Place(nl *netlist.Netlist, die Rect, opt Options) (*Placement, error) {
+	if nl.NumCells() == 0 {
+		return nil, fmt.Errorf("place: empty netlist")
+	}
+	opt.fill()
+	if die.Area() <= 0 {
+		side := math.Sqrt(nl.TotalArea() / 0.8) // 80% utilization square die
+		die = Rect{0, 0, side, side}
+	}
+	pl := &Placement{
+		Die: die,
+		X:   make([]float64, nl.NumCells()),
+		Y:   make([]float64, nl.NumCells()),
+	}
+	cells := make([]netlist.CellID, nl.NumCells())
+	for i := range cells {
+		cells[i] = netlist.CellID(i)
+	}
+	var wg sync.WaitGroup
+	bisect(nl, pl, cells, die, 0, ds.NewRNG(opt.Seed+0x91ace), &opt, &wg)
+	wg.Wait()
+	return pl, nil
+}
+
+// bisect recursively splits region contents; disjoint cell sets make
+// the goroutine fan-out race-free, and per-branch split RNGs keep the
+// result independent of scheduling.
+func bisect(nl *netlist.Netlist, pl *Placement, cells []netlist.CellID, region Rect, depth int, rng *ds.RNG, opt *Options, wg *sync.WaitGroup) {
+	if len(cells) <= opt.LeafSize {
+		placeLeaf(nl, pl, cells, region)
+		return
+	}
+	res := Bipartition(nl, cells, opt.BalanceTol, opt.MaxPasses, rng)
+	if len(res.Side[0]) == 0 || len(res.Side[1]) == 0 {
+		placeLeaf(nl, pl, cells, region) // degenerate split; stop here
+		return
+	}
+	frac := res.Area[0] / (res.Area[0] + res.Area[1])
+	var r0, r1 Rect
+	if region.W() >= region.H() {
+		mid := region.X0 + frac*region.W()
+		r0 = Rect{region.X0, region.Y0, mid, region.Y1}
+		r1 = Rect{mid, region.Y0, region.X1, region.Y1}
+	} else {
+		mid := region.Y0 + frac*region.H()
+		r0 = Rect{region.X0, region.Y0, region.X1, mid}
+		r1 = Rect{region.X0, mid, region.X1, region.Y1}
+	}
+	rng0, rng1 := rng.Split(), rng.Split()
+	if depth < opt.ParallelDepth && opt.ParallelDepth > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bisect(nl, pl, res.Side[0], r0, depth+1, rng0, opt, wg)
+		}()
+		bisect(nl, pl, res.Side[1], r1, depth+1, rng1, opt, wg)
+		return
+	}
+	bisect(nl, pl, res.Side[0], r0, depth+1, rng0, opt, wg)
+	bisect(nl, pl, res.Side[1], r1, depth+1, rng1, opt, wg)
+}
+
+// placeLeaf spreads a handful of cells over their region on an
+// area-weighted row grid — a stand-in for detailed placement that keeps
+// density roughly uniform even after inflation.
+func placeLeaf(nl *netlist.Netlist, pl *Placement, cells []netlist.CellID, region Rect) {
+	if len(cells) == 0 {
+		return
+	}
+	sorted := make([]netlist.CellID, len(cells))
+	copy(sorted, cells)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	total := 0.0
+	for _, c := range sorted {
+		total += nl.CellArea(c)
+	}
+	rows := int(math.Ceil(math.Sqrt(float64(len(sorted)))))
+	perRow := (len(sorted) + rows - 1) / rows
+	i := 0
+	for r := 0; r < rows && i < len(sorted); r++ {
+		y := region.Y0 + (float64(r)+0.5)*region.H()/float64(rows)
+		rowCells := sorted[i:min(i+perRow, len(sorted))]
+		rowArea := 0.0
+		for _, c := range rowCells {
+			rowArea += nl.CellArea(c)
+		}
+		acc := 0.0
+		for _, c := range rowCells {
+			a := nl.CellArea(c)
+			x := region.X0 + (acc+a/2)/rowArea*region.W()
+			pl.X[c] = x
+			pl.Y[c] = y
+			acc += a
+		}
+		i += perRow
+	}
+}
+
+// HPWL returns the half-perimeter wirelength of the placement.
+func HPWL(nl *netlist.Netlist, pl *Placement) float64 {
+	total := 0.0
+	for n := 0; n < nl.NumNets(); n++ {
+		pins := nl.NetPins(netlist.NetID(n))
+		if len(pins) < 2 {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, c := range pins {
+			minX = math.Min(minX, pl.X[c])
+			maxX = math.Max(maxX, pl.X[c])
+			minY = math.Min(minY, pl.Y[c])
+			maxY = math.Max(maxY, pl.Y[c])
+		}
+		total += (maxX - minX) + (maxY - minY)
+	}
+	return total
+}
+
+// Inflate returns a copy of nl whose cells in each of the given groups
+// have their area multiplied by factor — the paper's congestion
+// mitigation (it inflates GTL cells 4×, then re-places).
+func Inflate(nl *netlist.Netlist, groups [][]netlist.CellID, factor float64) (*netlist.Netlist, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("place: inflation factor must be positive, got %v", factor)
+	}
+	area := make([]float64, nl.NumCells())
+	for c := range area {
+		area[c] = nl.CellArea(netlist.CellID(c))
+	}
+	for _, g := range groups {
+		for _, c := range g {
+			area[c] = nl.CellArea(c) * factor
+		}
+	}
+	return nl.WithAreas(area)
+}

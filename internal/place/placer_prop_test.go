@@ -1,0 +1,125 @@
+package place
+
+import (
+	"testing"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+// TestPlacementDensityUniform: recursive bisection with proportional
+// region splitting must spread area roughly evenly — no quadrant of the
+// die should hold more than ~2x the area of another.
+func TestPlacementDensityUniform(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  4000,
+		Blocks: []generate.BlockSpec{{Size: 400}},
+		Seed:   31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(rg.Netlist, Rect{}, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad := [4]float64{}
+	midX := (pl.Die.X0 + pl.Die.X1) / 2
+	midY := (pl.Die.Y0 + pl.Die.Y1) / 2
+	for c := 0; c < rg.Netlist.NumCells(); c++ {
+		q := 0
+		if pl.X[c] >= midX {
+			q |= 1
+		}
+		if pl.Y[c] >= midY {
+			q |= 2
+		}
+		quad[q] += rg.Netlist.CellArea(netlist.CellID(c))
+	}
+	minQ, maxQ := quad[0], quad[0]
+	for _, a := range quad[1:] {
+		if a < minQ {
+			minQ = a
+		}
+		if a > maxQ {
+			maxQ = a
+		}
+	}
+	t.Logf("quadrant areas: %v", quad)
+	if maxQ > 2*minQ {
+		t.Errorf("density skew: quadrants %v", quad)
+	}
+}
+
+// TestInflatedPlacementSpreadsGroup: after 4x inflation the group must
+// occupy a visibly larger footprint than before (that is the entire
+// mechanism of the paper's mitigation).
+func TestInflatedPlacementSpreadsGroup(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []generate.BlockSpec{{Size: 600}},
+		Seed:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Place(rg.Netlist, Rect{}, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := Inflate(rg.Netlist, rg.Blocks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infPl, err := Place(inflated, Rect{}, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := groupStddev(flat, rg.Blocks[0]) / flat.Die.W()
+	after := groupStddev(infPl, rg.Blocks[0]) / infPl.Die.W()
+	t.Logf("relative spread before=%.3f after=%.3f", before, after)
+	if after <= before*1.2 {
+		t.Errorf("inflation did not spread the group: %.3f -> %.3f (die-relative)", before, after)
+	}
+}
+
+// TestPlaceDeterministicAcrossParallelism: identical seeds must give
+// identical placements no matter the goroutine fan-out.
+func TestPlaceDeterministicAcrossParallelism(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Place(rg.Netlist, Rect{}, Options{Seed: 5, ParallelDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(rg.Netlist, Rect{}, Options{Seed: 5, ParallelDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.X {
+		if a.X[c] != b.X[c] || a.Y[c] != b.Y[c] {
+			t.Fatalf("cell %d differs: (%v,%v) vs (%v,%v)", c, a.X[c], a.Y[c], b.X[c], b.Y[c])
+		}
+	}
+}
+
+func TestBipartitionDegenerateInputs(t *testing.T) {
+	var b netlist.Builder
+	b.AddCells(2)
+	b.AddNet("", 0, 1)
+	nl := b.MustBuild()
+	res := Bipartition(nl, []netlist.CellID{0, 1}, 0.1, 4, newTestRNG())
+	if len(res.Side[0])+len(res.Side[1]) != 2 {
+		t.Fatal("lost cells on 2-cell input")
+	}
+	// Single cell: everything on one side, no cut.
+	res = Bipartition(nl, []netlist.CellID{0}, 0.1, 4, newTestRNG())
+	if res.Cut != 0 {
+		t.Errorf("1-cell cut = %d", res.Cut)
+	}
+}
+
+func newTestRNG() *ds.RNG { return ds.NewRNG(99) }

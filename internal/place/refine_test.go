@@ -1,0 +1,64 @@
+package place
+
+import (
+	"testing"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/generate"
+)
+
+func TestRefineGreedyNeverWorsens(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 1500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(rg.Netlist, Rect{}, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := HPWL(rg.Netlist, pl)
+	swaps := RefineGreedy(rg.Netlist, pl, 5000, 3)
+	after := HPWL(rg.Netlist, pl)
+	t.Logf("HPWL %.0f -> %.0f (%d swaps accepted)", before, after, swaps)
+	if after > before+1e-9 {
+		t.Errorf("refinement worsened HPWL: %.0f -> %.0f", before, after)
+	}
+}
+
+func TestRefineGreedyImprovesRandomPlacement(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 800, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ds.NewRNG(11)
+	pl := &Placement{
+		Die: Rect{X0: 0, Y0: 0, X1: 100, Y1: 100},
+		X:   make([]float64, 800),
+		Y:   make([]float64, 800),
+	}
+	for c := range pl.X {
+		pl.X[c] = rng.Float64() * 100
+		pl.Y[c] = rng.Float64() * 100
+	}
+	before := HPWL(rg.Netlist, pl)
+	swaps := RefineGreedy(rg.Netlist, pl, 20000, 3)
+	after := HPWL(rg.Netlist, pl)
+	t.Logf("random placement HPWL %.0f -> %.0f (%d swaps)", before, after, swaps)
+	if swaps == 0 {
+		t.Error("no swaps accepted on a random placement")
+	}
+	if after >= 0.98*before {
+		t.Errorf("refinement barely improved a random placement: %.0f -> %.0f", before, after)
+	}
+}
+
+func TestRefineGreedyDegenerate(t *testing.T) {
+	rg, _ := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 10, Seed: 1})
+	pl, err := Place(rg.Netlist, Rect{}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RefineGreedy(rg.Netlist, pl, 0, 1); got != 0 {
+		t.Errorf("rounds=0 accepted %d swaps", got)
+	}
+}

@@ -1,0 +1,90 @@
+// Package report formats fixed-width text tables in the style of the
+// paper's result tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmtFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func fmtFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1f", x)
+	case x >= 0.01:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("My title", "Name", "Count", "Score")
+	tbl.Row("alpha", 3, 0.12345)
+	tbl.Row("a-much-longer-name", 12345, 1234.5)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "My title" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.Contains(lines[1], "Score") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns aligned: "Count" column starts at the same offset in
+	// every row.
+	idx := strings.Index(lines[1], "Count")
+	for _, row := range lines[3:] {
+		if len(row) <= idx {
+			t.Fatalf("short row %q", row)
+		}
+	}
+	if !strings.Contains(out, "0.123") {
+		t.Errorf("float formatting lost: %s", out)
+	}
+	if !strings.Contains(out, "1234") {
+		t.Errorf("large float formatting lost: %s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		42.5:    "42.5",
+		0.5:     "0.500",
+		0.00123: "0.0012",
+	}
+	for in, want := range cases {
+		if got := fmtFloat(in); got != want {
+			t.Errorf("fmtFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package resynth implements the paper's logic re-synthesis
+// application: "prior to placement, a GTL could be resynthesized or
+// re-instantiated to utilize more area, but less interconnect, thereby
+// reducing potential hotspots."
+//
+// Synthesis packs function into complex gates (NAND4, AOI, OAI) because
+// they give the most function per unit area; that is exactly what makes
+// GTLs pin-dense and hard to route. Decompose reverses the trade: every
+// complex gate in a GTL is re-instantiated as a tree of simple 2-3 pin
+// gates. Cell count and area go up a little, but the per-cell pin
+// density — the driver of local routing demand — goes down, and the
+// placer can spread the structure naturally.
+package resynth
+
+import (
+	"fmt"
+
+	"tanglefind/internal/netlist"
+)
+
+// Result describes a decomposition.
+type Result struct {
+	// Netlist is the resynthesized netlist. Cells 0..orig-1 correspond
+	// 1:1 to the original cells; decomposition cells follow.
+	Netlist *netlist.Netlist
+	// Groups maps each input group to its cells in the new netlist
+	// (original members plus the decomposition cells created inside).
+	Groups [][]netlist.CellID
+	// CellsAdded counts the new simple gates.
+	CellsAdded int
+}
+
+// Decompose re-instantiates every cell of the given groups whose pin
+// count exceeds maxPins (use 3 for 2-3 pin simple-gate libraries) as a
+// chain of simple gates: the original cell keeps maxPins of its nets
+// and each extra gate takes up to maxPins-1 more, linked by new 2-pin
+// internal nets. Cells outside the groups are untouched.
+func Decompose(nl *netlist.Netlist, groups [][]netlist.CellID, maxPins int) (*Result, error) {
+	if maxPins < 2 {
+		return nil, fmt.Errorf("resynth: maxPins must be >= 2, got %d", maxPins)
+	}
+	inGroup := make([]int32, nl.NumCells())
+	for i := range inGroup {
+		inGroup[i] = -1
+	}
+	for gi, g := range groups {
+		for _, c := range g {
+			if inGroup[c] != -1 && inGroup[c] != int32(gi) {
+				return nil, fmt.Errorf("resynth: cell %d in multiple groups", c)
+			}
+			inGroup[c] = int32(gi)
+		}
+	}
+
+	var b netlist.Builder
+	for c := 0; c < nl.NumCells(); c++ {
+		id := b.AddCell(nl.CellName(netlist.CellID(c)))
+		b.SetCellArea(id, nl.CellArea(netlist.CellID(c)))
+	}
+
+	// netPins accumulates the final pin list of each original net; a
+	// decomposed cell's pin on a net is re-pointed at the chain gate
+	// that took that net over.
+	netPins := make([][]netlist.CellID, nl.NumNets())
+	for n := 0; n < nl.NumNets(); n++ {
+		netPins[n] = append(netPins[n], nl.NetPins(netlist.NetID(n))...)
+	}
+	repoint := func(n netlist.NetID, from, to netlist.CellID) {
+		pins := netPins[n]
+		for i, c := range pins {
+			if c == from {
+				pins[i] = to
+				return
+			}
+		}
+	}
+
+	out := &Result{Groups: make([][]netlist.CellID, len(groups))}
+	for gi, g := range groups {
+		out.Groups[gi] = append(out.Groups[gi], g...)
+	}
+	for c := 0; c < nl.NumCells(); c++ {
+		gi := inGroup[c]
+		if gi < 0 {
+			continue
+		}
+		nets := nl.CellPins(netlist.CellID(c))
+		if len(nets) <= maxPins {
+			continue
+		}
+		// The original keeps its first maxPins-1 nets plus a link to
+		// the chain; each chain gate takes maxPins-1 nets and links on.
+		remaining := nets[maxPins-1:]
+		prev := netlist.CellID(c)
+		for len(remaining) > 0 {
+			// The last chain gate has one link; middle gates have two,
+			// so they take one net fewer to stay at maxPins pins.
+			take := maxPins - 1
+			if len(remaining) > take {
+				take = maxPins - 2
+			}
+			if take < 1 {
+				take = 1
+			}
+			if take > len(remaining) {
+				take = len(remaining)
+			}
+			g := b.AddCell(fmt.Sprintf("%s_rs%d", nl.CellName(netlist.CellID(c)), len(out.Groups[gi])))
+			b.SetCellArea(g, nl.CellArea(netlist.CellID(c))*0.6) // simple gates are smaller
+			out.CellsAdded++
+			out.Groups[gi] = append(out.Groups[gi], g)
+			for _, n := range remaining[:take] {
+				repoint(n, netlist.CellID(c), g)
+			}
+			// New internal wire linking the chain.
+			b.AddNet("", prev, g)
+			prev = g
+			remaining = remaining[take:]
+		}
+	}
+	b.DropDegenerateNets = true
+	for n := 0; n < nl.NumNets(); n++ {
+		b.AddNet(nl.NetName(netlist.NetID(n)), netPins[n]...)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	out.Netlist = built
+	return out, nil
+}

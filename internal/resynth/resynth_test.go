@@ -1,0 +1,119 @@
+package resynth
+
+import (
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+func TestDecomposeSimpleCell(t *testing.T) {
+	// One 6-pin cell in the group, chained into 3-pin gates.
+	var b netlist.Builder
+	hub := b.AddCell("hub")
+	others := b.AddCells(6)
+	for i := 0; i < 6; i++ {
+		b.AddNet("", hub, others+netlist.CellID(i))
+	}
+	nl := b.MustBuild()
+	res, err := Decompose(nl, [][]netlist.CellID{{hub}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Netlist
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsAdded == 0 {
+		t.Fatal("no cells added")
+	}
+	// Every cell of the decomposed group obeys the pin budget.
+	for _, c := range res.Groups[0] {
+		if d := out.CellDegree(c); d > 3 {
+			t.Errorf("cell %d has %d pins, budget 3", c, d)
+		}
+	}
+	// Original connectivity preserved: each original net still has 2
+	// pins and reaches the chain.
+	for n := 0; n < 6; n++ {
+		if out.NetSize(netlist.NetID(n)) != 2 {
+			t.Errorf("net %d size = %d, want 2", n, out.NetSize(netlist.NetID(n)))
+		}
+	}
+}
+
+func TestDecomposeLowersDensity(t *testing.T) {
+	f := generate.DissolvedROM(800, 30, 4)
+	nl, err := generate.BuildStandalone(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := make([]netlist.CellID, nl.NumCells())
+	for i := range group {
+		group[i] = netlist.CellID(i)
+	}
+	before := nl.AvgPins()
+	res, err := Decompose(nl, [][]netlist.CellID{group}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Netlist
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pin density of the resynthesized group must drop and area rise.
+	pins := 0
+	for _, c := range res.Groups[0] {
+		pins += out.CellDegree(c)
+	}
+	after := float64(pins) / float64(len(res.Groups[0]))
+	t.Logf("density %.2f -> %.2f pins/cell, +%d cells", before, after, res.CellsAdded)
+	if after >= before-0.5 {
+		t.Errorf("density barely moved: %.2f -> %.2f", before, after)
+	}
+	if out.TotalArea() <= nl.TotalArea() {
+		t.Error("area should grow after decomposition")
+	}
+	maxDeg := 0
+	for _, c := range res.Groups[0] {
+		if d := out.CellDegree(c); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 3 {
+		t.Errorf("max degree after decomposition = %d, want <= 3", maxDeg)
+	}
+}
+
+func TestDecomposeUntouchedOutsideGroups(t *testing.T) {
+	var b netlist.Builder
+	big := b.AddCell("big")
+	others := b.AddCells(5)
+	for i := 0; i < 5; i++ {
+		b.AddNet("", big, others+netlist.CellID(i))
+	}
+	nl := b.MustBuild()
+	res, err := Decompose(nl, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsAdded != 0 {
+		t.Error("cells outside groups were decomposed")
+	}
+	if res.Netlist.CellDegree(big) != 5 {
+		t.Error("outside cell's pins changed")
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	var b netlist.Builder
+	b.AddCells(3)
+	b.AddNet("", 0, 1)
+	nl := b.MustBuild()
+	if _, err := Decompose(nl, nil, 1); err == nil {
+		t.Error("maxPins=1 accepted")
+	}
+	if _, err := Decompose(nl, [][]netlist.CellID{{0}, {0}}, 3); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+)
+
+func lrouteFixture(xs, ys []float64, nets [][]netlist.CellID) (*netlist.Netlist, *place.Placement) {
+	var b netlist.Builder
+	b.AddCells(len(xs))
+	for _, n := range nets {
+		b.AddNet("", n...)
+	}
+	return b.MustBuild(), &place.Placement{
+		Die: place.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100},
+		X:   xs, Y: ys,
+	}
+}
+
+func TestLRouteStraightNet(t *testing.T) {
+	// Horizontal 2-pin net: every tile along its row gets 1 horizontal
+	// track, nothing vertical anywhere else.
+	nl, pl := lrouteFixture(
+		[]float64{5, 95},
+		[]float64{55, 55},
+		[][]netlist.CellID{{0, 1}},
+	)
+	m, err := EstimateLRoute(nl, pl, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 5 // y=55 -> tile 5
+	for x := 0; x < 10; x++ {
+		if got := m.At(x, row); got != 1 {
+			t.Errorf("tile (%d,%d) demand = %v, want 1", x, row, got)
+		}
+	}
+	total := 0.0
+	for _, d := range m.Demand {
+		total += d
+	}
+	if total != 10 {
+		t.Errorf("total demand = %v, want 10 (row only)", total)
+	}
+}
+
+func TestLRouteSplitsLs(t *testing.T) {
+	// Diagonal 2-pin net: both L routes get weight 0.5; the two bend
+	// tiles see max(h,v)=0.5 each, corner tiles at the pins see both a
+	// 0.5 horizontal and a 0.5 vertical -> max 0.5.
+	nl, pl := lrouteFixture(
+		[]float64{5, 95},
+		[]float64{5, 95},
+		[][]netlist.CellID{{0, 1}},
+	)
+	m, err := EstimateLRoute(nl, pl, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal demand on row 0 and row 9 must each be 0.5 per tile.
+	if got := m.At(5, 0); got != 0.5 {
+		t.Errorf("lower-L mid tile = %v, want 0.5", got)
+	}
+	if got := m.At(5, 9); got != 0.5 {
+		t.Errorf("upper-L mid tile = %v, want 0.5", got)
+	}
+	// Nothing in the interior.
+	if got := m.At(5, 5); got != 0 {
+		t.Errorf("interior tile = %v, want 0", got)
+	}
+}
+
+func TestMSTSegmentsCollinear(t *testing.T) {
+	// Three collinear pins: the MST must chain adjacent pins, not
+	// create a long redundant segment.
+	nl, pl := lrouteFixture(
+		[]float64{10, 50, 90},
+		[]float64{50, 50, 50},
+		[][]netlist.CellID{{0, 1, 2}},
+	)
+	segs := mstSegments(nl, pl, nl.NetPins(0))
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	totalLen := 0.0
+	for _, s := range segs {
+		totalLen += math.Abs(pl.X[s[0]] - pl.X[s[1]])
+	}
+	if totalLen != 80 {
+		t.Errorf("MST length = %v, want 80 (10-50 + 50-90)", totalLen)
+	}
+}
+
+func TestMSTWirelengthVsHPWL(t *testing.T) {
+	// For 2-pin nets MST == HPWL; for multi-pin nets MST >= HPWL.
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(rg.Netlist, place.Rect{}, place.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst := MSTWirelength(rg.Netlist, pl)
+	hp := place.HPWL(rg.Netlist, pl)
+	if mst < hp {
+		t.Errorf("MST %v < HPWL %v; MST must dominate", mst, hp)
+	}
+	if mst > 2*hp {
+		t.Errorf("MST %v > 2x HPWL %v; decomposition looks broken", mst, hp)
+	}
+}
+
+// TestLRouteAgreesWithRUDYOnHotspot: both models must see elevated
+// demand where the placer clumps a tangled block.
+func TestLRouteAgreesWithRUDYOnHotspot(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []generate.BlockSpec{{Size: 900, InternalPins: 6}},
+		Seed:   19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(rg.Netlist, place.Rect{}, place.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid = 24
+	rudy, err := Estimate(rg.Netlist, pl, grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := EstimateLRoute(rg.Netlist, pl, grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlate the two demand fields: the hotspot structure must make
+	// them strongly positively correlated.
+	corr := pearson(rudy.Demand, lr.Demand)
+	t.Logf("RUDY/L-route demand correlation = %.3f", corr)
+	if corr < 0.6 {
+		t.Errorf("models disagree: correlation %.3f", corr)
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	num := sab - sa*sb/n
+	den := math.Sqrt((saa - sa*sa/n) * (sbb - sb*sb/n))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TestInflationHoldsUnderLRoute cross-checks the §5.1.3 result with the
+// second congestion model: inflation must reduce L-routing overflow
+// too, not just RUDY's.
+func TestInflationHoldsUnderLRoute(t *testing.T) {
+	d, err := generate.NewIndustrialProxy(0.02, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := d.Netlist
+	pl, err := place.Place(nl, place.Rect{}, place.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid = 48
+	before, err := EstimateLRoute(nl, pl, grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before.SetCapacityRelative(1.25)
+	stBefore := ComputeStats(nl, pl, before)
+
+	inflated, err := place.Inflate(nl, d.Structures, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := place.Place(inflated, place.Rect{}, place.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := EstimateLRoute(inflated, pl2, grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L-route demand counts wires per tile; tiles are larger on the
+	// inflated die, so scale supply with tile width (tracks scale
+	// linearly, not with area).
+	after.Capacity = before.Capacity * (after.Die.W() / float64(after.W)) /
+		(before.Die.W() / float64(before.W))
+	stAfter := ComputeStats(inflated, pl2, after)
+	t.Logf("L-route before: >=100%%=%d worst20=%.2f; after: >=100%%=%d worst20=%.2f",
+		stBefore.NetsThrough100, stBefore.AvgWorst20, stAfter.NetsThrough100, stAfter.AvgWorst20)
+	if stBefore.NetsThrough100 == 0 {
+		t.Fatal("baseline has no L-route overflow; vacuous")
+	}
+	if stAfter.NetsThrough100 >= stBefore.NetsThrough100 {
+		t.Errorf("inflation did not reduce L-route overflow: %d -> %d",
+			stBefore.NetsThrough100, stAfter.NetsThrough100)
+	}
+}

@@ -1,0 +1,215 @@
+// Package route estimates routing congestion over a placed netlist
+// with the RUDY model (Rectangular Uniform wire DensitY): each net
+// spreads a wiring demand of (w+h)/(w·h) uniformly over its bounding
+// box. RUDY is the standard fast congestion predictor in placement
+// literature, and it responds to exactly the phenomenon the paper
+// exploits — dense clumps of interconnected cells create local demand
+// spikes — so it reproduces the Figure 1 / Figure 7 before/after
+// comparison without a full global router.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+)
+
+// Map is a congestion map over a uniform tile grid.
+type Map struct {
+	W, H     int
+	Die      place.Rect
+	Demand   []float64 // row-major demand per tile
+	Capacity float64   // routing supply per tile (same unit as Demand)
+}
+
+// At returns the demand at tile (x, y).
+func (m *Map) At(x, y int) float64 { return m.Demand[y*m.W+x] }
+
+// Congestion returns demand/capacity at tile (x, y).
+func (m *Map) Congestion(x, y int) float64 { return m.Demand[y*m.W+x] / m.Capacity }
+
+// MaxCongestion returns the most congested tile's utilization.
+func (m *Map) MaxCongestion() float64 {
+	worst := 0.0
+	for _, d := range m.Demand {
+		if c := d / m.Capacity; c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// MeanDemand returns the average tile demand.
+func (m *Map) MeanDemand() float64 {
+	sum := 0.0
+	for _, d := range m.Demand {
+		sum += d
+	}
+	return sum / float64(len(m.Demand))
+}
+
+// Estimate builds the RUDY congestion map on a gridW×gridH tile grid.
+// Capacity is left at zero; callers fix it with SetCapacityRelative or
+// by assigning Capacity directly (the before/after experiment must use
+// one capacity for both maps).
+func Estimate(nl *netlist.Netlist, pl *place.Placement, gridW, gridH int) (*Map, error) {
+	if gridW < 1 || gridH < 1 {
+		return nil, fmt.Errorf("route: invalid grid %dx%d", gridW, gridH)
+	}
+	m := &Map{W: gridW, H: gridH, Die: pl.Die, Demand: make([]float64, gridW*gridH)}
+	binW := pl.Die.W() / float64(gridW)
+	binH := pl.Die.H() / float64(gridH)
+	for n := 0; n < nl.NumNets(); n++ {
+		bbox, ok := netBBox(nl, pl, netlist.NetID(n))
+		if !ok {
+			continue
+		}
+		// Degenerate boxes still consume local routing: pad to one
+		// tile pitch so short nets register demand where they sit.
+		if bbox.X1-bbox.X0 < binW {
+			cx := (bbox.X0 + bbox.X1) / 2
+			bbox.X0, bbox.X1 = cx-binW/2, cx+binW/2
+		}
+		if bbox.Y1-bbox.Y0 < binH {
+			cy := (bbox.Y0 + bbox.Y1) / 2
+			bbox.Y0, bbox.Y1 = cy-binH/2, cy+binH/2
+		}
+		w, h := bbox.X1-bbox.X0, bbox.Y1-bbox.Y0
+		density := (w + h) / (w * h) // RUDY: wirelength per unit area
+		x0, x1 := tileRange(bbox.X0, bbox.X1, pl.Die.X0, binW, gridW)
+		y0, y1 := tileRange(bbox.Y0, bbox.Y1, pl.Die.Y0, binH, gridH)
+		for ty := y0; ty <= y1; ty++ {
+			rowY0 := pl.Die.Y0 + float64(ty)*binH
+			overlapY := overlap(bbox.Y0, bbox.Y1, rowY0, rowY0+binH)
+			for tx := x0; tx <= x1; tx++ {
+				colX0 := pl.Die.X0 + float64(tx)*binW
+				overlapX := overlap(bbox.X0, bbox.X1, colX0, colX0+binW)
+				m.Demand[ty*gridW+tx] += density * overlapX * overlapY
+			}
+		}
+	}
+	return m, nil
+}
+
+// SetCapacityRelative fixes the tile capacity at factor × the map's
+// mean demand — e.g. 1.2 models a design routed with modest headroom,
+// so demand spikes above ~120% of average become overflows.
+func (m *Map) SetCapacityRelative(factor float64) {
+	m.Capacity = factor * m.MeanDemand()
+	if m.Capacity <= 0 {
+		m.Capacity = 1
+	}
+}
+
+func netBBox(nl *netlist.Netlist, pl *place.Placement, n netlist.NetID) (place.Rect, bool) {
+	pins := nl.NetPins(n)
+	if len(pins) < 2 {
+		return place.Rect{}, false
+	}
+	r := place.Rect{X0: math.Inf(1), Y0: math.Inf(1), X1: math.Inf(-1), Y1: math.Inf(-1)}
+	for _, c := range pins {
+		r.X0 = math.Min(r.X0, pl.X[c])
+		r.X1 = math.Max(r.X1, pl.X[c])
+		r.Y0 = math.Min(r.Y0, pl.Y[c])
+		r.Y1 = math.Max(r.Y1, pl.Y[c])
+	}
+	return r, true
+}
+
+func tileRange(lo, hi, origin, bin float64, n int) (int, int) {
+	a := int(math.Floor((lo - origin) / bin))
+	b := int(math.Floor((hi - origin) / bin))
+	if a < 0 {
+		a = 0
+	}
+	if b >= n {
+		b = n - 1
+	}
+	if b < a {
+		b = a
+	}
+	return a, b
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo, hi := math.Max(a0, b0), math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Stats are the paper's §5.1.3 congestion statistics.
+type Stats struct {
+	// NetsThrough100 counts nets whose bounding box touches at least
+	// one tile at or above 100% utilization.
+	NetsThrough100 int
+	// NetsThrough90 is the same at 90%.
+	NetsThrough90 int
+	// AvgWorst20 is the paper's "average congestion metric": take the
+	// worst 20% congested nets and average the congestion of the tiles
+	// they pass through.
+	AvgWorst20 float64
+	// MaxTile is the single worst tile utilization.
+	MaxTile float64
+}
+
+// ComputeStats evaluates the paper's congestion statistics for a
+// placed netlist against an existing map (whose Capacity must be set).
+func ComputeStats(nl *netlist.Netlist, pl *place.Placement, m *Map) Stats {
+	if m.Capacity <= 0 {
+		panic("route: ComputeStats requires Capacity to be set")
+	}
+	binW := m.Die.W() / float64(m.W)
+	binH := m.Die.H() / float64(m.H)
+	var st Stats
+	st.MaxTile = m.MaxCongestion()
+	var perNet []float64
+	for n := 0; n < nl.NumNets(); n++ {
+		bbox, ok := netBBox(nl, pl, netlist.NetID(n))
+		if !ok {
+			continue
+		}
+		x0, x1 := tileRange(bbox.X0, bbox.X1, m.Die.X0, binW, m.W)
+		y0, y1 := tileRange(bbox.Y0, bbox.Y1, m.Die.Y0, binH, m.H)
+		sum, cnt := 0.0, 0
+		worst := 0.0
+		for ty := y0; ty <= y1; ty++ {
+			for tx := x0; tx <= x1; tx++ {
+				c := m.Congestion(tx, ty)
+				sum += c
+				cnt++
+				if c > worst {
+					worst = c
+				}
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		if worst >= 1.0 {
+			st.NetsThrough100++
+		}
+		if worst >= 0.9 {
+			st.NetsThrough90++
+		}
+		perNet = append(perNet, sum/float64(cnt))
+	}
+	if len(perNet) > 0 {
+		sort.Float64s(perNet)
+		k := len(perNet) / 5
+		if k == 0 {
+			k = 1
+		}
+		worst := perNet[len(perNet)-k:]
+		sum := 0.0
+		for _, v := range worst {
+			sum += v
+		}
+		st.AvgWorst20 = sum / float64(len(worst))
+	}
+	return st
+}

@@ -1,0 +1,116 @@
+package route
+
+import (
+	"sort"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/place"
+)
+
+// TestStatsMonotoneInCapacity: raising the routing supply can only
+// reduce every overflow statistic.
+func TestStatsMonotoneInCapacity(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  3000,
+		Blocks: []generate.BlockSpec{{Size: 300}},
+		Seed:   14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(rg.Netlist, place.Rect{}, place.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Estimate(rg.Netlist, pl, 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *Stats
+	for _, factor := range []float64{0.8, 1.0, 1.3, 1.8, 3.0} {
+		m.Capacity = 0
+		m.SetCapacityRelative(factor)
+		st := ComputeStats(rg.Netlist, pl, m)
+		if prev != nil {
+			if st.NetsThrough100 > prev.NetsThrough100 {
+				t.Errorf("factor %v: >=100%% nets rose: %d -> %d", factor, prev.NetsThrough100, st.NetsThrough100)
+			}
+			if st.NetsThrough90 > prev.NetsThrough90 {
+				t.Errorf("factor %v: >=90%% nets rose", factor)
+			}
+			if st.AvgWorst20 > prev.AvgWorst20 {
+				t.Errorf("factor %v: avg congestion rose", factor)
+			}
+			if st.MaxTile > prev.MaxTile {
+				t.Errorf("factor %v: max tile rose", factor)
+			}
+		}
+		cp := st
+		prev = &cp
+	}
+	// And within one map, >=90% counts dominate >=100% counts.
+	m.Capacity = 0
+	m.SetCapacityRelative(1.2)
+	st := ComputeStats(rg.Netlist, pl, m)
+	if st.NetsThrough90 < st.NetsThrough100 {
+		t.Errorf(">=90%% (%d) < >=100%% (%d)", st.NetsThrough90, st.NetsThrough100)
+	}
+}
+
+// TestHotspotAtGTL: the congestion peak must sit where the placer
+// clumped the tangled block — the paper's Figure 1 phenomenon.
+func TestHotspotAtGTL(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []generate.BlockSpec{{Size: 900, InternalPins: 6}},
+		Seed:   19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(rg.Netlist, place.Rect{}, place.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid = 24
+	m, err := Estimate(rg.Netlist, pl, grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroid of the block, as a tile.
+	cx, cy := 0.0, 0.0
+	for _, c := range rg.Blocks[0] {
+		cx += pl.X[c]
+		cy += pl.Y[c]
+	}
+	cx /= float64(len(rg.Blocks[0]))
+	cy /= float64(len(rg.Blocks[0]))
+	bx := int((cx - pl.Die.X0) / pl.Die.W() * grid)
+	by := int((cy - pl.Die.Y0) / pl.Die.H() * grid)
+	// Demand where the block landed must be well above the typical
+	// tile (RUDY's center-accumulation from long background nets can
+	// legitimately own the absolute peak, so we assert elevation, not
+	// peak location).
+	blockDemand := 0.0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := bx+dx, by+dy
+			if x >= 0 && x < grid && y >= 0 && y < grid && m.At(x, y) > blockDemand {
+				blockDemand = m.At(x, y)
+			}
+		}
+	}
+	demands := make([]float64, 0, grid*grid)
+	for y := 0; y < grid; y++ {
+		for x := 0; x < grid; x++ {
+			demands = append(demands, m.At(x, y))
+		}
+	}
+	sort.Float64s(demands)
+	median := demands[len(demands)/2]
+	t.Logf("block-centroid demand %.2f, median tile %.2f", blockDemand, median)
+	if blockDemand < 1.5*median {
+		t.Errorf("block region demand %.2f not elevated above median %.2f", blockDemand, median)
+	}
+}

@@ -1,0 +1,187 @@
+// Package viz renders placements and congestion maps as ASCII art and
+// PGM/PPM images — the stand-ins for the paper's Figures 1, 4, 6 and 7
+// (placement plots with GTL overlays and routing congestion maps).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+	"tanglefind/internal/route"
+)
+
+// asciiRamp maps utilization 0..1+ to characters of rising intensity.
+const asciiRamp = " .:-=+*#%@"
+
+// CongestionASCII renders the congestion map as width×height character
+// art; tiles at or above 100% utilization show '@'.
+func CongestionASCII(m *route.Map, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for y := m.H - 1; y >= 0; y-- { // die origin bottom-left
+		for x := 0; x < m.W; x++ {
+			c := m.Congestion(x, y)
+			idx := int(c * float64(len(asciiRamp)-1))
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			bw.WriteByte(asciiRamp[idx])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// CongestionPGM writes the congestion map as a binary PGM image, one
+// pixel per tile, 255 = the map's max utilization.
+func CongestionPGM(m *route.Map, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	maxC := m.MaxCongestion()
+	if maxC <= 0 {
+		maxC = 1
+	}
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.W, m.H)
+	for y := m.H - 1; y >= 0; y-- {
+		for x := 0; x < m.W; x++ {
+			v := int(m.Congestion(x, y) / maxC * 255)
+			if v > 255 {
+				v = 255
+			}
+			bw.WriteByte(byte(v))
+		}
+	}
+	return bw.Flush()
+}
+
+// palette holds distinct RGB colors for GTL overlays; background cells
+// render dark gray.
+var palette = [][3]byte{
+	{230, 60, 60}, {60, 200, 60}, {70, 110, 255}, {240, 200, 40},
+	{200, 70, 220}, {40, 220, 220}, {250, 140, 30}, {150, 230, 100},
+}
+
+// PlacementPPM renders a placement as a px×px PPM: every cell is a
+// pixel at its die location; cells of GTL i use palette color i mod 8.
+// This is the Figure 4 / Figure 6 visualization.
+func PlacementPPM(pl *place.Placement, gtls [][]netlist.CellID, px int, w io.Writer) error {
+	if px < 8 {
+		px = 8
+	}
+	img := make([][3]byte, px*px)
+	for i := range img {
+		img[i] = [3]byte{15, 15, 20}
+	}
+	put := func(c netlist.CellID, color [3]byte) {
+		x := int((pl.X[c] - pl.Die.X0) / pl.Die.W() * float64(px))
+		y := int((pl.Y[c] - pl.Die.Y0) / pl.Die.H() * float64(px))
+		if x < 0 {
+			x = 0
+		}
+		if x >= px {
+			x = px - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= px {
+			y = px - 1
+		}
+		img[(px-1-y)*px+x] = color
+	}
+	for c := 0; c < len(pl.X); c++ {
+		put(netlist.CellID(c), [3]byte{90, 90, 90})
+	}
+	for i, g := range gtls {
+		color := palette[i%len(palette)]
+		for _, c := range g {
+			put(c, color)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", px, px)
+	for _, p := range img {
+		bw.Write(p[:])
+	}
+	return bw.Flush()
+}
+
+// PlacementASCII renders the placement as character art: '.' for
+// background cells, digits/letters for GTL membership (GTL i uses the
+// i-th symbol). Tiles show the dominant occupant.
+func PlacementASCII(pl *place.Placement, gtls [][]netlist.CellID, size int, w io.Writer) error {
+	if size < 4 {
+		size = 4
+	}
+	const symbols = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	// counts[tile][0] = background, [i+1] = GTL i.
+	counts := make([][]int, size*size)
+	tile := func(c netlist.CellID) int {
+		x := int((pl.X[c] - pl.Die.X0) / pl.Die.W() * float64(size))
+		y := int((pl.Y[c] - pl.Die.Y0) / pl.Die.H() * float64(size))
+		if x < 0 {
+			x = 0
+		}
+		if x >= size {
+			x = size - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= size {
+			y = size - 1
+		}
+		return (size-1-y)*size + x
+	}
+	bump := func(t, slot int) {
+		if counts[t] == nil {
+			counts[t] = make([]int, len(gtls)+1)
+		}
+		counts[t][slot]++
+	}
+	inGTL := make(map[netlist.CellID]int)
+	for i, g := range gtls {
+		for _, c := range g {
+			inGTL[c] = i + 1
+		}
+	}
+	for c := 0; c < len(pl.X); c++ {
+		bump(tile(netlist.CellID(c)), inGTL[netlist.CellID(c)])
+	}
+	bw := bufio.NewWriter(w)
+	for row := 0; row < size; row++ {
+		for col := 0; col < size; col++ {
+			cnt := counts[row*size+col]
+			ch := byte(' ')
+			if cnt != nil {
+				best, bestN := 0, 0
+				for slot, n := range cnt {
+					if n > bestN {
+						best, bestN = slot, n
+					}
+				}
+				if best == 0 {
+					ch = '.'
+				} else {
+					// A GTL tile only counts if GTLs dominate it.
+					gtlCells := 0
+					for slot := 1; slot < len(cnt); slot++ {
+						gtlCells += cnt[slot]
+					}
+					if gtlCells*2 >= cnt[0] {
+						ch = symbols[(best-1)%len(symbols)]
+					} else {
+						ch = '.'
+					}
+				}
+			}
+			bw.WriteByte(ch)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,111 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+	"tanglefind/internal/route"
+)
+
+func testMap() *route.Map {
+	m := &route.Map{
+		W: 4, H: 4,
+		Die:      place.Rect{X0: 0, Y0: 0, X1: 40, Y1: 40},
+		Demand:   make([]float64, 16),
+		Capacity: 1,
+	}
+	m.Demand[0] = 2.0  // bottom-left overflows
+	m.Demand[15] = 0.5 // top-right mild
+	return m
+}
+
+func TestCongestionASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CongestionASCII(testMap(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 || len(lines[0]) != 4 {
+		t.Fatalf("grid shape wrong: %q", buf.String())
+	}
+	// Origin is bottom-left, so the overflow tile is last row, first col.
+	if lines[3][0] != '@' {
+		t.Errorf("overflow tile renders %q, want '@'", lines[3][0])
+	}
+	if lines[3][3] != ' ' && lines[0][0] != ' ' {
+		t.Log(buf.String())
+	}
+}
+
+func TestCongestionPGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CongestionPGM(testMap(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n4 4\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	pixels := out[len("P5\n4 4\n255\n"):]
+	if len(pixels) != 16 {
+		t.Fatalf("pixel count = %d", len(pixels))
+	}
+	if pixels[12] != 255 { // bottom-left = worst tile = full white
+		t.Errorf("hottest pixel = %d, want 255", pixels[12])
+	}
+}
+
+func placementFixture() (*place.Placement, [][]netlist.CellID) {
+	pl := &place.Placement{
+		Die: place.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100},
+		X:   []float64{10, 12, 90, 95},
+		Y:   []float64{10, 12, 90, 95},
+	}
+	gtls := [][]netlist.CellID{{0, 1}}
+	return pl, gtls
+}
+
+func TestPlacementPPM(t *testing.T) {
+	pl, gtls := placementFixture()
+	var buf bytes.Buffer
+	if err := PlacementPPM(pl, gtls, 16, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n16 16\n255\n")) {
+		t.Fatal("bad PPM header")
+	}
+	if len(buf.Bytes()) != len("P6\n16 16\n255\n")+16*16*3 {
+		t.Fatalf("pixel payload = %d bytes", buf.Len())
+	}
+}
+
+func TestPlacementASCII(t *testing.T) {
+	pl, gtls := placementFixture()
+	var buf bytes.Buffer
+	if err := PlacementASCII(pl, gtls, 10, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "0") {
+		t.Errorf("GTL symbol missing:\n%s", s)
+	}
+	if !strings.Contains(s, ".") {
+		t.Errorf("background symbol missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("rows = %d, want 10", len(lines))
+	}
+	// GTL cells sit at (10..12, 10..12) => tile (1,1) => rendered row
+	// size-1-1 = 8, near the bottom-left.
+	if !strings.Contains(lines[8], "0") {
+		t.Errorf("GTL tile should be in row 8:\n%s", s)
+	}
+	// Background cells at (90..95, 90..95) => tile 9 => top row.
+	if !strings.Contains(lines[0], ".") {
+		t.Errorf("background tile should be in the top row:\n%s", s)
+	}
+}

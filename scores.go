@@ -1,0 +1,32 @@
+package tanglefind
+
+import "tanglefind/internal/metrics"
+
+// GTLScore returns GTL-S(C) = T/|C|^p (paper §3.1).
+func GTLScore(cut, size int, rent float64) float64 {
+	return metrics.GTLScore(cut, size, rent)
+}
+
+// NGTLScore returns nGTL-S(C) = T/(A_G·|C|^p); an average-quality group
+// scores ≈ 1 and strong GTLs score « 1.
+func NGTLScore(cut, size int, rent, avgPins float64) float64 {
+	return metrics.NGTLScore(cut, size, rent, avgPins)
+}
+
+// GTLSD returns the density-aware score T/(A_G·|C|^(p·A_C/A_G)) with
+// A_C = pins/size.
+func GTLSD(cut, size, pins int, rent, avgPins float64) float64 {
+	return metrics.GTLSD(cut, size, pins, rent, avgPins)
+}
+
+// RentExponent estimates a group's Rent exponent via the paper's
+// Phase II formula (ln T − ln A_C)/ln |C|.
+func RentExponent(cut, size, pins int) (float64, bool) {
+	return metrics.RentExponent(cut, size, pins)
+}
+
+// RatioCut returns the ratio-cut baseline T/|C|.
+func RatioCut(cut, size int) float64 { return metrics.RatioCut(cut, size) }
+
+// RentMetric returns Ng's baseline ln T / ln |C|.
+func RentMetric(cut, size int) float64 { return metrics.RentMetric(cut, size) }

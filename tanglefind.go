@@ -1,0 +1,181 @@
+// Package tanglefind detects tangled logic structures (GTLs) in VLSI
+// netlists, reproducing "Detecting Tangled Logic Structures in VLSI
+// Netlists" (Jindal, Alpert, Hu, Li, Nam, Winn — DAC 2010).
+//
+// A GTL is a large group of cells (hundreds to thousands) with far more
+// internal than external connectivity — dissolved ROMs, dense MUX
+// farms, datapath blobs. Placers pull such groups into tight clumps
+// that become routing hotspots; identifying them before placement
+// enables cell inflation, soft-block floorplanning or resynthesis.
+//
+// The package is a facade over the implementation in internal/…; it
+// re-exports everything a downstream user needs:
+//
+//   - netlist modeling (Netlist, Builder) and Bookshelf/tfnet I/O
+//   - the Rent's-rule-based scores (GTLScore, NGTLScore, GTLSD) plus
+//     the classic baselines the paper compares against
+//   - the three-phase TangledLogicFinder (Find, Options)
+//   - workload generators (random graphs with planted GTLs, Rent-driven
+//     hierarchical circuits, structural fragments, industrial proxy)
+//   - a recursive-bisection placer, RUDY congestion estimation and the
+//     cell-inflation mitigation flow
+//
+// Quick start:
+//
+//	rg, _ := tanglefind.NewRandomGraph(tanglefind.RandomGraphSpec{
+//		Cells:  50_000,
+//		Blocks: []tanglefind.BlockSpec{{Size: 4000}},
+//		Seed:   1,
+//	})
+//	opt := tanglefind.DefaultOptions()
+//	res, _ := tanglefind.Find(rg.Netlist, opt)
+//	for _, g := range res.GTLs {
+//		fmt.Printf("GTL: %d cells, cut %d, GTL-SD %.3f\n",
+//			g.Size(), g.Cut, g.GTLSD)
+//	}
+package tanglefind
+
+import (
+	"tanglefind/internal/core"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/place"
+	"tanglefind/internal/route"
+)
+
+// Netlist is a hypergraph of cells and nets. See Builder.
+type Netlist = netlist.Netlist
+
+// Builder incrementally assembles a Netlist.
+type Builder = netlist.Builder
+
+// CellID identifies a cell.
+type CellID = netlist.CellID
+
+// NetID identifies a net.
+type NetID = netlist.NetID
+
+// Options configures the finder; start from DefaultOptions.
+type Options = core.Options
+
+// Metric selects the driving score Φ.
+type Metric = core.Metric
+
+// Finder metric and ordering constants (see core documentation).
+const (
+	MetricGTLSD = core.MetricGTLSD
+	MetricNGTLS = core.MetricNGTLS
+
+	OrderWeighted = core.OrderWeighted
+	OrderMinCut   = core.OrderMinCut
+	OrderBFS      = core.OrderBFS
+)
+
+// Result is a finder run's outcome: disjoint GTLs sorted best-first.
+type Result = core.Result
+
+// GTL is one detected group of tangled logic.
+type GTL = core.GTL
+
+// DefaultOptions returns the paper's parameter settings.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Find runs the three-phase TangledLogicFinder over nl.
+func Find(nl *Netlist, opt Options) (*Result, error) { return core.Find(nl, opt) }
+
+// Generators.
+type (
+	// RandomGraphSpec configures a random hypergraph with planted GTLs.
+	RandomGraphSpec = generate.RandomGraphSpec
+	// BlockSpec describes one planted block.
+	BlockSpec = generate.BlockSpec
+	// RandomGraph bundles a generated netlist with its ground truth.
+	RandomGraph = generate.RandomGraph
+	// HierSpec configures a Rent-rule-driven hierarchical netlist.
+	HierSpec = generate.HierSpec
+	// ISPDProfile parameterizes an ISPD benchmark proxy.
+	ISPDProfile = generate.ISPDProfile
+	// Design is a generated circuit with ground-truth structures.
+	Design = generate.Design
+	// Fragment is a structural logic generator output.
+	Fragment = generate.Fragment
+)
+
+// NewRandomGraph builds a Garbers-style random graph with planted GTLs.
+func NewRandomGraph(spec RandomGraphSpec) (*RandomGraph, error) {
+	return generate.NewRandomGraph(spec)
+}
+
+// NewHierarchical builds a Rent-rule-obeying hierarchical netlist.
+func NewHierarchical(spec HierSpec) (*Netlist, error) { return generate.NewHierarchical(spec) }
+
+// NewISPDProxy builds a proxy for one ISPD placement benchmark.
+func NewISPDProxy(p ISPDProfile, scale float64, seed uint64) (*Design, error) {
+	return generate.NewISPDProxy(p, scale, seed)
+}
+
+// NewIndustrialProxy builds the dissolved-ROM industrial circuit proxy.
+func NewIndustrialProxy(scale float64, seed uint64) (*Design, error) {
+	return generate.NewIndustrialProxy(scale, seed)
+}
+
+// ISPDProfiles lists the six Table 2 circuit profiles.
+func ISPDProfiles() []ISPDProfile { return generate.ISPDProfiles }
+
+// Placement and congestion.
+type (
+	// Placement maps cells to die coordinates.
+	Placement = place.Placement
+	// Rect is an axis-aligned region.
+	Rect = place.Rect
+	// PlaceOptions configures the recursive-bisection placer.
+	PlaceOptions = place.Options
+	// CongestionMap is a RUDY demand map over a tile grid.
+	CongestionMap = route.Map
+	// CongestionStats are the paper's §5.1.3 statistics.
+	CongestionStats = route.Stats
+)
+
+// Place runs recursive min-cut bisection placement.
+func Place(nl *Netlist, die Rect, opt PlaceOptions) (*Placement, error) {
+	return place.Place(nl, die, opt)
+}
+
+// HPWL returns the placement's half-perimeter wirelength.
+func HPWL(nl *Netlist, pl *Placement) float64 { return place.HPWL(nl, pl) }
+
+// Inflate multiplies the area of the given cell groups by factor.
+func Inflate(nl *Netlist, groups [][]CellID, factor float64) (*Netlist, error) {
+	return place.Inflate(nl, groups, factor)
+}
+
+// EstimateCongestion builds a RUDY congestion map for a placement.
+func EstimateCongestion(nl *Netlist, pl *Placement, gridW, gridH int) (*CongestionMap, error) {
+	return route.Estimate(nl, pl, gridW, gridH)
+}
+
+// EstimateCongestionLRoute builds the probabilistic two-bend (L-route)
+// congestion map — a second model that tracks horizontal/vertical
+// track demand per tile over an MST decomposition of every net.
+func EstimateCongestionLRoute(nl *Netlist, pl *Placement, gridW, gridH int) (*CongestionMap, error) {
+	return route.EstimateLRoute(nl, pl, gridW, gridH)
+}
+
+// MSTWirelength returns the Manhattan minimum-spanning-tree wirelength
+// of a placement (a tighter routed-length estimate than HPWL).
+func MSTWirelength(nl *Netlist, pl *Placement) float64 {
+	return route.MSTWirelength(nl, pl)
+}
+
+// RefinePlacement improves a placement with greedy randomized cell
+// swaps (detailed placement cleanup); HPWL never increases. It returns
+// the number of accepted swaps.
+func RefinePlacement(nl *Netlist, pl *Placement, rounds int, seed uint64) int {
+	return place.RefineGreedy(nl, pl, rounds, seed)
+}
+
+// CongestionStatsFor evaluates the paper's congestion statistics
+// (m.Capacity must be set, e.g. via m.SetCapacityRelative).
+func CongestionStatsFor(nl *Netlist, pl *Placement, m *CongestionMap) CongestionStats {
+	return route.ComputeStats(nl, pl, m)
+}
