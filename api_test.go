@@ -1,6 +1,7 @@
 package tanglefind_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -107,6 +108,87 @@ func TestPublicAPIFlow(t *testing.T) {
 	}
 	if err := rs.Netlist.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeEngine exercises the engine surface through the facade:
+// reusable Finder, progress reporting, sharded runs and the batch
+// entry point, all agreeing with the one-shot Find.
+func TestFacadeEngine(t *testing.T) {
+	rg, err := tanglefind.NewRandomGraph(tanglefind.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []tanglefind.BlockSpec{{Size: 500}},
+		Seed:   21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tanglefind.DefaultOptions()
+	opt.Seeds = 32
+	opt.MaxOrderLen = 2000
+	ref, err := tanglefind.Find(rg.Netlist, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := tanglefind.NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last tanglefind.Progress
+	opt.Progress = func(p tanglefind.Progress) { last = p }
+	ctx := context.Background()
+	res, err := f.Find(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.SeedsDone != last.SeedsTotal || last.SeedsTotal == 0 {
+		t.Errorf("final progress %+v, want all seeds done", last)
+	}
+	if len(res.GTLs) != len(ref.GTLs) {
+		t.Fatalf("engine found %d GTLs, one-shot %d", len(res.GTLs), len(ref.GTLs))
+	}
+
+	// Sharded run through the facade types.
+	opt.Progress = nil
+	half := opt.Seeds / 2
+	s1, err := f.FindShard(ctx, opt, 0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.FindShard(ctx, opt, half, opt.Seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.SeedsRun()+s2.SeedsRun() != opt.Seeds {
+		t.Errorf("shards ran %d+%d seeds, want %d", s1.SeedsRun(), s2.SeedsRun(), opt.Seeds)
+	}
+	merged, err := f.Merge(opt, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.GTLs) != len(ref.GTLs) {
+		t.Errorf("sharded run found %d GTLs, want %d", len(merged.GTLs), len(ref.GTLs))
+	}
+
+	// Batch mode over two netlists.
+	rg2, err := tanglefind.NewRandomGraph(tanglefind.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []tanglefind.BlockSpec{{Size: 400}},
+		Seed:   22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := tanglefind.FindMany(ctx, []*tanglefind.Netlist{rg.Netlist, rg2.Netlist}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatalf("batch results incomplete: %v", results)
+	}
+	if len(results[0].GTLs) != len(ref.GTLs) {
+		t.Errorf("batch result differs from solo run")
 	}
 }
 

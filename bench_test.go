@@ -11,6 +11,7 @@
 package tanglefind_test
 
 import (
+	"context"
 	"testing"
 
 	"tanglefind/internal/core"
@@ -33,7 +34,7 @@ func benchTable1(b *testing.B, caseIdx int) {
 	var worstMiss, worstOver float64
 	found := 0
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table1Run(experiments.Table1Cases[caseIdx], benchCfg)
+		r, err := experiments.Table1Run(context.Background(), experiments.Table1Cases[caseIdx], benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func benchTable2(b *testing.B, name string) {
 	var found int
 	var topScore float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table2Run(p, benchCfg)
+		r, err := experiments.Table2Run(context.Background(), p, benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkTable3_Industrial(b *testing.B) {
 	b.ReportAllocs()
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table3Run(benchCfg)
+		r, err := experiments.Table3Run(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func benchFigure23(b *testing.B, m core.Metric) {
 	b.ReportAllocs()
 	var insideMin, outsideMin float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure23(m, benchCfg, nil)
+		r, err := experiments.Figure23(context.Background(), m, benchCfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +145,7 @@ func BenchmarkFigure5_MetricCurves(b *testing.B) {
 	b.ReportAllocs()
 	var sep float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure5(benchCfg, nil)
+		r, err := experiments.Figure5(context.Background(), benchCfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkFigure4_Bigblue1Overlay(b *testing.B) {
 	b.ReportAllocs()
 	gtls := 0
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure46("bigblue1", benchCfg, nil, nil)
+		r, err := experiments.Figure46(context.Background(), "bigblue1", benchCfg, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func BenchmarkFigure6_IndustrialOverlay(b *testing.B) {
 	b.ReportAllocs()
 	gtls := 0
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure46("industrial", benchCfg, nil, nil)
+		r, err := experiments.Figure46(context.Background(), "industrial", benchCfg, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func BenchmarkFigure7_Inflation(b *testing.B) {
 	var r *experiments.InflationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.Inflation(benchCfg, nil, nil)
+		r, err = experiments.Inflation(context.Background(), benchCfg, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -298,6 +299,100 @@ func BenchmarkAblation_BigNetSkip_20(b *testing.B) {
 }
 func BenchmarkAblation_BigNetSkip_Off(b *testing.B) {
 	benchAblation(b, func(o *core.Options) { o.BigNetSkip = 0 })
+}
+
+// ---------------------------------------------------------------------
+// Engine reuse — the allocation win of the pooled Finder. Each pair
+// runs the identical workload twice per iteration: the Cold variant
+// through the one-shot compatibility wrapper (fresh worker state both
+// times), the Reused variant through one long-lived Finder whose
+// pooled growers/evaluators/ordering buffers survive across runs.
+// Compare allocs/op between the pairs.
+// ---------------------------------------------------------------------
+
+func engineBenchTable1(b *testing.B) (*netlist.Netlist, core.Options) {
+	b.Helper()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  10_000, // Table 1 case 1 geometry
+		Blocks: []generate.BlockSpec{{Size: 500}},
+		Seed:   7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = 32
+	opt.MaxOrderLen = 2000
+	return rg.Netlist, opt
+}
+
+func engineBenchTable2(b *testing.B) (*netlist.Netlist, core.Options) {
+	b.Helper()
+	p, ok := generate.ProfileByName("bigblue1")
+	if !ok {
+		b.Fatal("bigblue1 profile missing")
+	}
+	d, err := generate.NewISPDProxy(p, benchCfg.Scale, benchCfg.Seed*100+7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = benchCfg.Seeds
+	opt.MaxOrderLen = d.Netlist.NumCells() / 2
+	return d.Netlist, opt
+}
+
+func benchEngineCold(b *testing.B, nl *netlist.Netlist, opt core.Options) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < 2; run++ {
+			if _, err := core.Find(nl, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchEngineReused(b *testing.B, nl *netlist.Netlist, opt core.Options) {
+	f, err := core.NewFinder(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the pool so steady-state reuse is what gets measured.
+	if _, err := f.Find(ctx, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < 2; run++ {
+			if _, err := f.Find(ctx, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineColdFind2x_Table1Case1(b *testing.B) {
+	nl, opt := engineBenchTable1(b)
+	benchEngineCold(b, nl, opt)
+}
+
+func BenchmarkEngineReused2x_Table1Case1(b *testing.B) {
+	nl, opt := engineBenchTable1(b)
+	benchEngineReused(b, nl, opt)
+}
+
+func BenchmarkEngineColdFind2x_Table2Bigblue1(b *testing.B) {
+	nl, opt := engineBenchTable2(b)
+	benchEngineCold(b, nl, opt)
+}
+
+func BenchmarkEngineReused2x_Table2Bigblue1(b *testing.B) {
+	nl, opt := engineBenchTable2(b)
+	benchEngineReused(b, nl, opt)
 }
 
 // ---------------------------------------------------------------------

@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"tanglefind/internal/core"
@@ -47,63 +51,67 @@ func main() {
 	}
 	all := want["all"]
 	run := func(name string) bool { return all || want[name] }
+	// Ctrl-C / SIGTERM cancels the engine mid-run instead of killing the
+	// process between experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
 	fmt.Printf("gtlexp: scale=%.3g seeds=%d seed=%d\n\n", cfg.Scale, cfg.Seeds, cfg.Seed)
 
 	if run("table1") {
-		if _, err := experiments.Table1(cfg, os.Stdout); err != nil {
+		if _, err := experiments.Table1(ctx, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("table2") {
-		if _, err := experiments.Table2(cfg, os.Stdout); err != nil {
+		if _, err := experiments.Table2(ctx, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("table3") {
-		if _, err := experiments.Table3(cfg, os.Stdout); err != nil {
+		if _, err := experiments.Table3(ctx, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("fig2") {
-		if _, err := experiments.Figure23(core.MetricNGTLS, cfg, os.Stdout); err != nil {
+		if _, err := experiments.Figure23(ctx, core.MetricNGTLS, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("fig3") {
-		if _, err := experiments.Figure23(core.MetricGTLSD, cfg, os.Stdout); err != nil {
+		if _, err := experiments.Figure23(ctx, core.MetricGTLSD, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("fig5") {
-		if _, err := experiments.Figure5(cfg, os.Stdout); err != nil {
+		if _, err := experiments.Figure5(ctx, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("fig4") {
-		if err := runOverlay("bigblue1", cfg, *outdir); err != nil {
+		if err := runOverlay(ctx, "bigblue1", cfg, *outdir); err != nil {
 			fatal(err)
 		}
 	}
 	if run("fig6") {
-		if err := runOverlay("industrial", cfg, *outdir); err != nil {
+		if err := runOverlay(ctx, "industrial", cfg, *outdir); err != nil {
 			fatal(err)
 		}
 	}
 	if run("inflation") {
-		if _, err := experiments.Inflation(cfg, os.Stdout, os.Stdout); err != nil {
+		if _, err := experiments.Inflation(ctx, cfg, os.Stdout, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("ablation") {
-		if _, err := experiments.Ablation(cfg, os.Stdout); err != nil {
+		if _, err := experiments.Ablation(ctx, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
@@ -111,7 +119,7 @@ func main() {
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func runOverlay(design string, cfg experiments.Config, outdir string) error {
+func runOverlay(ctx context.Context, design string, cfg experiments.Config, outdir string) error {
 	var ppm *os.File
 	var err error
 	if outdir != "" {
@@ -125,9 +133,9 @@ func runOverlay(design string, cfg experiments.Config, outdir string) error {
 		defer ppm.Close()
 	}
 	if ppm != nil {
-		_, err = experiments.Figure46(design, cfg, os.Stdout, ppm)
+		_, err = experiments.Figure46(ctx, design, cfg, os.Stdout, ppm)
 	} else {
-		_, err = experiments.Figure46(design, cfg, os.Stdout, nil)
+		_, err = experiments.Figure46(ctx, design, cfg, os.Stdout, nil)
 	}
 	if err == nil && ppm != nil {
 		fmt.Printf("wrote %s\n\n", ppm.Name())
@@ -155,5 +163,8 @@ func parseScale(s string) (experiments.Config, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gtlexp:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

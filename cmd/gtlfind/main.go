@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tanglefind/internal/bookshelf"
@@ -33,6 +37,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		members  = flag.Bool("members", false, "dump each GTL's member cell names")
 		noRefine = flag.Bool("no-refine", false, "disable Phase III refinement")
+		progress = flag.Bool("progress", false, "report seed progress on stderr while running")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none), keeping partial results")
 	)
 	flag.Parse()
 	if (*inPath == "") == (*auxPath == "") {
@@ -79,12 +85,39 @@ func main() {
 	st := nl.Stats()
 	fmt.Printf("netlist: %d cells, %d nets, %d pins (A_G = %.2f)\n",
 		st.Cells, st.Nets, st.Pins, st.AvgPins)
-	res, err := core.Find(nl, opt)
+
+	// Ctrl-C / SIGTERM (and -timeout) cancel the engine, which still
+	// reports the GTLs of the seeds that completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *progress {
+		opt.Progress = func(p core.Progress) {
+			fmt.Fprintf(os.Stderr, "\rgtlfind: seeds %d/%d, candidates %d", p.SeedsDone, p.SeedsTotal, p.Candidates)
+			if p.SeedsDone == p.SeedsTotal {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	finder, err := core.NewFinder(nl)
 	if err != nil {
 		fatal(err)
 	}
+	res, err := finder.Find(ctx, opt)
+	interrupted := false
+	if err != nil {
+		if res == nil || !errors.Is(err, ctx.Err()) {
+			fatal(err)
+		}
+		interrupted = true
+		fmt.Fprintf(os.Stderr, "\ngtlfind: interrupted (%v); reporting partial results\n", err)
+	}
 	fmt.Printf("finder: %d seeds -> %d candidates -> %d disjoint GTLs in %s (Rent p ≈ %.3f)\n\n",
-		opt.Seeds, res.Candidates, len(res.GTLs), res.Elapsed.Round(time.Millisecond), res.Rent)
+		len(res.Seeds), res.Candidates, len(res.GTLs), res.Elapsed.Round(time.Millisecond), res.Rent)
 
 	tbl := report.New("Detected GTLs (best first)",
 		"#", "Size", "Cut", "A_C", "nGTL-S", "GTL-SD", "Seed")
@@ -102,6 +135,11 @@ func main() {
 				fmt.Printf("  %s\n", nl.CellName(c))
 			}
 		}
+	}
+	if interrupted {
+		// The partial table above is still valid output, but scripts
+		// must be able to tell a truncated run from a complete one.
+		os.Exit(130)
 	}
 }
 

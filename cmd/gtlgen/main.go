@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -23,36 +24,57 @@ import (
 	"tanglefind/internal/netlist"
 )
 
+// config carries the parsed flags; main builds it from the command
+// line and the tests build it directly.
+type config struct {
+	kind    string
+	cells   int
+	blocks  string
+	rent    float64
+	profile string
+	scale   float64
+	seed    uint64
+	out     string
+	bkshelf string
+}
+
 func main() {
-	var (
-		kind    = flag.String("kind", "random", "workload kind: random, hier, ispd, industrial")
-		cells   = flag.Int("cells", 100_000, "cell count (random/hier)")
-		blocks  = flag.String("blocks", "", "comma-separated planted block sizes (random)")
-		rent    = flag.Float64("rent", 0.65, "Rent exponent target (hier)")
-		profile = flag.String("profile", "bigblue1", "ISPD profile name (ispd)")
-		scale   = flag.Float64("scale", 1.0, "size scale factor (ispd/industrial)")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		out     = flag.String("out", "", "output .tfnet path (required)")
-		bkshelf = flag.String("bookshelf", "", "also write Bookshelf files into this directory")
-	)
+	var cfg config
+	flag.StringVar(&cfg.kind, "kind", "random", "workload kind: random, hier, ispd, industrial")
+	flag.IntVar(&cfg.cells, "cells", 100_000, "cell count (random/hier)")
+	flag.StringVar(&cfg.blocks, "blocks", "", "comma-separated planted block sizes (random)")
+	flag.Float64Var(&cfg.rent, "rent", 0.65, "Rent exponent target (hier)")
+	flag.StringVar(&cfg.profile, "profile", "bigblue1", "ISPD profile name (ispd)")
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "size scale factor (ispd/industrial)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "RNG seed")
+	flag.StringVar(&cfg.out, "out", "", "output .tfnet path (required)")
+	flag.StringVar(&cfg.bkshelf, "bookshelf", "", "also write Bookshelf files into this directory")
 	flag.Parse()
-	if *out == "" {
+	if cfg.out == "" {
 		fmt.Fprintln(os.Stderr, "gtlgen: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gtlgen:", err)
+		os.Exit(1)
+	}
+}
 
+// run generates the requested workload and writes every artifact,
+// reporting to w.
+func run(cfg config, w io.Writer) error {
 	var nl *netlist.Netlist
 	var truth [][]netlist.CellID
 	var err error
-	switch *kind {
+	switch cfg.kind {
 	case "random":
-		spec := generate.RandomGraphSpec{Cells: *cells, Seed: *seed}
-		if *blocks != "" {
-			for _, tok := range strings.Split(*blocks, ",") {
+		spec := generate.RandomGraphSpec{Cells: cfg.cells, Seed: cfg.seed}
+		if cfg.blocks != "" {
+			for _, tok := range strings.Split(cfg.blocks, ",") {
 				size, perr := strconv.Atoi(strings.TrimSpace(tok))
 				if perr != nil {
-					fatal(fmt.Errorf("bad block size %q", tok))
+					return fmt.Errorf("bad block size %q", tok)
 				}
 				spec.Blocks = append(spec.Blocks, generate.BlockSpec{Size: size})
 			}
@@ -63,49 +85,50 @@ func main() {
 			nl, truth = rg.Netlist, rg.Blocks
 		}
 	case "hier":
-		nl, err = generate.NewHierarchical(generate.HierSpec{Cells: *cells, Rent: *rent, Seed: *seed})
+		nl, err = generate.NewHierarchical(generate.HierSpec{Cells: cfg.cells, Rent: cfg.rent, Seed: cfg.seed})
 	case "ispd":
-		p, ok := generate.ProfileByName(*profile)
+		p, ok := generate.ProfileByName(cfg.profile)
 		if !ok {
-			fatal(fmt.Errorf("unknown ISPD profile %q", *profile))
+			return fmt.Errorf("unknown ISPD profile %q", cfg.profile)
 		}
 		var d *generate.Design
-		d, err = generate.NewISPDProxy(p, *scale, *seed)
+		d, err = generate.NewISPDProxy(p, cfg.scale, cfg.seed)
 		if err == nil {
 			nl, truth = d.Netlist, d.Structures
 		}
 	case "industrial":
 		var d *generate.Design
-		d, err = generate.NewIndustrialProxy(*scale, *seed)
+		d, err = generate.NewIndustrialProxy(cfg.scale, cfg.seed)
 		if err == nil {
 			nl, truth = d.Netlist, d.Structures
 		}
 	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
+		return fmt.Errorf("unknown kind %q", cfg.kind)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	f, err := os.Create(*out)
+	f, err := os.Create(cfg.out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := nl.Write(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	st := nl.Stats()
-	fmt.Printf("wrote %s: %d cells, %d nets, %d pins (A_G = %.2f)\n",
-		*out, st.Cells, st.Nets, st.Pins, st.AvgPins)
+	fmt.Fprintf(w, "wrote %s: %d cells, %d nets, %d pins (A_G = %.2f)\n",
+		cfg.out, st.Cells, st.Nets, st.Pins, st.AvgPins)
 
 	if len(truth) > 0 {
-		truthPath := strings.TrimSuffix(*out, filepath.Ext(*out)) + ".truth"
+		truthPath := strings.TrimSuffix(cfg.out, filepath.Ext(cfg.out)) + ".truth"
 		tf, err := os.Create(truthPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for i, block := range truth {
 			fmt.Fprintf(tf, "block %d", i)
@@ -115,24 +138,20 @@ func main() {
 			fmt.Fprintln(tf)
 		}
 		if err := tf.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s: %d ground-truth blocks\n", truthPath, len(truth))
+		fmt.Fprintf(w, "wrote %s: %d ground-truth blocks\n", truthPath, len(truth))
 	}
 
-	if *bkshelf != "" {
-		if err := os.MkdirAll(*bkshelf, 0o755); err != nil {
-			fatal(err)
+	if cfg.bkshelf != "" {
+		if err := os.MkdirAll(cfg.bkshelf, 0o755); err != nil {
+			return err
 		}
-		base := strings.TrimSuffix(filepath.Base(*out), filepath.Ext(*out))
-		if err := bookshelf.Write(*bkshelf, base, nl); err != nil {
-			fatal(err)
+		base := strings.TrimSuffix(filepath.Base(cfg.out), filepath.Ext(cfg.out))
+		if err := bookshelf.Write(cfg.bkshelf, base, nl); err != nil {
+			return err
 		}
-		fmt.Printf("wrote Bookshelf files %s/%s.{aux,nodes,nets}\n", *bkshelf, base)
+		fmt.Fprintf(w, "wrote Bookshelf files %s/%s.{aux,nodes,nets}\n", cfg.bkshelf, base)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gtlgen:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tanglefind/internal/bookshelf"
+	"tanglefind/internal/netlist"
+)
+
+func TestGenerateRandomWithTruth(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiny.tfnet")
+	var buf bytes.Buffer
+	err := run(config{
+		kind:   "random",
+		cells:  400,
+		blocks: "60, 40",
+		seed:   3,
+		out:    out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Errorf("report missing netlist line: %q", buf.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nl, err := netlist.Read(f)
+	if err != nil {
+		t.Fatalf("generated netlist does not parse: %v", err)
+	}
+	if nl.NumCells() != 400 {
+		t.Errorf("cells = %d, want 400", nl.NumCells())
+	}
+
+	// The ground-truth sidecar must list both planted blocks with valid
+	// cell ids.
+	tf, err := os.Open(filepath.Join(dir, "tiny.truth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	var sizes []int
+	sc := bufio.NewScanner(tf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || fields[0] != "block" {
+			t.Fatalf("bad truth line: %q", sc.Text())
+		}
+		for _, tok := range fields[2:] {
+			id, err := strconv.Atoi(tok)
+			if err != nil || id < 0 || id >= nl.NumCells() {
+				t.Fatalf("bad truth cell id %q", tok)
+			}
+		}
+		sizes = append(sizes, len(fields)-2)
+	}
+	if len(sizes) != 2 || sizes[0] != 60 || sizes[1] != 40 {
+		t.Errorf("truth block sizes = %v, want [60 40]", sizes)
+	}
+}
+
+func TestGenerateBookshelfSidecar(t *testing.T) {
+	dir := t.TempDir()
+	bdir := filepath.Join(dir, "bk")
+	err := run(config{
+		kind:    "random",
+		cells:   300,
+		seed:    5,
+		out:     filepath.Join(dir, "bk.tfnet"),
+		bkshelf: bdir,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bookshelf.ReadAux(filepath.Join(bdir, "bk.aux"))
+	if err != nil {
+		t.Fatalf("Bookshelf output does not parse: %v", err)
+	}
+	if d.Netlist.NumCells() != 300 {
+		t.Errorf("Bookshelf cells = %d, want 300", d.Netlist.NumCells())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.tfnet")
+	if err := run(config{kind: "nope", out: out}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(config{kind: "random", cells: 100, blocks: "12,oops", out: out}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed block list accepted")
+	}
+	if err := run(config{kind: "ispd", profile: "nosuch", scale: 0.05, out: out}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown ISPD profile accepted")
+	}
+}

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"tanglefind/internal/core"
 	"tanglefind/internal/netlist"
@@ -21,98 +25,125 @@ import (
 	"tanglefind/internal/viz"
 )
 
+// config carries the parsed flags; main builds it from the command
+// line and the tests build it directly.
+type config struct {
+	inPath string
+	outDir string
+	find   bool
+	seeds  int
+	grid   int
+	ascii  int
+	seed   uint64
+}
+
 func main() {
-	var (
-		inPath = flag.String("in", "", "input netlist (.tfnet)")
-		outDir = flag.String("out", "", "output directory for images (optional; ASCII always prints)")
-		find   = flag.Bool("find", false, "run the finder and overlay detected GTLs")
-		seeds  = flag.Int("seeds", 100, "finder seeds when -find is set")
-		grid   = flag.Int("grid", 64, "congestion grid resolution")
-		ascii  = flag.Int("ascii", 48, "ASCII render size")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
-	)
+	var cfg config
+	flag.StringVar(&cfg.inPath, "in", "", "input netlist (.tfnet)")
+	flag.StringVar(&cfg.outDir, "out", "", "output directory for images (optional; ASCII always prints)")
+	flag.BoolVar(&cfg.find, "find", false, "run the finder and overlay detected GTLs")
+	flag.IntVar(&cfg.seeds, "seeds", 100, "finder seeds when -find is set")
+	flag.IntVar(&cfg.grid, "grid", 64, "congestion grid resolution")
+	flag.IntVar(&cfg.ascii, "ascii", 48, "ASCII render size")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "RNG seed")
 	flag.Parse()
-	if *inPath == "" {
+	if cfg.inPath == "" {
 		fmt.Fprintln(os.Stderr, "gtlviz: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*inPath)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gtlviz:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole flow, writing human-readable output to w.
+func run(ctx context.Context, cfg config, w io.Writer) error {
+	f, err := os.Open(cfg.inPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	nl, err := netlist.Read(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var groups [][]netlist.CellID
-	if *find {
+	if cfg.find {
 		opt := core.DefaultOptions()
-		opt.Seeds = *seeds
-		opt.RandSeed = *seed
+		opt.Seeds = cfg.seeds
+		opt.RandSeed = cfg.seed
 		if opt.MaxOrderLen >= nl.NumCells() {
 			opt.MaxOrderLen = nl.NumCells() / 2
 		}
-		res, err := core.Find(nl, opt)
+		finder, err := core.NewFinder(nl)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("found %d GTLs\n", len(res.GTLs))
+		res, err := finder.Find(ctx, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "found %d GTLs\n", len(res.GTLs))
 		for i := range res.GTLs {
 			groups = append(groups, res.GTLs[i].Members)
 		}
 	}
 
-	pl, err := place.Place(nl, place.Rect{}, place.Options{Seed: *seed})
+	pl, err := place.Place(nl, place.Rect{}, place.Options{Seed: cfg.seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("placed %d cells, HPWL = %.0f\n\n", nl.NumCells(), place.HPWL(nl, pl))
-	fmt.Println("placement (GTLs as digits):")
-	if err := viz.PlacementASCII(pl, groups, *ascii, os.Stdout); err != nil {
-		fatal(err)
+	fmt.Fprintf(w, "placed %d cells, HPWL = %.0f\n\n", nl.NumCells(), place.HPWL(nl, pl))
+	fmt.Fprintln(w, "placement (GTLs as digits):")
+	if err := viz.PlacementASCII(pl, groups, cfg.ascii, w); err != nil {
+		return err
 	}
 
-	m, err := route.Estimate(nl, pl, *grid, *grid)
+	m, err := route.Estimate(nl, pl, cfg.grid, cfg.grid)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	m.SetCapacityRelative(1.25)
-	fmt.Println("\ncongestion ('@' is >= 100% utilization):")
-	if err := viz.CongestionASCII(m, os.Stdout); err != nil {
-		fatal(err)
+	fmt.Fprintln(w, "\ncongestion ('@' is >= 100% utilization):")
+	if err := viz.CongestionASCII(m, w); err != nil {
+		return err
 	}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+	if cfg.outDir != "" {
+		if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
+			return err
 		}
-		writeImg := func(name string, fn func(*os.File) error) {
-			p := filepath.Join(*outDir, name)
+		writeImg := func(name string, fn func(*os.File) error) error {
+			p := filepath.Join(cfg.outDir, name)
 			f, err := os.Create(p)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := fn(f); err != nil {
-				fatal(err)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println("wrote", p)
+			fmt.Fprintln(w, "wrote", p)
+			return nil
 		}
-		writeImg("placement.ppm", func(f *os.File) error {
+		if err := writeImg("placement.ppm", func(f *os.File) error {
 			return viz.PlacementPPM(pl, groups, 768, f)
-		})
-		writeImg("congestion.pgm", func(f *os.File) error {
+		}); err != nil {
+			return err
+		}
+		if err := writeImg("congestion.pgm", func(f *os.File) error {
 			return viz.CongestionPGM(m, f)
-		})
+		}); err != nil {
+			return err
+		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gtlviz:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tanglefind/internal/generate"
+)
+
+// writeWorkload generates a small planted-block netlist to a temp file
+// and returns its path.
+func writeWorkload(t *testing.T, cells, block int) string {
+	t.Helper()
+	spec := generate.RandomGraphSpec{Cells: cells, Seed: 11}
+	if block > 0 {
+		spec.Blocks = []generate.BlockSpec{{Size: block}}
+	}
+	rg, err := generate.NewRandomGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "w.tfnet")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Netlist.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkImageHeader asserts the rendered image parses as the expected
+// binary netpbm format with positive dimensions.
+func checkImageHeader(t *testing.T, path, magic string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("image missing: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Split(bufio.ScanWords)
+	var fields []string
+	for len(fields) < 3 && sc.Scan() {
+		fields = append(fields, sc.Text())
+	}
+	if len(fields) < 3 || fields[0] != magic {
+		t.Fatalf("%s: header %v, want magic %s + dims", path, fields, magic)
+	}
+	if fields[1] == "0" || fields[2] == "0" {
+		t.Fatalf("%s: degenerate dimensions %v", path, fields[1:3])
+	}
+}
+
+func TestVizEndToEnd(t *testing.T) {
+	in := writeWorkload(t, 2500, 200)
+	outDir := t.TempDir()
+	var buf bytes.Buffer
+	err := run(context.Background(), config{
+		inPath: in,
+		outDir: outDir,
+		find:   true,
+		seeds:  24,
+		grid:   16,
+		ascii:  24,
+		seed:   1,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "found ") {
+		t.Errorf("finder summary missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "placed 2500 cells") {
+		t.Errorf("placement summary missing from output:\n%s", out)
+	}
+	checkImageHeader(t, filepath.Join(outDir, "placement.ppm"), "P6")
+	checkImageHeader(t, filepath.Join(outDir, "congestion.pgm"), "P5")
+}
+
+func TestVizWithoutFinder(t *testing.T) {
+	in := writeWorkload(t, 600, 0)
+	var buf bytes.Buffer
+	err := run(context.Background(), config{
+		inPath: in,
+		seeds:  8,
+		grid:   8,
+		ascii:  16,
+		seed:   2,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "found ") {
+		t.Error("finder ran without -find")
+	}
+}
+
+func TestVizErrors(t *testing.T) {
+	if err := run(context.Background(), config{inPath: "/nonexistent/x.tfnet"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing input accepted")
+	}
+	// A cancelled context aborts the finder run with an error.
+	in := writeWorkload(t, 2500, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, config{inPath: in, find: true, seeds: 16, grid: 8, ascii: 16}, &bytes.Buffer{}); err == nil {
+		t.Error("cancelled context did not abort the run")
+	}
+}

@@ -1,0 +1,3 @@
+module tanglefind
+
+go 1.24

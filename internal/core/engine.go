@@ -1,0 +1,466 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tanglefind/internal/ds"
+	"tanglefind/internal/group"
+	"tanglefind/internal/metrics"
+	"tanglefind/internal/netlist"
+)
+
+// Progress is a snapshot of a running engine, delivered to the
+// Options.Progress callback after every completed seed. SeedsTotal is
+// the number of unique seeds actually executed, which can be smaller
+// than Options.Seeds when stratified seeding collapses strata onto the
+// same cell (tiny netlists with large seed counts).
+type Progress struct {
+	SeedsDone  int
+	SeedsTotal int
+	Candidates int // refined candidates found so far
+}
+
+// ProgressFunc receives Progress snapshots. Calls are serialized by the
+// engine but may come from different worker goroutines; the callback
+// must not block for long or it will stall the worker pool.
+type ProgressFunc func(Progress)
+
+// Finder is a long-lived tangled-logic engine over one netlist.
+// Construct it once with NewFinder and run it many times: per-worker
+// growth and evaluation state (frontier arrays, trackers, ordering and
+// curve buffers) is pooled across runs, so repeated runs allocate far
+// less than repeated one-shot Find calls.
+//
+// Finder is safe for concurrent use; concurrent runs draw from the same
+// worker-state pool. Results are deterministic for a fixed
+// Options.RandSeed regardless of scheduling, worker count, or whether a
+// run executes whole (Find) or as shards (FindShard + Merge).
+type Finder struct {
+	nl   *netlist.Netlist
+	aG   float64
+	pool sync.Pool // *workerState
+}
+
+// workerState is the reusable per-worker scratch: one Phase I grower
+// and one set evaluator. Not safe for concurrent use; each worker
+// borrows one from the pool for the duration of a run.
+type workerState struct {
+	gr *grower
+	ev *group.Evaluator
+}
+
+// NewFinder constructs an engine over nl. The netlist must be non-empty
+// and must not be mutated while the engine is in use.
+func NewFinder(nl *netlist.Netlist) (*Finder, error) {
+	if nl == nil || nl.NumCells() == 0 {
+		return nil, fmt.Errorf("core: empty netlist")
+	}
+	f := &Finder{nl: nl, aG: nl.AvgPins()}
+	f.pool.New = func() any {
+		return &workerState{gr: newGrower(nl), ev: group.NewEvaluator(nl)}
+	}
+	return f, nil
+}
+
+// Netlist returns the netlist the engine operates on.
+func (f *Finder) Netlist() *netlist.Netlist { return f.nl }
+
+func (f *Finder) acquire(opt *Options) *workerState {
+	ws := f.pool.Get().(*workerState)
+	ws.gr.opt = opt
+	return ws
+}
+
+func (f *Finder) release(ws *workerState) {
+	ws.gr.opt = nil
+	f.pool.Put(ws)
+}
+
+// seedPlan is the deterministic seed schedule of one run: the seed cell
+// for every index in [0, Options.Seeds), plus the first-occurrence
+// index of each seed cell. Duplicate seeds (multiple strata collapsing
+// onto one cell) are executed once, at their first index; later
+// occurrences reuse that outcome.
+type seedPlan struct {
+	ids   []netlist.CellID
+	owner []int // owner[i] = first index with the same seed cell (== i if unique)
+}
+
+// plan derives the full schedule from (RandSeed, Seeds, |V|). Seeds are
+// stratified — one uniform draw per equal-width slice of the cell-id
+// space — instead of the paper's i.i.d. draws: each seed is still
+// uniform within its stratum, but no region of the netlist can be
+// starved by an unlucky sequence, which matters for deterministic
+// reproduction (i.i.d. leaves a structure covering fraction f a
+// (1-f)^m chance of receiving no seed at all).
+func (f *Finder) plan(opt *Options) seedPlan {
+	master := ds.NewRNG(opt.RandSeed)
+	ids := make([]netlist.CellID, opt.Seeds)
+	n := f.nl.NumCells()
+	stride := float64(n) / float64(opt.Seeds)
+	for i := range ids {
+		lo := int(float64(i) * stride)
+		hi := int(float64(i+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			lo = hi - 1
+		}
+		ids[i] = netlist.CellID(lo + master.Intn(hi-lo))
+	}
+	owner := make([]int, opt.Seeds)
+	first := make(map[netlist.CellID]int, opt.Seeds)
+	for i, id := range ids {
+		if j, ok := first[id]; ok {
+			owner[i] = j
+		} else {
+			first[id] = i
+			owner[i] = i
+		}
+	}
+	return seedPlan{ids: ids, owner: owner}
+}
+
+// shardOut is the raw outcome of one executed (owner) seed.
+type shardOut struct {
+	idx   int // seed index in the full schedule
+	trace SeedTrace
+	cand  *group.Set // refined candidate B̂ (nil if none)
+	score float64
+	rent  float64
+}
+
+// ShardResult holds the raw per-seed outcomes for the seed-index range
+// [Lo, Hi) of one run's schedule. Shards exist so one large run can be
+// split into resumable chunks within one process — run each range
+// separately (sequentially, concurrently, or interleaved with other
+// work) and Merge the pieces into the exact Result a single Find would
+// have produced. ShardResult is not serializable yet; cross-process
+// resume would need an explicit wire format.
+type ShardResult struct {
+	Lo, Hi  int
+	Elapsed time.Duration
+	outs    []shardOut // executed owner seeds, ascending by idx
+}
+
+// SeedsRun returns how many unique seeds this shard executed.
+func (s *ShardResult) SeedsRun() int { return len(s.outs) }
+
+// FindShard executes seeds [lo, hi) of the run's deterministic schedule
+// and returns their raw outcomes. Phase III pruning is global, so it
+// happens at Merge time, not per shard.
+//
+// On cancellation the returned error wraps ctx.Err() and the returned
+// ShardResult holds the seeds that completed; it is not accepted by
+// Merge (rerun the shard to completion for that), but Find uses the
+// same machinery to assemble a partial Result.
+func (f *Finder) FindShard(ctx context.Context, opt Options, lo, hi int) (*ShardResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > opt.Seeds || lo >= hi {
+		return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d seeds", lo, hi, opt.Seeds)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return f.findShard(ctx, &opt, f.plan(&opt), lo, hi)
+}
+
+// findShard is the validated core of FindShard, taking a precomputed
+// plan so Find does not derive the schedule twice per run.
+func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo, hi int) (*ShardResult, error) {
+	start := time.Now()
+
+	// Only first occurrences run; duplicates inherit the owner's result.
+	var run []int
+	for i := lo; i < hi; i++ {
+		if plan.owner[i] == i {
+			run = append(run, i)
+		}
+	}
+
+	outs := make([]shardOut, len(run))
+	completed := make([]bool, len(run))
+	var seedsDone, candsFound atomic.Int64
+	var progMu sync.Mutex
+	report := func() {
+		if opt.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		opt.Progress(Progress{
+			SeedsDone:  int(seedsDone.Load()),
+			SeedsTotal: len(run),
+			Candidates: int(candsFound.Load()),
+		})
+		progMu.Unlock()
+	}
+
+	nWorkers := opt.workers()
+	if nWorkers > len(run) {
+		nWorkers = len(run)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := f.acquire(opt)
+			defer f.release(ws)
+			for k := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				i := run[k]
+				// Per-seed RNG derived from (RandSeed, i): identical
+				// streams no matter which worker runs the job.
+				rng := ds.NewRNG(opt.RandSeed ^ (0x9e37_79b9_7f4a_7c15 * uint64(i+1)))
+				o := runSeed(f.nl, ws.gr, ws.ev, rng, plan.ids[i], opt, f.aG)
+				outs[k] = shardOut{idx: i, trace: o.trace, cand: o.candidate, score: o.score, rent: o.rent}
+				completed[k] = true
+				seedsDone.Add(1)
+				if o.candidate != nil {
+					candsFound.Add(1)
+				}
+				report()
+			}
+		}()
+	}
+feed:
+	for k := range run {
+		select {
+		case jobs <- k:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start)}
+	if err := ctx.Err(); err != nil {
+		for k := range outs {
+			if completed[k] {
+				sr.outs = append(sr.outs, outs[k])
+			}
+		}
+		// Cancellation that lands after the last seed already finished
+		// did not cost any work: the shard is complete, report success.
+		if len(sr.outs) == len(run) {
+			return sr, nil
+		}
+		return sr, fmt.Errorf("core: run cancelled after %d/%d seeds: %w", len(sr.outs), len(run), err)
+	}
+	sr.outs = outs
+	return sr, nil
+}
+
+// Merge combines complete shards covering [0, Options.Seeds)
+// contiguously into the final Result, applying Phase III pruning
+// globally. The shards must come from the same netlist and Options;
+// the merged Result is byte-identical to a single Find with the same
+// Options. Result.Elapsed is the summed shard compute time.
+func (f *Finder) Merge(opt Options, shards ...*ShardResult) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	ordered := make([]*ShardResult, len(shards))
+	copy(ordered, shards)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+	next := 0
+	var elapsed time.Duration
+	for _, s := range ordered {
+		if s.Lo != next {
+			return nil, fmt.Errorf("core: shard coverage gap: expected seed %d, got shard [%d,%d)", next, s.Lo, s.Hi)
+		}
+		next = s.Hi
+		elapsed += s.Elapsed
+	}
+	if next != opt.Seeds {
+		return nil, fmt.Errorf("core: shards cover seeds [0,%d), want [0,%d)", next, opt.Seeds)
+	}
+
+	plan := f.plan(&opt)
+	byIdx := make([]*shardOut, opt.Seeds)
+	for _, s := range ordered {
+		for k := range s.outs {
+			byIdx[s.outs[k].idx] = &s.outs[k]
+		}
+	}
+	// A partial (cancelled) shard is missing owner outcomes; refuse it.
+	for i := 0; i < opt.Seeds; i++ {
+		if plan.owner[i] == i && byIdx[i] == nil {
+			return nil, fmt.Errorf("core: shard covering seed %d is incomplete (cancelled run?); rerun it before merging", i)
+		}
+	}
+
+	var ownerOuts []shardOut
+	for i := 0; i < opt.Seeds; i++ {
+		if plan.owner[i] == i {
+			ownerOuts = append(ownerOuts, *byIdx[i])
+		}
+	}
+	res := f.assemble(&opt, plan, ownerOuts)
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// Find runs the full three-phase finder under ctx. On cancellation it
+// returns the partial Result assembled from the seeds that completed,
+// together with an error wrapping ctx.Err().
+func (f *Finder) Find(ctx context.Context, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	plan := f.plan(&opt)
+	sr, err := f.findShard(ctx, &opt, plan, 0, opt.Seeds)
+	if err != nil && sr == nil {
+		return nil, err
+	}
+	res := f.assemble(&opt, plan, sr.outs)
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// cand is one refined candidate awaiting Phase III pruning.
+type cand struct {
+	set   *group.Set
+	score float64
+	rent  float64
+	seed  netlist.CellID
+}
+
+// assemble turns executed owner outcomes into a Result: it expands
+// duplicate-seed traces, gathers candidates in schedule order and runs
+// the global Phase III pruning. outs must be ascending by idx but may
+// be partial (cancelled runs); traces and candidates of missing seeds
+// are simply absent.
+func (f *Finder) assemble(opt *Options, plan seedPlan, outs []shardOut) *Result {
+	res := &Result{AG: f.aG}
+	byIdx := make(map[int]*shardOut, len(outs))
+	for k := range outs {
+		byIdx[outs[k].idx] = &outs[k]
+	}
+	var cands []cand
+	rentSum, rentN := 0.0, 0
+	for i := 0; i < opt.Seeds; i++ {
+		o, ok := byIdx[plan.owner[i]]
+		if !ok {
+			continue // owner seed never ran (cancelled before it started)
+		}
+		res.Seeds = append(res.Seeds, o.trace)
+		if plan.owner[i] != i {
+			continue // duplicate: trace copied, candidate counted once
+		}
+		if o.cand != nil {
+			cands = append(cands, cand{o.cand, o.score, o.rent, plan.ids[i]})
+			rentSum += o.rent
+			rentN++
+		}
+	}
+	if rentN > 0 {
+		res.Rent = rentSum / float64(rentN)
+	}
+	res.Candidates = len(cands)
+	f.prune(opt, cands, res)
+	return res
+}
+
+// prune implements global Phase III pruning: sort refined candidates by
+// score, greedily keep the disjoint prefix-best set, trimming small
+// overlaps with already-accepted GTLs.
+func (f *Finder) prune(opt *Options, cands []cand, res *Result) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	taken := ds.NewBitset(f.nl.NumCells())
+	ws := f.acquire(opt)
+	defer f.release(ws)
+	pruneEval := ws.ev
+	for _, c := range cands {
+		overlap := 0
+		for _, m := range c.set.Members {
+			if taken.Has(int(m)) {
+				overlap++
+			}
+		}
+		if float64(overlap) > opt.PruneOverlapTolerance*float64(c.set.Size()) {
+			continue // substantially the same structure as a better GTL
+		}
+		set := *c.set
+		score := c.score
+		if overlap > 0 {
+			// Trim the junction cells already owned by a better GTL
+			// and re-evaluate the remainder.
+			kept := make([]netlist.CellID, 0, set.Size()-overlap)
+			for _, m := range set.Members {
+				if !taken.Has(int(m)) {
+					kept = append(kept, m)
+				}
+			}
+			if len(kept) < opt.MinGroupSize {
+				continue
+			}
+			set = pruneEval.Eval(kept)
+			switch opt.Metric {
+			case MetricNGTLS:
+				score = metrics.NGTLScore(set.Cut, set.Size(), c.rent, f.aG)
+			default:
+				score = metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, f.aG)
+			}
+		}
+		for _, m := range set.Members {
+			taken.Add(int(m))
+		}
+		res.GTLs = append(res.GTLs, GTL{
+			Members: set.Members,
+			Cut:     set.Cut,
+			Pins:    set.Pins,
+			Score:   score,
+			NGTLS:   metrics.NGTLScore(set.Cut, set.Size(), c.rent, f.aG),
+			GTLSD:   metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, f.aG),
+			Rent:    c.rent,
+			Seed:    c.seed,
+		})
+	}
+	// Trimming can disturb the best-first order slightly; restore it.
+	sort.SliceStable(res.GTLs, func(i, j int) bool { return res.GTLs[i].Score < res.GTLs[j].Score })
+}
+
+// FindMany runs the finder over a batch of netlists with shared
+// Options, constructing one engine per netlist. The returned slice is
+// positional: results[i] corresponds to nls[i]. Netlists run
+// sequentially (each run is internally parallel); on error or
+// cancellation the slice holds the results completed so far — including
+// a partial result for the interrupted netlist — alongside the error.
+func FindMany(ctx context.Context, nls []*netlist.Netlist, opt Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Result, len(nls))
+	for i, nl := range nls {
+		f, err := NewFinder(nl)
+		if err != nil {
+			return results, fmt.Errorf("core: netlist %d: %w", i, err)
+		}
+		res, err := f.Find(ctx, opt)
+		results[i] = res
+		if err != nil {
+			return results, fmt.Errorf("core: netlist %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-	"sync"
+	"context"
 	"time"
 
 	"tanglefind/internal/ds"
@@ -51,166 +49,39 @@ type Result struct {
 // Find runs the TangledLogicFinder over nl with the given options and
 // returns the disjoint set of detected GTLs. The run is deterministic
 // for a fixed Options.RandSeed.
+//
+// Find is a compatibility wrapper: it builds a fresh Finder engine and
+// discards it after one run. Callers that run repeatedly over the same
+// netlist, need cancellation, progress reporting or sharded execution
+// should construct a Finder directly.
+//
+// One deliberate difference from the historical implementation: when
+// Seeds exceeds the cell count, seed strata collapse onto duplicate
+// cells, and the engine now runs each unique seed once instead of
+// re-running identical seeds (duplicates inherit the first
+// occurrence's trace and candidate). Results are unchanged whenever
+// the schedule is duplicate-free — the common case.
 func Find(nl *netlist.Netlist, opt Options) (*Result, error) {
-	if nl.NumCells() == 0 {
-		return nil, fmt.Errorf("core: empty netlist")
+	f, err := NewFinder(nl)
+	if err != nil {
+		return nil, err
 	}
-	if opt.Seeds <= 0 {
-		return nil, fmt.Errorf("core: Seeds must be positive, got %d", opt.Seeds)
-	}
-	if opt.MaxOrderLen < 2 {
-		return nil, fmt.Errorf("core: MaxOrderLen must be at least 2, got %d", opt.MaxOrderLen)
-	}
-	start := time.Now()
-	aG := nl.AvgPins()
+	return f.Find(context.Background(), opt)
+}
 
-	// I.1: the seed list comes from the master RNG up front so results
-	// do not depend on goroutine scheduling. Seeds are stratified —
-	// one uniform draw per equal-width slice of the cell-id space —
-	// instead of the paper's i.i.d. draws: each seed is still uniform
-	// within its stratum, but no region of the netlist can be starved
-	// by an unlucky sequence, which matters for deterministic
-	// reproduction (i.i.d. leaves a structure covering fraction f a
-	// (1-f)^m chance of receiving no seed at all).
-	master := ds.NewRNG(opt.RandSeed)
-	seeds := make([]netlist.CellID, opt.Seeds)
-	stride := float64(nl.NumCells()) / float64(opt.Seeds)
-	for i := range seeds {
-		lo := int(float64(i) * stride)
-		hi := int(float64(i+1) * stride)
-		if hi <= lo {
-			hi = lo + 1
-		}
-		if hi > nl.NumCells() {
-			hi = nl.NumCells()
-		}
-		if lo >= hi {
-			lo = hi - 1
-		}
-		seeds[i] = netlist.CellID(lo + master.Intn(hi-lo))
-	}
-
-	type seedOut struct {
-		trace     SeedTrace
-		candidate *group.Set // refined candidate B̂_i (nil if none)
-		score     float64
-		rent      float64
-	}
-	outs := make([]seedOut, opt.Seeds)
-
-	nWorkers := opt.workers()
-	if nWorkers > opt.Seeds {
-		nWorkers = opt.Seeds
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			gr := newGrower(nl, &opt)
-			ev := group.NewEvaluator(nl)
-			for i := range jobs {
-				// Per-seed RNG derived from (RandSeed, i): identical
-				// streams no matter which worker runs the job.
-				rng := ds.NewRNG(opt.RandSeed ^ (0x9e37_79b9_7f4a_7c15 * uint64(i+1)))
-				outs[i] = runSeed(nl, gr, ev, rng, seeds[i], &opt, aG)
-			}
-		}()
-	}
-	for i := 0; i < opt.Seeds; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Phase III pruning: sort refined candidates by score, greedily
-	// keep the disjoint prefix-best set.
-	res := &Result{AG: aG}
-	type cand struct {
-		set   *group.Set
-		score float64
-		rent  float64
-		seed  netlist.CellID
-	}
-	var cands []cand
-	rentSum, rentN := 0.0, 0
-	for i := range outs {
-		res.Seeds = append(res.Seeds, outs[i].trace)
-		if outs[i].candidate != nil {
-			cands = append(cands, cand{outs[i].candidate, outs[i].score, outs[i].rent, seeds[i]})
-			rentSum += outs[i].rent
-			rentN++
-		}
-	}
-	if rentN > 0 {
-		res.Rent = rentSum / float64(rentN)
-	}
-	res.Candidates = len(cands)
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
-	taken := ds.NewBitset(nl.NumCells())
-	pruneEval := group.NewEvaluator(nl)
-	for _, c := range cands {
-		overlap := 0
-		for _, m := range c.set.Members {
-			if taken.Has(int(m)) {
-				overlap++
-			}
-		}
-		if float64(overlap) > opt.PruneOverlapTolerance*float64(c.set.Size()) {
-			continue // substantially the same structure as a better GTL
-		}
-		set := *c.set
-		score := c.score
-		if overlap > 0 {
-			// Trim the junction cells already owned by a better GTL
-			// and re-evaluate the remainder.
-			kept := make([]netlist.CellID, 0, set.Size()-overlap)
-			for _, m := range set.Members {
-				if !taken.Has(int(m)) {
-					kept = append(kept, m)
-				}
-			}
-			if len(kept) < opt.MinGroupSize {
-				continue
-			}
-			set = pruneEval.Eval(kept)
-			switch opt.Metric {
-			case MetricNGTLS:
-				score = metrics.NGTLScore(set.Cut, set.Size(), c.rent, aG)
-			default:
-				score = metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, aG)
-			}
-		}
-		for _, m := range set.Members {
-			taken.Add(int(m))
-		}
-		res.GTLs = append(res.GTLs, GTL{
-			Members: set.Members,
-			Cut:     set.Cut,
-			Pins:    set.Pins,
-			Score:   score,
-			NGTLS:   metrics.NGTLScore(set.Cut, set.Size(), c.rent, aG),
-			GTLSD:   metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, aG),
-			Rent:    c.rent,
-			Seed:    c.seed,
-		})
-	}
-	// Trimming can disturb the best-first order slightly; restore it.
-	sort.SliceStable(res.GTLs, func(i, j int) bool { return res.GTLs[i].Score < res.GTLs[j].Score })
-	res.Elapsed = time.Since(start)
-	return res, nil
+// seedOut is the outcome of Phases I-III (refinement, not pruning) for
+// one seed.
+type seedOut struct {
+	trace     SeedTrace
+	candidate *group.Set // refined candidate B̂ (nil if none)
+	score     float64
+	rent      float64
 }
 
 // runSeed executes Phases I–III (refinement, not pruning) for one seed.
-func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, seed netlist.CellID, opt *Options, aG float64) (out struct {
-	trace     SeedTrace
-	candidate *group.Set
-	score     float64
-	rent      float64
-}) {
+func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, seed netlist.CellID, opt *Options, aG float64) (out seedOut) {
 	ord := gr.grow(seed, opt.MaxOrderLen)
-	curve := ScoreCurve(ord, opt.Metric, aG)
+	curve := gr.scoreCurve(ord, opt.Metric, aG, opt.KeepCurves)
 	ex := extract(curve, opt)
 	out.trace = SeedTrace{Seed: seed, OrderLen: ord.Len()}
 	if opt.KeepCurves {
@@ -246,7 +117,7 @@ func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex ext
 	for r := 0; r < opt.RefineSeeds && base.Size() > 0; r++ {
 		s := base.Members[rng.Intn(base.Size())]
 		ord := gr.grow(s, opt.MaxOrderLen)
-		curve := ScoreCurve(ord, opt.Metric, aG)
+		curve := gr.scoreCurve(ord, opt.Metric, aG, false)
 		ex2 := extract(curve, opt)
 		if !ex2.ok {
 			continue
@@ -302,6 +173,7 @@ func score(s *group.Set, rent, aG float64, m Metric) float64 {
 // GrowOrdering exposes Phase I for one seed — the building block the
 // figure generators (Figures 2, 3, 5) use to plot raw score curves.
 func GrowOrdering(nl *netlist.Netlist, seed netlist.CellID, maxLen int, opt Options) *OrderingStats {
-	gr := newGrower(nl, &opt)
+	gr := newGrower(nl)
+	gr.opt = &opt
 	return gr.grow(seed, maxLen)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"tanglefind/internal/generate"
@@ -95,6 +97,60 @@ func sizes(gtls []GTL) []int {
 		out[i] = gtls[i].Size()
 	}
 	return out
+}
+
+// TestOptionsValidation covers the centralized Options.validate():
+// every nonsense field value must produce a descriptive error from
+// every engine entry point, not a silent misbehaving run.
+func TestOptionsValidation(t *testing.T) {
+	var b netlist.Builder
+	b.AddCells(16)
+	for i := 0; i < 15; i++ {
+		b.AddNet("", netlist.CellID(i), netlist.CellID(i+1))
+	}
+	nl := b.MustBuild()
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		want   string
+	}{
+		{"zero seeds", func(o *Options) { o.Seeds = 0 }, "Seeds"},
+		{"negative seeds", func(o *Options) { o.Seeds = -4 }, "Seeds"},
+		{"short ordering", func(o *Options) { o.MaxOrderLen = 1 }, "MaxOrderLen"},
+		{"negative min group", func(o *Options) { o.MinGroupSize = -1 }, "MinGroupSize"},
+		{"zero accept threshold", func(o *Options) { o.AcceptThreshold = 0 }, "AcceptThreshold"},
+		{"negative dip ratio", func(o *Options) { o.DipRatio = -0.5 }, "DipRatio"},
+		{"zero dip ratio", func(o *Options) { o.DipRatio = 0 }, "DipRatio"},
+		{"negative big-net skip", func(o *Options) { o.BigNetSkip = -1 }, "BigNetSkip"},
+		{"negative refine seeds", func(o *Options) { o.RefineSeeds = -2 }, "RefineSeeds"},
+		{"negative overlap tolerance", func(o *Options) { o.PruneOverlapTolerance = -0.1 }, "PruneOverlapTolerance"},
+	}
+	f, err := NewFinder(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		opt := DefaultOptions()
+		tc.mutate(&opt)
+		if _, err := Find(nl, opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Find err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+		if _, err := f.Find(context.Background(), opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Finder.Find err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+		if opt.Seeds > 0 {
+			if _, err := f.FindShard(context.Background(), opt, 0, opt.Seeds); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s: FindShard err = %v, want mention of %s", tc.name, err, tc.want)
+			}
+		}
+	}
+	// Valid defaults must pass, and a bad shard range must be caught.
+	if _, err := f.FindShard(context.Background(), DefaultOptions(), 5, 3); err == nil {
+		t.Error("inverted shard range accepted")
+	}
+	if _, err := f.FindShard(context.Background(), DefaultOptions(), 0, 10_000); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
 }
 
 func TestNoGTLInPureRandomGraph(t *testing.T) {

@@ -18,7 +18,10 @@
 // Options.RandSeed regardless of scheduling.
 package core
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Metric selects the score Φ that drives candidate extraction,
 // refinement and pruning.
@@ -118,6 +121,10 @@ type Options struct {
 	// KeepCurves retains each seed's score curve in the result (memory
 	// heavy; used by the figure generators).
 	KeepCurves bool
+	// Progress, when non-nil, receives engine progress snapshots after
+	// every completed seed. It has no effect on results. Calls are
+	// serialized but may come from any worker goroutine; keep it fast.
+	Progress ProgressFunc
 }
 
 // DefaultOptions returns the paper's parameter settings.
@@ -144,4 +151,29 @@ func (o *Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// validate is the single place options are sanity-checked; every engine
+// entry point calls it before touching the netlist. Workers needs no
+// check (<= 0 means GOMAXPROCS) and Progress/KeepCurves are free-form.
+func (o *Options) validate() error {
+	switch {
+	case o.Seeds <= 0:
+		return fmt.Errorf("core: Seeds must be positive, got %d", o.Seeds)
+	case o.MaxOrderLen < 2:
+		return fmt.Errorf("core: MaxOrderLen must be at least 2, got %d", o.MaxOrderLen)
+	case o.MinGroupSize < 0:
+		return fmt.Errorf("core: MinGroupSize must be non-negative, got %d", o.MinGroupSize)
+	case o.AcceptThreshold <= 0:
+		return fmt.Errorf("core: AcceptThreshold must be positive, got %g", o.AcceptThreshold)
+	case o.DipRatio <= 0:
+		return fmt.Errorf("core: DipRatio must be positive, got %g", o.DipRatio)
+	case o.BigNetSkip < 0:
+		return fmt.Errorf("core: BigNetSkip must be non-negative (0 disables), got %d", o.BigNetSkip)
+	case o.RefineSeeds < 0:
+		return fmt.Errorf("core: RefineSeeds must be non-negative, got %d", o.RefineSeeds)
+	case o.PruneOverlapTolerance < 0:
+		return fmt.Errorf("core: PruneOverlapTolerance must be non-negative, got %g", o.PruneOverlapTolerance)
+	}
+	return nil
 }

@@ -22,8 +22,11 @@ func (o *OrderingStats) Len() int { return len(o.Members) }
 func (o *OrderingStats) Prefix(k int) []netlist.CellID { return o.Members[:k] }
 
 // grower owns the reusable state for running Phase I repeatedly over
-// one netlist. It is not safe for concurrent use; the parallel driver
-// gives each worker its own.
+// one netlist. It is not safe for concurrent use; the engine pools
+// growers and hands each worker its own. The options pointer is set by
+// the engine when a worker borrows the grower for a run (options can
+// change between runs of the same engine; the sized arrays and buffers
+// below depend only on the netlist and survive every run).
 type grower struct {
 	nl      *netlist.Netlist
 	tracker *group.Tracker
@@ -33,16 +36,18 @@ type grower struct {
 	inFront []bool
 	touched []netlist.CellID
 	opt     *Options
+
+	ord   OrderingStats // reusable Phase I output (aliased by grow's return)
+	curve Curve         // reusable Phase II score buffer (see scoreCurve)
 }
 
-func newGrower(nl *netlist.Netlist, opt *Options) *grower {
+func newGrower(nl *netlist.Netlist) *grower {
 	return &grower{
 		nl:      nl,
 		tracker: group.NewTracker(nl),
 		gain:    make([]float64, nl.NumCells()),
 		tie:     make([]int32, nl.NumCells()),
 		inFront: make([]bool, nl.NumCells()),
-		opt:     opt,
 	}
 }
 
@@ -58,17 +63,19 @@ func (g *grower) reset() {
 }
 
 // grow runs Phase I from seed, producing an ordering of at most maxLen
-// cells (shorter if the seed's reachable region is exhausted).
+// cells (shorter if the seed's reachable region is exhausted). The
+// returned stats alias the grower's reusable buffer and stay valid only
+// until the next grow call; callers that keep prefixes copy them
+// through group.Evaluator.Eval.
 func (g *grower) grow(seed netlist.CellID, maxLen int) *OrderingStats {
 	g.reset()
 	if maxLen > g.nl.NumCells() {
 		maxLen = g.nl.NumCells()
 	}
-	out := &OrderingStats{
-		Members: make([]netlist.CellID, 0, maxLen),
-		Cuts:    make([]int32, 0, maxLen),
-		Pins:    make([]int64, 0, maxLen),
-	}
+	out := &g.ord
+	out.Members = out.Members[:0]
+	out.Cuts = out.Cuts[:0]
+	out.Pins = out.Pins[:0]
 	record := func() {
 		out.Members = append(out.Members, g.tracker.Members()[g.tracker.Size()-1])
 		out.Cuts = append(out.Cuts, int32(g.tracker.Cut()))

@@ -37,8 +37,21 @@ func averageRent(o *OrderingStats) float64 {
 // ScoreCurve evaluates metric m over every prefix of the ordering.
 // aG is the netlist's average pin count A(G).
 func ScoreCurve(o *OrderingStats, m Metric, aG float64) *Curve {
+	c := &Curve{}
+	scoreCurveInto(c, o, m, aG)
+	return c
+}
+
+// scoreCurveInto fills c (reusing its Scores capacity) with metric m
+// over every prefix of the ordering.
+func scoreCurveInto(c *Curve, o *OrderingStats, m Metric, aG float64) {
 	p := averageRent(o)
-	c := &Curve{Scores: make([]float64, o.Len()), Rent: p, AG: aG}
+	if cap(c.Scores) < o.Len() {
+		c.Scores = make([]float64, o.Len())
+	}
+	c.Scores = c.Scores[:o.Len()]
+	c.Rent = p
+	c.AG = aG
 	for k := 1; k <= o.Len(); k++ {
 		cut := int(o.Cuts[k-1])
 		switch m {
@@ -48,7 +61,18 @@ func ScoreCurve(o *OrderingStats, m Metric, aG float64) *Curve {
 			c.Scores[k-1] = metrics.GTLSD(cut, k, int(o.Pins[k-1]), p, aG)
 		}
 	}
-	return c
+}
+
+// scoreCurve evaluates the Phase II curve for one ordering. Unless the
+// caller needs to keep the curve alive (Options.KeepCurves), the
+// grower's reusable buffer backs it — the returned curve is then valid
+// only until the grower's next scoreCurve call.
+func (g *grower) scoreCurve(o *OrderingStats, m Metric, aG float64, keep bool) *Curve {
+	if keep {
+		return ScoreCurve(o, m, aG)
+	}
+	scoreCurveInto(&g.curve, o, m, aG)
+	return &g.curve
 }
 
 // extraction is the outcome of Phase II for one ordering.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -24,7 +25,7 @@ type AblationRow struct {
 // planted-block workload: Phase I growth rule (the paper's §3.2.1
 // argument), Phase III refinement on/off, driving metric, and the
 // big-net skip threshold.
-func Ablation(cfg Config, w io.Writer) ([]AblationRow, error) {
+func Ablation(ctx context.Context, cfg Config, w io.Writer) ([]AblationRow, error) {
 	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
 		Cells:  cfg.scaled(250_000),
 		Blocks: []generate.BlockSpec{{Size: cfg.scaled(15_000)}},
@@ -51,11 +52,18 @@ func Ablation(cfg Config, w io.Writer) ([]AblationRow, error) {
 		{"metric nGTL-S", func(o *core.Options) { o.Metric = core.MetricNGTLS }},
 		{"big-net skip off", func(o *core.Options) { o.BigNetSkip = 0 }},
 	}
+	// One engine serves every variant: the ablation sweep is exactly the
+	// repeated-run-over-one-netlist shape the pooled worker state exists
+	// for.
+	finder, err := core.NewFinder(rg.Netlist)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, v := range variants {
 		opt := base
 		v.mutate(&opt)
-		res, err := core.Find(rg.Netlist, opt)
+		res, err := finder.Find(ctx, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -101,6 +102,18 @@ func matchOutcome(truth []netlist.CellID, gtls []core.GTL) BlockOutcome {
 	return out
 }
 
+// findCtx runs one engine-backed detection pass over nl under ctx.
+// Experiments build each workload once and run it once, so the engine
+// lives for just that run; the ablation sweep, which reruns one
+// workload many times, keeps its engine across variants instead.
+func findCtx(ctx context.Context, nl *netlist.Netlist, opt core.Options) (*core.Result, error) {
+	f, err := core.NewFinder(nl)
+	if err != nil {
+		return nil, err
+	}
+	return f.Find(ctx, opt)
+}
+
 // finderOptions derives finder options sized for a workload of
 // numCells cells whose largest expected GTL has maxBlock cells. Z is
 // kept well below |V| — an ordering that swallows the whole netlist
@@ -159,7 +172,7 @@ type Table1Result struct {
 }
 
 // Table1Run executes one case.
-func Table1Run(cs Table1Case, cfg Config) (*Table1Result, error) {
+func Table1Run(ctx context.Context, cs Table1Case, cfg Config) (*Table1Result, error) {
 	spec := generate.RandomGraphSpec{
 		Cells: cfg.scaled(cs.Cells),
 		Seed:  cfg.Seed*1000 + 11,
@@ -207,7 +220,7 @@ func Table1Run(cs Table1Case, cfg Config) (*Table1Result, error) {
 	if want := 5 * spec.Cells / minBlock; opt.Seeds < want {
 		opt.Seeds = want
 	}
-	res, err := core.Find(rg.Netlist, opt)
+	res, err := findCtx(ctx, rg.Netlist, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -233,12 +246,12 @@ func Table1Run(cs Table1Case, cfg Config) (*Table1Result, error) {
 }
 
 // Table1 runs all four cases and renders the paper-style table.
-func Table1(cfg Config, w io.Writer) ([]*Table1Result, error) {
+func Table1(ctx context.Context, cfg Config, w io.Writer) ([]*Table1Result, error) {
 	tbl := report.New("Table 1: experimental results on random graphs (scaled)",
 		"Case", "|V|", "Planted", "#seeds", "#GTL", "GTL size", "nGTL-S", "GTL-SD", "Miss%", "Over%")
 	var results []*Table1Result
 	for _, cs := range Table1Cases {
-		r, err := Table1Run(cs, cfg)
+		r, err := Table1Run(ctx, cs, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +293,7 @@ type Table2Result struct {
 }
 
 // Table2Run executes one ISPD profile.
-func Table2Run(p generate.ISPDProfile, cfg Config) (*Table2Result, error) {
+func Table2Run(ctx context.Context, p generate.ISPDProfile, cfg Config) (*Table2Result, error) {
 	d, err := generate.NewISPDProxy(p, cfg.Scale, cfg.Seed*100+7)
 	if err != nil {
 		return nil, err
@@ -292,7 +305,7 @@ func Table2Run(p generate.ISPDProfile, cfg Config) (*Table2Result, error) {
 		}
 	}
 	opt := cfg.finderOptions(maxBlock, d.Netlist.NumCells())
-	res, err := core.Find(d.Netlist, opt)
+	res, err := findCtx(ctx, d.Netlist, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -304,12 +317,12 @@ func Table2Run(p generate.ISPDProfile, cfg Config) (*Table2Result, error) {
 }
 
 // Table2 runs all six profiles.
-func Table2(cfg Config, w io.Writer) ([]*Table2Result, error) {
+func Table2(ctx context.Context, cfg Config, w io.Writer) ([]*Table2Result, error) {
 	tbl := report.New("Table 2: ISPD 05/06 proxy benchmarks (scaled)",
 		"Case", "|V|", "#seeds", "#GTL", "Top GTL", "size", "Cut", "GTL-S", "GTL-SD", "Runtime")
 	var results []*Table2Result
 	for _, p := range generate.ISPDProfiles {
-		r, err := Table2Run(p, cfg)
+		r, err := Table2Run(ctx, p, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +361,7 @@ type Table3Result struct {
 
 // Table3Run builds the industrial proxy and scores the finder on the
 // five dissolved-ROM blocks.
-func Table3Run(cfg Config) (*Table3Result, error) {
+func Table3Run(ctx context.Context, cfg Config) (*Table3Result, error) {
 	d, err := generate.NewIndustrialProxy(cfg.Scale, cfg.Seed*10+3)
 	if err != nil {
 		return nil, err
@@ -376,7 +389,7 @@ func Table3Run(cfg Config) (*Table3Result, error) {
 	if opt.Seeds < 100 {
 		opt.Seeds = 100
 	}
-	res, err := core.Find(d.Netlist, opt)
+	res, err := findCtx(ctx, d.Netlist, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -388,8 +401,8 @@ func Table3Run(cfg Config) (*Table3Result, error) {
 }
 
 // Table3 renders the industrial-circuit table.
-func Table3(cfg Config, w io.Writer) (*Table3Result, error) {
-	r, err := Table3Run(cfg)
+func Table3(ctx context.Context, cfg Config, w io.Writer) (*Table3Result, error) {
+	r, err := Table3Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +464,7 @@ func argmin(scores []float64, from int) (int, float64) {
 // ISPD 2005/06 benchmark) with the same procedure as Table2Run. The
 // expected maximum GTL size is unknown for real circuits, so Z follows
 // the paper's 100K cap, bounded by |V|/2.
-func Table2RunBookshelf(name, auxPath string, cfg Config) (*Table2Result, error) {
+func Table2RunBookshelf(ctx context.Context, name, auxPath string, cfg Config) (*Table2Result, error) {
 	d, err := bookshelf.ReadAux(auxPath)
 	if err != nil {
 		return nil, err
@@ -464,7 +477,7 @@ func Table2RunBookshelf(name, auxPath string, cfg Config) (*Table2Result, error)
 	if opt.MaxOrderLen > nl.NumCells()/2 {
 		opt.MaxOrderLen = nl.NumCells() / 2
 	}
-	res, err := core.Find(nl, opt)
+	res, err := findCtx(ctx, nl, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ var tiny = Config{Scale: 0.04, Seeds: 100, Seed: 1}
 
 func TestTable1ShapeHolds(t *testing.T) {
 	var buf bytes.Buffer
-	results, err := Table1(tiny, &buf)
+	results, err := Table1(context.Background(), tiny, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestTable1ShapeHolds(t *testing.T) {
 
 func TestTable2ShapeHolds(t *testing.T) {
 	var buf bytes.Buffer
-	results, err := Table2(tiny, &buf)
+	results, err := Table2(context.Background(), tiny, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestTable3ShapeHolds(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tiny
 	cfg.Seeds = 160
-	r, err := Table3(cfg, &buf)
+	r, err := Table3(context.Background(), cfg, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestTable3ShapeHolds(t *testing.T) {
 func TestFigure23Shapes(t *testing.T) {
 	for _, m := range []core.Metric{core.MetricNGTLS, core.MetricGTLSD} {
 		var buf bytes.Buffer
-		r, err := Figure23(m, tiny, &buf)
+		r, err := Figure23(context.Background(), m, tiny, &buf)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func TestFigure23Shapes(t *testing.T) {
 
 func TestFigure5Shape(t *testing.T) {
 	var buf bytes.Buffer
-	r, err := Figure5(tiny, &buf)
+	r, err := Figure5(context.Background(), tiny, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFigure5Shape(t *testing.T) {
 
 func TestFigure46Renders(t *testing.T) {
 	var buf bytes.Buffer
-	r, err := Figure46("industrial", tiny, &buf, nil)
+	r, err := Figure46(context.Background(), "industrial", tiny, &buf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFigure46Renders(t *testing.T) {
 func TestInflationShape(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tiny
-	r, err := Inflation(cfg, &buf, nil)
+	r, err := Inflation(context.Background(), cfg, &buf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestInflationShape(t *testing.T) {
 
 func TestAblationOrderingMatters(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Ablation(tiny, &buf)
+	rows, err := Ablation(context.Background(), tiny, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestTable2Bookshelf(t *testing.T) {
 	}
 	cfg := tiny
 	cfg.Seeds = 64
-	r, err := Table2RunBookshelf("bb", filepath.Join(dir, "bb.aux"), cfg)
+	r, err := Table2RunBookshelf(context.Background(), "bb", filepath.Join(dir, "bb.aux"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -32,7 +33,7 @@ type Figure23Result struct {
 // Figure23 regenerates Figure 2 (nGTL-S) or Figure 3 (GTL-SD): the
 // paper's 250K-cell random graph with one 40K-cell GTL, two
 // agglomerations, score versus group size.
-func Figure23(metric core.Metric, cfg Config, w io.Writer) (*Figure23Result, error) {
+func Figure23(ctx context.Context, metric core.Metric, cfg Config, w io.Writer) (*Figure23Result, error) {
 	cells := cfg.scaled(250_000)
 	block := cfg.scaled(40_000)
 	if block < 200 {
@@ -122,7 +123,7 @@ type Figure5Result struct {
 // Structure 1 scores 0.14, not the ~0.02 of the dissolved ROMs),
 // because ratio cut's large-size bias only separates from the GTL
 // metrics when the structure's dip is not overwhelmingly deep.
-func Figure5(cfg Config, w io.Writer) (*Figure5Result, error) {
+func Figure5(ctx context.Context, cfg Config, w io.Writer) (*Figure5Result, error) {
 	// A Rent-obeying hierarchical host is essential here: in a uniform
 	// random graph the background cut grows linearly, so ratio cut's
 	// asymptote never undercuts the structure dip and the baseline
@@ -202,7 +203,7 @@ type Figure46Result struct {
 // Figure46 places a design, finds its GTLs and renders the overlay.
 // design selects "bigblue1" (Figure 4) or "industrial" (Figure 6).
 // When pgm is non-nil a PPM image is written to it as well.
-func Figure46(design string, cfg Config, w io.Writer, ppm io.Writer) (*Figure46Result, error) {
+func Figure46(ctx context.Context, design string, cfg Config, w io.Writer, ppm io.Writer) (*Figure46Result, error) {
 	var nl *netlist.Netlist
 	var maxBlock int
 	switch design {
@@ -237,7 +238,7 @@ func Figure46(design string, cfg Config, w io.Writer, ppm io.Writer) (*Figure46R
 	if opt.Seeds < 100 {
 		opt.Seeds = 100
 	}
-	res, err := core.Find(nl, opt)
+	res, err := findCtx(ctx, nl, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +281,7 @@ type InflationResult struct {
 // re-place, re-measure. Unlike the route package's unit test, this uses
 // the *found* GTLs, not ground truth — the full pipeline of the paper.
 // When asciiW is non-nil, before/after congestion maps render to it.
-func Inflation(cfg Config, w io.Writer, asciiW io.Writer) (*InflationResult, error) {
+func Inflation(ctx context.Context, cfg Config, w io.Writer, asciiW io.Writer) (*InflationResult, error) {
 	d, err := generate.NewIndustrialProxy(cfg.Scale, cfg.Seed*10+3)
 	if err != nil {
 		return nil, err
@@ -296,7 +297,7 @@ func Inflation(cfg Config, w io.Writer, asciiW io.Writer) (*InflationResult, err
 	if opt.Seeds < 100 {
 		opt.Seeds = 100
 	}
-	found, err := core.Find(nl, opt)
+	found, err := findCtx(ctx, nl, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -14,7 +14,8 @@
 //   - netlist modeling (Netlist, Builder) and Bookshelf/tfnet I/O
 //   - the Rent's-rule-based scores (GTLScore, NGTLScore, GTLSD) plus
 //     the classic baselines the paper compares against
-//   - the three-phase TangledLogicFinder (Find, Options)
+//   - the three-phase TangledLogicFinder engine (Finder, Find,
+//     FindMany, Options) with cancellation, progress and sharded runs
 //   - workload generators (random graphs with planted GTLs, Rent-driven
 //     hierarchical circuits, structural fragments, industrial proxy)
 //   - a recursive-bisection placer, RUDY congestion estimation and the
@@ -36,6 +37,8 @@
 package tanglefind
 
 import (
+	"context"
+
 	"tanglefind/internal/core"
 	"tanglefind/internal/generate"
 	"tanglefind/internal/netlist"
@@ -77,11 +80,39 @@ type Result = core.Result
 // GTL is one detected group of tangled logic.
 type GTL = core.GTL
 
+// Finder is the long-lived, reusable detection engine: construct once
+// per netlist with NewFinder, then run it many times. Repeated runs
+// reuse pooled per-worker state, runs accept a context for
+// cancellation/deadline, emit Options.Progress callbacks, and can be
+// split into resumable shards (FindShard + Merge).
+type Finder = core.Finder
+
+// ShardResult holds the raw outcomes of one seed-range chunk of a run;
+// see Finder.FindShard and Finder.Merge.
+type ShardResult = core.ShardResult
+
+// Progress is the engine's per-seed progress snapshot.
+type Progress = core.Progress
+
+// ProgressFunc receives Progress snapshots via Options.Progress.
+type ProgressFunc = core.ProgressFunc
+
 // DefaultOptions returns the paper's parameter settings.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Find runs the three-phase TangledLogicFinder over nl.
+// NewFinder constructs a reusable detection engine over nl.
+func NewFinder(nl *Netlist) (*Finder, error) { return core.NewFinder(nl) }
+
+// Find runs the three-phase TangledLogicFinder over nl. It is a
+// one-shot convenience over NewFinder + Finder.Find.
 func Find(nl *Netlist, opt Options) (*Result, error) { return core.Find(nl, opt) }
+
+// FindMany runs the finder over a batch of netlists with shared
+// options; results are positional. On cancellation the slice holds
+// whatever completed alongside the error.
+func FindMany(ctx context.Context, nls []*Netlist, opt Options) ([]*Result, error) {
+	return core.FindMany(ctx, nls, opt)
+}
 
 // Generators.
 type (
