@@ -11,7 +11,10 @@
 package tanglefind_test
 
 import (
+	"bytes"
 	"context"
+	"sort"
+	"sync"
 	"testing"
 
 	"tanglefind/internal/core"
@@ -393,6 +396,223 @@ func BenchmarkEngineColdFind2x_Table2Bigblue1(b *testing.B) {
 func BenchmarkEngineReused2x_Table2Bigblue1(b *testing.B) {
 	nl, opt := engineBenchTable2(b)
 	benchEngineReused(b, nl, opt)
+}
+
+// ---------------------------------------------------------------------
+// CSR substrate — flat-layout traversal, clique expansion and binary
+// I/O against the seed representations, on a 100K-cell netlist.
+// ---------------------------------------------------------------------
+
+// substrate100K builds the shared 100K-cell workload (Table 1 case 2/3
+// geometry) once per benchmark binary.
+var substrate100K = struct {
+	once sync.Once
+	nl   *netlist.Netlist
+}{}
+
+func bench100K(b *testing.B) *netlist.Netlist {
+	b.Helper()
+	substrate100K.once.Do(func() {
+		rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+			Cells:  100_000,
+			Blocks: []generate.BlockSpec{{Size: 5000}},
+			Seed:   11,
+		})
+		if err != nil {
+			panic(err)
+		}
+		substrate100K.nl = rg.Netlist
+	})
+	return substrate100K.nl
+}
+
+// BenchmarkTraversal_CSR walks every cell's pins then every incident
+// net's size — the finder's Phase I access pattern — over the flat CSR
+// arrays.
+func BenchmarkTraversal_CSR(b *testing.B) {
+	nl := bench100K(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := 0
+		for c := 0; c < nl.NumCells(); c++ {
+			for _, n := range nl.CellPins(netlist.CellID(c)) {
+				acc += nl.NetSize(n)
+			}
+		}
+		if acc == 0 {
+			b.Fatal("empty traversal")
+		}
+	}
+}
+
+// BenchmarkTraversal_Sliced is the same walk over the seed
+// representation ([][]NetID / [][]CellID slice-of-slices), rebuilt
+// here for comparison.
+func BenchmarkTraversal_Sliced(b *testing.B) {
+	nl := bench100K(b)
+	cellPins := make([][]netlist.NetID, nl.NumCells())
+	for c := range cellPins {
+		cellPins[c] = append([]netlist.NetID(nil), nl.CellPins(netlist.CellID(c))...)
+	}
+	netPins := make([][]netlist.CellID, nl.NumNets())
+	for n := range netPins {
+		netPins[n] = append([]netlist.CellID(nil), nl.NetPins(netlist.NetID(n))...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := 0
+		for c := range cellPins {
+			for _, n := range cellPins[c] {
+				acc += len(netPins[n])
+			}
+		}
+		if acc == 0 {
+			b.Fatal("empty traversal")
+		}
+	}
+}
+
+// BenchmarkCliqueExpand_TwoPass measures the count-then-fill flat
+// expansion.
+func BenchmarkCliqueExpand_TwoPass(b *testing.B) {
+	nl := bench100K(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj := nl.CliqueExpand(20)
+		if adj.Degree(0) < 0 {
+			b.Fatal("bad adjacency")
+		}
+	}
+}
+
+// legacyCliqueExpand is the seed implementation (append into per-cell
+// edge slices, then sort/merge/copy), kept here as the baseline.
+func legacyCliqueExpand(nl *netlist.Netlist, maxNetSize int) *netlist.Adjacency {
+	n := nl.NumCells()
+	type edge struct {
+		to netlist.CellID
+		w  float64
+	}
+	adj := make([][]edge, n)
+	for ni := 0; ni < nl.NumNets(); ni++ {
+		cells := nl.NetPins(netlist.NetID(ni))
+		k := len(cells)
+		if k < 2 || (maxNetSize > 0 && k > maxNetSize) {
+			continue
+		}
+		w := 1.0 / float64(k-1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				adj[cells[i]] = append(adj[cells[i]], edge{cells[j], w})
+				adj[cells[j]] = append(adj[cells[j]], edge{cells[i], w})
+			}
+		}
+	}
+	out := &netlist.Adjacency{Start: make([]int32, n+1)}
+	for c := 0; c < n; c++ {
+		es := adj[c]
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+		m := 0
+		for i := 0; i < len(es); {
+			j := i
+			w := 0.0
+			for j < len(es) && es[j].to == es[i].to {
+				w += es[j].w
+				j++
+			}
+			es[m] = edge{es[i].to, w}
+			m++
+			i = j
+		}
+		es = es[:m]
+		out.Start[c+1] = out.Start[c] + int32(m)
+		for _, e := range es {
+			out.Adj = append(out.Adj, e.to)
+			out.Weight = append(out.Weight, e.w)
+		}
+		adj[c] = nil
+	}
+	return out
+}
+
+func BenchmarkCliqueExpand_LegacyAppend(b *testing.B) {
+	nl := bench100K(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj := legacyCliqueExpand(nl, 20)
+		if adj.Degree(0) < 0 {
+			b.Fatal("bad adjacency")
+		}
+	}
+}
+
+// BenchmarkLoad_TFNet and BenchmarkLoad_TFB parse the same 100K-cell
+// netlist from memory; the acceptance target is binary >= 5x faster.
+func BenchmarkLoad_TFNet(b *testing.B) {
+	nl := bench100K(b)
+	var buf bytes.Buffer
+	if err := nl.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := netlist.Read(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.NumPins() != nl.NumPins() {
+			b.Fatal("load mismatch")
+		}
+	}
+}
+
+func BenchmarkLoad_TFB(b *testing.B) {
+	nl := bench100K(b)
+	var buf bytes.Buffer
+	if err := nl.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := netlist.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.NumPins() != nl.NumPins() {
+			b.Fatal("load mismatch")
+		}
+	}
+}
+
+// BenchmarkBuild_100K measures Builder.Build's two-pass CSR assembly.
+func BenchmarkBuild_100K(b *testing.B) {
+	nl := bench100K(b)
+	var bld netlist.Builder
+	bld.AddCells(nl.NumCells())
+	for n := 0; n < nl.NumNets(); n++ {
+		bld.AddNet("", nl.NetPins(netlist.NetID(n))...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := bld.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.NumPins() != nl.NumPins() {
+			b.Fatal("build mismatch")
+		}
+	}
 }
 
 // ---------------------------------------------------------------------

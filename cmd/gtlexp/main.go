@@ -8,6 +8,7 @@
 //	gtlexp -scale full          # the paper's exact sizes (slow)
 //	gtlexp -exp table1,fig5     # selected experiments only
 //	gtlexp -outdir results      # also write PPM/PGM figure images
+//	gtlexp -dump workloads      # save table workloads as .tfb binaries
 package main
 
 import (
@@ -24,6 +25,8 @@ import (
 
 	"tanglefind/internal/core"
 	"tanglefind/internal/experiments"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
 )
 
 func main() {
@@ -33,6 +36,7 @@ func main() {
 		seeds  = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 		outdir = flag.String("outdir", "", "directory for figure image files (optional)")
+		dump   = flag.String("dump", "", "directory to save the table workload netlists as .tfb binaries (optional)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,12 @@ func main() {
 	defer stop()
 	start := time.Now()
 	fmt.Printf("gtlexp: scale=%.3g seeds=%d seed=%d\n\n", cfg.Scale, cfg.Seeds, cfg.Seed)
+
+	if *dump != "" {
+		if err := dumpWorkloads(*dump, cfg, run); err != nil {
+			fatal(err)
+		}
+	}
 
 	if run("table1") {
 		if _, err := experiments.Table1(ctx, cfg, os.Stdout); err != nil {
@@ -141,6 +151,58 @@ func runOverlay(ctx context.Context, design string, cfg experiments.Config, outd
 		fmt.Printf("wrote %s\n\n", ppm.Name())
 	}
 	return err
+}
+
+// dumpWorkloads regenerates the table workloads for the selected
+// experiments and saves them as .tfb binary netlists, so a finding or
+// visualization run (gtlfind/gtlviz autodetect the format) can replay
+// the exact experiment inputs without regenerating them.
+func dumpWorkloads(dir string, cfg experiments.Config, run func(string) bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, nl *netlist.Netlist) error {
+		path := filepath.Join(dir, name+".tfb")
+		if err := nl.WriteFile(path); err != nil {
+			return err
+		}
+		st := nl.Stats()
+		fmt.Printf("dumped %s: %d cells, %d nets, %d pins\n", path, st.Cells, st.Nets, st.Pins)
+		return nil
+	}
+	if run("table1") {
+		for _, cs := range experiments.Table1Cases {
+			rg, _, err := experiments.Table1Workload(cs, cfg)
+			if err != nil {
+				return err
+			}
+			if err := save("table1_"+cs.Name, rg.Netlist); err != nil {
+				return err
+			}
+		}
+	}
+	if run("table2") {
+		for _, p := range generate.ISPDProfiles {
+			d, err := generate.NewISPDProxy(p, cfg.Scale, cfg.Seed*100+7)
+			if err != nil {
+				return err
+			}
+			if err := save("table2_"+p.Name, d.Netlist); err != nil {
+				return err
+			}
+		}
+	}
+	if run("table3") {
+		d, err := generate.NewIndustrialProxy(cfg.Scale, cfg.Seed*10+3)
+		if err != nil {
+			return err
+		}
+		if err := save("table3_industrial", d.Netlist); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
 }
 
 func parseScale(s string) (experiments.Config, error) {

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tanglefind/internal/experiments"
+	"tanglefind/internal/netlist"
+)
 
 func TestParseScale(t *testing.T) {
 	for _, tc := range []struct {
@@ -33,6 +40,35 @@ func TestParseScale(t *testing.T) {
 		}
 		if cfg.Seeds <= 0 {
 			t.Errorf("parseScale(%q).Seeds = %d", tc.in, cfg.Seeds)
+		}
+	}
+}
+
+func TestDumpWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	cfg := experiments.Config{Scale: 0.01, Seeds: 4, Seed: 1}
+	// Only table1 selected: table2/table3 workloads must not appear.
+	only := func(name string) bool { return name == "table1" }
+	if err := dumpWorkloads(dir, cfg, only); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(experiments.Table1Cases) {
+		t.Fatalf("dumped %d files, want %d", len(entries), len(experiments.Table1Cases))
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".tfb" {
+			t.Errorf("unexpected dump file %s", e.Name())
+		}
+		nl, err := netlist.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
 		}
 	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	gtlfind -in design.tfnet [-seeds 100] [-z 100000] [-metric gtlsd]
+//	gtlfind -in design.tfb               # binary netlist (autodetected)
 //	gtlfind -aux design.aux              # ISPD Bookshelf input
 //	gtlfind -in design.tfnet -members    # also dump member cells
 package main
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		inPath   = flag.String("in", "", "input netlist in .tfnet format")
+		inPath   = flag.String("in", "", "input netlist in .tfnet or .tfb format (autodetected)")
 		auxPath  = flag.String("aux", "", "input netlist as an ISPD Bookshelf .aux file")
 		seeds    = flag.Int("seeds", 100, "number of random seeds m")
 		z        = flag.Int("z", 100_000, "maximum linear ordering length Z")
@@ -151,12 +152,8 @@ func load(inPath, auxPath string) (*netlist.Netlist, error) {
 		}
 		return d.Netlist, nil
 	}
-	f, err := os.Open(inPath)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return netlist.Read(f)
+	// ReadFile sniffs the content: .tfb binary or .tfnet text.
+	return netlist.ReadFile(inPath)
 }
 
 func fatal(err error) {

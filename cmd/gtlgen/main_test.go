@@ -107,3 +107,37 @@ func TestGenerateErrors(t *testing.T) {
 		t.Error("unknown ISPD profile accepted")
 	}
 }
+
+// TestGenerateBinaryOut: a .tfb extension must produce the binary
+// format, with the same hypergraph a .tfnet run of the same spec
+// produces.
+func TestGenerateBinaryOut(t *testing.T) {
+	dir := t.TempDir()
+	textOut := filepath.Join(dir, "g.tfnet")
+	binOut := filepath.Join(dir, "g.tfb")
+	for _, out := range []string{textOut, binOut} {
+		if err := run(config{kind: "random", cells: 300, seed: 5, out: out}, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(binOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("TFBN")) {
+		t.Fatalf(".tfb output is not binary: %q", raw[:8])
+	}
+	text, err := netlist.ReadFile(textOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := netlist.ReadFile(binOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.NumCells() != text.NumCells() || bin.NumNets() != text.NumNets() || bin.NumPins() != text.NumPins() {
+		t.Errorf("binary %d/%d/%d != text %d/%d/%d",
+			bin.NumCells(), bin.NumNets(), bin.NumPins(),
+			text.NumCells(), text.NumNets(), text.NumPins())
+	}
+}

@@ -39,7 +39,7 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.inPath, "in", "", "input netlist (.tfnet)")
+	flag.StringVar(&cfg.inPath, "in", "", "input netlist (.tfnet or .tfb, autodetected)")
 	flag.StringVar(&cfg.outDir, "out", "", "output directory for images (optional; ASCII always prints)")
 	flag.BoolVar(&cfg.find, "find", false, "run the finder and overlay detected GTLs")
 	flag.IntVar(&cfg.seeds, "seeds", 100, "finder seeds when -find is set")
@@ -62,12 +62,8 @@ func main() {
 
 // run executes the whole flow, writing human-readable output to w.
 func run(ctx context.Context, cfg config, w io.Writer) error {
-	f, err := os.Open(cfg.inPath)
-	if err != nil {
-		return err
-	}
-	nl, err := netlist.Read(f)
-	f.Close()
+	// ReadFile sniffs the content: .tfb binary or .tfnet text.
+	nl, err := netlist.ReadFile(cfg.inPath)
 	if err != nil {
 		return err
 	}

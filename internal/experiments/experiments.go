@@ -171,13 +171,15 @@ type Table1Result struct {
 	SeedsUsed int // may exceed Config.Seeds (small-block coverage)
 }
 
-// Table1Run executes one case.
-func Table1Run(ctx context.Context, cs Table1Case, cfg Config) (*Table1Result, error) {
+// Table1Workload builds one case's scaled random graph, returning the
+// generated workload and the spec it was built from. Exposed so the
+// CLI tools can regenerate and save the exact experiment inputs.
+func Table1Workload(cs Table1Case, cfg Config) (*generate.RandomGraph, generate.RandomGraphSpec, error) {
 	spec := generate.RandomGraphSpec{
 		Cells: cfg.scaled(cs.Cells),
 		Seed:  cfg.Seed*1000 + 11,
 	}
-	maxBlock, blockTotal, origBlockTotal := 0, 0, 0
+	blockTotal, origBlockTotal := 0, 0
 	for _, b := range cs.Blocks {
 		origBlockTotal += b
 		size := cfg.scaled(b)
@@ -185,9 +187,6 @@ func Table1Run(ctx context.Context, cs Table1Case, cfg Config) (*Table1Result, e
 			size = 48 // blocks below ~2x MinGroupSize degenerate
 		}
 		spec.Blocks = append(spec.Blocks, generate.BlockSpec{Size: size})
-		if size > maxBlock {
-			maxBlock = size
-		}
 		blockTotal += size
 	}
 	// Block flooring at tiny scales can leave the blocks a larger
@@ -201,7 +200,22 @@ func Table1Run(ctx context.Context, cs Table1Case, cfg Config) (*Table1Result, e
 	}
 	rg, err := generate.NewRandomGraph(spec)
 	if err != nil {
-		return nil, fmt.Errorf("table1 %s: %w", cs.Name, err)
+		return nil, spec, fmt.Errorf("table1 %s: %w", cs.Name, err)
+	}
+	return rg, spec, nil
+}
+
+// Table1Run executes one case.
+func Table1Run(ctx context.Context, cs Table1Case, cfg Config) (*Table1Result, error) {
+	rg, spec, err := Table1Workload(cs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxBlock := 0
+	for _, b := range spec.Blocks {
+		if b.Size > maxBlock {
+			maxBlock = b.Size
+		}
 	}
 	opt := cfg.finderOptions(maxBlock, spec.Cells)
 	// Deterministic full recovery needs every block to receive a seed:

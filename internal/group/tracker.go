@@ -6,6 +6,9 @@
 // Z = 100K cells; recomputing T(C) from scratch each step would be
 // quadratic. Tracker keeps per-net inside-pin counts so Add is
 // O(deg(cell)) and T(C), Σ pins and per-net λ(e) are always current.
+// Every pin walk here runs over the netlist's flat CSR arrays
+// (contiguous subslices per cell/net), so the hot Add/DeltaCut loops
+// stream memory instead of chasing per-list pointers.
 package group
 
 import (

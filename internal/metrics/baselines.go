@@ -21,7 +21,7 @@ func Absorption(nl *netlist.Netlist, members []netlist.CellID) float64 {
 	for _, c := range members {
 		in.Add(int(c))
 	}
-	seen := make(map[netlist.NetID]bool)
+	seen := make([]bool, nl.NumNets())
 	total := 0.0
 	for _, c := range members {
 		for _, n := range nl.CellPins(c) {
@@ -83,15 +83,21 @@ func DegreeSeparation(nl *netlist.Netlist, adj *netlist.Adjacency, members []net
 			pairs = append(pairs, pair{members[i], members[j]})
 		}
 	}
-	dist := make(map[int32]int)
+	// Flat distance array with epoch stamps: visited[v] == epoch marks
+	// v reached in the current pair's BFS, so restarting is one
+	// increment instead of clearing a map.
+	dist := make([]int32, nl.NumCells())
+	visited := make([]uint32, nl.NumCells())
+	epoch := uint32(0)
 	var queue []netlist.CellID
 	totalHops := 0.0
 	for _, pr := range pairs {
 		// BFS restricted to the group.
-		clear(dist)
+		epoch++
 		queue = queue[:0]
 		queue = append(queue, pr.a)
 		dist[pr.a] = 0
+		visited[pr.a] = epoch
 		found := -1
 		for head := 0; head < len(queue) && found < 0; head++ {
 			u := queue[head]
@@ -100,12 +106,13 @@ func DegreeSeparation(nl *netlist.Netlist, adj *netlist.Adjacency, members []net
 				if !in.Has(int(v)) {
 					continue
 				}
-				if _, ok := dist[v]; ok {
+				if visited[v] == epoch {
 					continue
 				}
+				visited[v] = epoch
 				dist[v] = du + 1
 				if v == pr.b {
-					found = du + 1
+					found = int(du) + 1
 					break
 				}
 				queue = append(queue, v)

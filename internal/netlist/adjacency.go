@@ -1,6 +1,6 @@
 package netlist
 
-import "sort"
+import "math"
 
 // Adjacency is a weighted cell-to-cell graph derived from the
 // hypergraph by clique expansion: every net e contributes an edge of
@@ -25,55 +25,148 @@ func (a *Adjacency) NeighborsOf(c CellID) []CellID { return a.Adj[a.Start[c]:a.S
 // WeightsOf returns the edge weights parallel to NeighborsOf(c).
 func (a *Adjacency) WeightsOf(c CellID) []float64 { return a.Weight[a.Start[c]:a.Start[c+1]] }
 
-// CliqueExpand builds the weighted adjacency graph. Nets larger than
-// maxNetSize are skipped (0 means no limit): expanding a 10K-pin clock
-// net would add 10^8 edges while carrying almost no clustering signal,
-// which is the same pruning every clustering tool in the literature
-// applies.
+// sortPairs sorts one cell's raw edge range by neighbor id, keeping
+// the weight array parallel, without boxing an interface — so
+// CliqueExpand stays free of per-cell allocations. Short runs (the
+// common case: a cell's pre-merge degree is typically tens) use
+// binary-insertion sort; hub cells — a clock or reset buffer on tens
+// of thousands of small nets can have a raw degree far beyond what
+// maxNetSize bounds — fall back to heapsort to stay O(d log d).
+func sortPairs(adj []CellID, w []float64) {
+	if len(adj) > 48 {
+		heapSortPairs(adj, w)
+		return
+	}
+	for i := 1; i < len(adj); i++ {
+		ai, wi := adj[i], w[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if adj[mid] <= ai {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(adj[lo+1:i+1], adj[lo:i])
+		copy(w[lo+1:i+1], w[lo:i])
+		adj[lo], w[lo] = ai, wi
+	}
+}
+
+// heapSortPairs is an in-place, allocation-free heapsort over the
+// parallel (adj, w) arrays. Unstable — but so was the seed
+// implementation's sort.Slice, and equal-id weights only reorder the
+// float additions the merge performs, not the resulting edge set.
+func heapSortPairs(adj []CellID, w []float64) {
+	n := len(adj)
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && adj[child+1] > adj[child] {
+				child++
+			}
+			if adj[root] >= adj[child] {
+				return
+			}
+			adj[root], adj[child] = adj[child], adj[root]
+			w[root], w[child] = w[child], w[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		adj[0], adj[end] = adj[end], adj[0]
+		w[0], w[end] = w[end], w[0]
+		siftDown(0, end)
+	}
+}
+
+// CliqueExpand builds the weighted adjacency graph with two counting
+// passes over the nets: the first sizes every cell's raw (pre-merge)
+// edge range, the second scatters the pairs into two flat arrays.
+// Parallel edges are then merged in place per cell, so the build never
+// appends into per-cell slices. Nets larger than maxNetSize are
+// skipped (0 means no limit): expanding a 10K-pin clock net would add
+// 10^8 edges while carrying almost no clustering signal, which is the
+// same pruning every clustering tool in the literature applies.
 func (nl *Netlist) CliqueExpand(maxNetSize int) *Adjacency {
 	n := nl.NumCells()
-	type edge struct {
-		to CellID
-		w  float64
+	numNets := nl.NumNets()
+	// Pass 1: every net of size k adds k-1 raw edges to each pin. Raw
+	// counts are quadratic in net size — Σ_e k(k-1) can legitimately
+	// exceed int32 when huge nets are expanded unpruned — so the
+	// offsets accumulate in int64.
+	rawStart := make([]int64, n+1)
+	for e := 0; e < numNets; e++ {
+		k := nl.NetSize(NetID(e))
+		if k < 2 || (maxNetSize > 0 && k > maxNetSize) {
+			continue
+		}
+		for _, c := range nl.NetPins(NetID(e)) {
+			rawStart[c+1] += int64(k - 1)
+		}
 	}
-	adj := make([][]edge, n)
-	for _, cells := range nl.netPins {
-		k := len(cells)
+	for c := 0; c < n; c++ {
+		rawStart[c+1] += rawStart[c]
+	}
+	total := int(rawStart[n])
+	rawAdj := make([]CellID, total)
+	rawW := make([]float64, total)
+	// Pass 2: scatter the pairs.
+	cursor := make([]int64, n)
+	for e := 0; e < numNets; e++ {
+		k := nl.NetSize(NetID(e))
 		if k < 2 || (maxNetSize > 0 && k > maxNetSize) {
 			continue
 		}
 		w := 1.0 / float64(k-1)
+		pins := nl.NetPins(NetID(e))
 		for i := 0; i < k; i++ {
+			ci := pins[i]
 			for j := i + 1; j < k; j++ {
-				adj[cells[i]] = append(adj[cells[i]], edge{cells[j], w})
-				adj[cells[j]] = append(adj[cells[j]], edge{cells[i], w})
+				cj := pins[j]
+				ai := rawStart[ci] + cursor[ci]
+				rawAdj[ai], rawW[ai] = cj, w
+				cursor[ci]++
+				aj := rawStart[cj] + cursor[cj]
+				rawAdj[aj], rawW[aj] = ci, w
+				cursor[cj]++
 			}
 		}
 	}
+	// Merge parallel edges per cell, compacting the flat arrays in
+	// place. The write cursor never overtakes the read range because
+	// merging only shrinks runs.
 	out := &Adjacency{Start: make([]int32, n+1)}
+	w := int64(0)
 	for c := 0; c < n; c++ {
-		es := adj[c]
-		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
-		// Merge parallel edges.
-		m := 0
-		for i := 0; i < len(es); {
-			j := i
-			w := 0.0
-			for j < len(es) && es[j].to == es[i].to {
-				w += es[j].w
-				j++
+		lo, hi := rawStart[c], rawStart[c+1]
+		sortPairs(rawAdj[lo:hi], rawW[lo:hi])
+		for i := lo; i < hi; {
+			to := rawAdj[i]
+			sum := 0.0
+			for i < hi && rawAdj[i] == to {
+				sum += rawW[i]
+				i++
 			}
-			es[m] = edge{es[i].to, w}
-			m++
-			i = j
+			rawAdj[w], rawW[w] = to, sum
+			w++
 		}
-		es = es[:m]
-		out.Start[c+1] = out.Start[c] + int32(m)
-		for _, e := range es {
-			out.Adj = append(out.Adj, e.to)
-			out.Weight = append(out.Weight, e.w)
+		if w > math.MaxInt32 {
+			// Start is int32 CSR like the netlist's; a graph this
+			// dense (>2^31 merged edges, ≥24 GiB) must be pruned with
+			// maxNetSize rather than silently wrapped.
+			panic("netlist: clique expansion exceeds int32 edge offsets; prune with maxNetSize")
 		}
-		adj[c] = nil
+		out.Start[c+1] = int32(w)
 	}
+	out.Adj = rawAdj[:w:w]
+	out.Weight = rawW[:w:w]
 	return out
 }

@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -61,20 +62,16 @@ func (b *Builder) AddNet(name string, cells ...CellID) NetID {
 	return id
 }
 
-// Build finalizes the netlist. It returns an error if any net pins an
-// unknown cell id.
+// Build finalizes the netlist into its flat CSR form with two counting
+// passes (net side sizes, then cell side degrees) and no per-list
+// allocations. It returns an error if any net pins an unknown cell id
+// or the total pin count overflows the int32 offset space.
 func (b *Builder) Build() (*Netlist, error) {
-	nl := &Netlist{
-		cellPins:  make([][]NetID, b.numCells),
-		cellNames: b.cellNames,
-		cellArea:  b.cellArea,
-	}
-	degree := make([]int32, b.numCells)
-	type finalNet struct {
-		name  string
-		cells []CellID
-	}
-	finals := make([]finalNet, 0, len(b.netCells))
+	// Dedupe every net in place and validate ids, remembering which
+	// nets survive and the total pin count.
+	keep := make([][]CellID, 0, len(b.netCells))
+	names := make([]string, 0, len(b.netCells))
+	totalPins := 0
 	for i, cells := range b.netCells {
 		uniq := dedupe(cells)
 		for _, c := range uniq {
@@ -85,26 +82,50 @@ func (b *Builder) Build() (*Netlist, error) {
 		if b.DropDegenerateNets && len(uniq) < 2 {
 			continue
 		}
-		finals = append(finals, finalNet{b.netNames[i], uniq})
+		keep = append(keep, uniq)
+		names = append(names, b.netNames[i])
+		totalPins += len(uniq)
 	}
-	nl.netPins = make([][]CellID, len(finals))
-	nl.netNames = make([]string, len(finals))
-	for i, fn := range finals {
-		nl.netPins[i] = fn.cells
-		nl.netNames[i] = fn.name
-		for _, c := range fn.cells {
-			degree[c]++
-		}
-		nl.numPins += len(fn.cells)
+	if totalPins > math.MaxInt32 {
+		return nil, fmt.Errorf("netlist: %d pins overflow the int32 CSR offset space", totalPins)
 	}
-	for c := range nl.cellPins {
-		nl.cellPins[c] = make([]NetID, 0, degree[c])
+
+	nl := &Netlist{
+		cellPinOff: make([]int32, b.numCells+1),
+		cellPinNet: make([]NetID, totalPins),
+		netPinOff:  make([]int32, len(keep)+1),
+		netPinCell: make([]CellID, totalPins),
+		cellNames:  b.cellNames,
+		netNames:   names,
+		cellArea:   b.cellArea,
 	}
-	for n, cells := range nl.netPins {
+	// Net side: concatenate the deduped (sorted) pin lists.
+	at := int32(0)
+	for n, cells := range keep {
+		nl.netPinOff[n] = at
+		copy(nl.netPinCell[at:], cells)
+		at += int32(len(cells))
+		// Count cell degrees in the same pass (shifted by one so the
+		// prefix sum below lands the counts as offsets).
 		for _, c := range cells {
-			nl.cellPins[c] = append(nl.cellPins[c], NetID(n))
+			nl.cellPinOff[c+1]++
 		}
 	}
+	nl.netPinOff[len(keep)] = at
+	// Cell side: prefix-sum the degrees into offsets, then scatter the
+	// nets. Visiting nets in ascending id order keeps every cell's pin
+	// run strictly ascending — the CSR invariant.
+	for c := 0; c < b.numCells; c++ {
+		nl.cellPinOff[c+1] += nl.cellPinOff[c]
+	}
+	cursor := make([]int32, b.numCells)
+	for n, cells := range keep {
+		for _, c := range cells {
+			nl.cellPinNet[nl.cellPinOff[c]+cursor[c]] = NetID(n)
+			cursor[c]++
+		}
+	}
+	nl.initScratch()
 	return nl, nil
 }
 
@@ -115,6 +136,40 @@ func (b *Builder) MustBuild() *Netlist {
 	if err != nil {
 		panic(err)
 	}
+	return nl
+}
+
+// fromNetCSR constructs a Netlist directly from the net→cell direction
+// of the incidence structure, taking ownership of the given slices and
+// deriving the cell side in O(pins). Every pin run must already be
+// strictly ascending with ids in range — callers (the .tfb reader,
+// View.Materialize) verify that before handing the arrays over.
+// Optional names/areas may be nil or shorter than the id space.
+func fromNetCSR(numCells int, netPinOff []int32, netPinCell []CellID, netNames, cellNames []string, cellArea []float64) *Netlist {
+	nl := &Netlist{
+		cellPinOff: make([]int32, numCells+1),
+		cellPinNet: make([]NetID, len(netPinCell)),
+		netPinOff:  netPinOff,
+		netPinCell: netPinCell,
+		cellNames:  cellNames,
+		netNames:   netNames,
+		cellArea:   cellArea,
+	}
+	for _, c := range netPinCell {
+		nl.cellPinOff[c+1]++
+	}
+	for c := 0; c < numCells; c++ {
+		nl.cellPinOff[c+1] += nl.cellPinOff[c]
+	}
+	cursor := make([]int32, numCells)
+	numNets := len(netPinOff) - 1
+	for n := 0; n < numNets; n++ {
+		for _, c := range netPinCell[netPinOff[n]:netPinOff[n+1]] {
+			nl.cellPinNet[nl.cellPinOff[c]+cursor[c]] = NetID(n)
+			cursor[c]++
+		}
+	}
+	nl.initScratch()
 	return nl
 }
 

@@ -12,7 +12,8 @@ func (nl *Netlist) Components() [][]CellID {
 		return nil
 	}
 	dsu := ds.NewDSU(n)
-	for _, pins := range nl.netPins {
+	for e := 0; e < nl.NumNets(); e++ {
+		pins := nl.NetPins(NetID(e))
 		for i := 1; i < len(pins); i++ {
 			dsu.Union(pins[0], pins[i])
 		}

@@ -78,3 +78,74 @@ func truncate(b []byte) string {
 	}
 	return s
 }
+
+// binarySeed serializes a small netlist with names and areas so the
+// binary fuzz inputs exercise every section of the .tfb layout.
+func binarySeed(tb testing.TB) []byte {
+	var b Builder
+	b.AddCell("u0")
+	b.AddCell("u1")
+	b.AddCells(18)
+	b.SetCellArea(1, 2.5)
+	for i := 0; i < 19; i++ {
+		b.AddNet("w", CellID(i), CellID(i+1))
+	}
+	nl := b.MustBuild()
+	var buf bytes.Buffer
+	if err := nl.WriteBinary(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkBinaryInput is the shared oracle: the reader must return an
+// error or a netlist that passes Validate — never panic.
+func checkBinaryInput(tb testing.TB, input []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			tb.Fatalf("binary reader panicked on %q: %v", truncate(input), p)
+		}
+	}()
+	got, err := ReadBinary(bytes.NewReader(input))
+	if err == nil {
+		if vErr := got.Validate(); vErr != nil {
+			tb.Fatalf("binary reader accepted invalid netlist from %q: %v", truncate(input), vErr)
+		}
+	}
+}
+
+// TestReadBinaryNeverPanics is the .tfb analog of TestReadNeverPanics:
+// truncations, byte mutations and random garbage.
+func TestReadBinaryNeverPanics(t *testing.T) {
+	base := binarySeed(t)
+	r := rand.New(rand.NewSource(43))
+	for cut := 0; cut < len(base); cut += 5 {
+		checkBinaryInput(t, base[:cut])
+	}
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), base...)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			mut[r.Intn(len(mut))] = byte(r.Intn(256))
+		}
+		checkBinaryInput(t, mut)
+	}
+	for trial := 0; trial < 200; trial++ {
+		g := make([]byte, r.Intn(300))
+		for i := range g {
+			g[i] = byte(r.Intn(256))
+		}
+		copy(g, tfbMagic[:]) // get past the magic so deeper code runs
+		checkBinaryInput(t, g)
+	}
+}
+
+// FuzzReadBinary is the native fuzz target for the .tfb reader; `go
+// test` runs the seed corpus, `go test -fuzz=FuzzReadBinary` explores.
+func FuzzReadBinary(f *testing.F) {
+	f.Add(binarySeed(f))
+	f.Add([]byte{})
+	f.Add(tfbMagic[:])
+	f.Fuzz(func(t *testing.T, input []byte) {
+		checkBinaryInput(t, input)
+	})
+}

@@ -1,0 +1,314 @@
+package netlist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The .tfb binary format stores the net→cell direction of the CSR
+// incidence structure verbatim, so loading is O(pins): read two flat
+// arrays, derive the cell side with one counting pass, done — no
+// tokenizing, no Builder dedupe. Layout (all integers little-endian):
+//
+//	magic     [4]byte  "TFBN"
+//	version   uint32   (currently 1)
+//	flags     uint32   bit0 net names, bit1 cell names, bit2 areas
+//	numCells  uint32
+//	numNets   uint32
+//	numPins   uint64
+//	netPinOff uint32 × (numNets+1)   CSR offsets into netPinCell
+//	netPinCell uint32 × numPins      per-net runs strictly ascending
+//	[net names]  per net: uvarint length + bytes   (flag bit0)
+//	[cell names] per cell: uvarint length + bytes  (flag bit1)
+//	[areas]      float64 bits uint64 × numCells    (flag bit2)
+//
+// Format versions:
+//
+//	.tfnet 1 — text, header "tfnet 1" (io.go)
+//	.tfb   1 — binary CSR, magic "TFBN" version 1 (this file)
+//
+// The reader rejects any other version, validates ids and sortedness
+// while decoding (so a loaded netlist always passes Validate), and
+// never allocates more than the bytes actually present in the stream —
+// a truncated header claiming 2^31 pins fails on the first short read,
+// not with a 16 GiB allocation.
+
+var tfbMagic = [4]byte{'T', 'F', 'B', 'N'}
+
+// tfbVersion is the current binary format version.
+const tfbVersion = 1
+
+const (
+	tfbFlagNetNames  = 1 << 0
+	tfbFlagCellNames = 1 << 1
+	tfbFlagAreas     = 1 << 2
+)
+
+// maxStringLen bounds a single serialized name; anything longer is a
+// corrupt or adversarial stream.
+const maxStringLen = 1 << 20
+
+// allocChunk caps speculative slice growth while decoding: arrays are
+// grown in chunks as bytes actually arrive, so a lying header cannot
+// force a huge allocation.
+const allocChunk = 1 << 16
+
+// WriteBinary serializes the netlist in .tfb form.
+func (nl *Netlist) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var flags uint32
+	if hasAnyName(nl.netNames) {
+		flags |= tfbFlagNetNames
+	}
+	if hasAnyName(nl.cellNames) {
+		flags |= tfbFlagCellNames
+	}
+	if nl.cellArea != nil && !allUnitArea(nl.cellArea) {
+		flags |= tfbFlagAreas
+	}
+	bw.Write(tfbMagic[:])
+	writeU32(bw, tfbVersion)
+	writeU32(bw, flags)
+	writeU32(bw, uint32(nl.NumCells()))
+	writeU32(bw, uint32(nl.NumNets()))
+	writeU64(bw, uint64(nl.NumPins()))
+	for _, off := range nl.netPinOff {
+		writeU32(bw, uint32(off))
+	}
+	if nl.NumNets() == 0 {
+		// The zero-value netlist has no offset array; emit the
+		// implicit single 0 so the reader sees a well-formed CSR.
+		if len(nl.netPinOff) == 0 {
+			writeU32(bw, 0)
+		}
+	}
+	for _, c := range nl.netPinCell {
+		writeU32(bw, uint32(c))
+	}
+	if flags&tfbFlagNetNames != 0 {
+		writeStrings(bw, nl.netNames, nl.NumNets())
+	}
+	if flags&tfbFlagCellNames != 0 {
+		writeStrings(bw, nl.cellNames, nl.NumCells())
+	}
+	if flags&tfbFlagAreas != 0 {
+		for _, a := range nl.cellArea {
+			writeU64(bw, math.Float64bits(a))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a .tfb stream produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Netlist, error) {
+	br := bufio.NewReader(r)
+	var hdr [28]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netlist: tfb: short header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != tfbMagic {
+		return nil, fmt.Errorf("netlist: tfb: bad magic %q", hdr[0:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(hdr[4:8]); v != tfbVersion {
+		return nil, fmt.Errorf("netlist: tfb: unsupported version %d (want %d)", v, tfbVersion)
+	}
+	flags := le.Uint32(hdr[8:12])
+	numCells := int(le.Uint32(hdr[12:16]))
+	numNets := int(le.Uint32(hdr[16:20]))
+	numPins64 := le.Uint64(hdr[20:28])
+	if numCells > math.MaxInt32 || numNets > math.MaxInt32 || numPins64 > math.MaxInt32 {
+		return nil, fmt.Errorf("netlist: tfb: sizes out of range (%d cells, %d nets, %d pins)", numCells, numNets, numPins64)
+	}
+	numPins := int(numPins64)
+	// Every other size is backed by stream bytes (offsets: 4 per net,
+	// pins: 4 each), but numCells is a bare header claim that drives
+	// O(numCells) allocations in fromNetCSR. Beyond a 1M-cell
+	// allowance, demand pin evidence — real netlists average ~4 pins
+	// per cell; a stream claiming over 1M cells with fewer than half a
+	// pin per cell is a crafted allocation bomb, not a netlist.
+	if numCells > 1<<20 && numCells > 2*numPins {
+		return nil, fmt.Errorf("netlist: tfb: implausible header: %d cells backed by only %d pins", numCells, numPins)
+	}
+
+	off, err := readU32sAsI32(br, numNets+1)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: tfb: offsets: %w", err)
+	}
+	if off[0] != 0 || int(off[numNets]) != numPins {
+		return nil, fmt.Errorf("netlist: tfb: offsets span [%d,%d], want [0,%d]", off[0], off[numNets], numPins)
+	}
+	for i := 1; i <= numNets; i++ {
+		if off[i] < off[i-1] {
+			return nil, fmt.Errorf("netlist: tfb: offsets decrease at net %d", i-1)
+		}
+	}
+	pins, err := readU32sAsI32(br, numPins)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: tfb: pins: %w", err)
+	}
+	for n := 0; n < numNets; n++ {
+		run := pins[off[n]:off[n+1]]
+		for i, c := range run {
+			if c < 0 || int(c) >= numCells {
+				return nil, fmt.Errorf("netlist: tfb: net %d pins out-of-range cell %d", n, c)
+			}
+			if i > 0 && run[i-1] >= c {
+				return nil, fmt.Errorf("netlist: tfb: net %d pin run not strictly ascending", n)
+			}
+		}
+	}
+	var netNames, cellNames []string
+	if flags&tfbFlagNetNames != 0 {
+		if netNames, err = readStrings(br, numNets); err != nil {
+			return nil, fmt.Errorf("netlist: tfb: net names: %w", err)
+		}
+	}
+	if flags&tfbFlagCellNames != 0 {
+		if cellNames, err = readStrings(br, numCells); err != nil {
+			return nil, fmt.Errorf("netlist: tfb: cell names: %w", err)
+		}
+	}
+	var areas []float64
+	if flags&tfbFlagAreas != 0 {
+		areas = make([]float64, 0, min(numCells, allocChunk))
+		var buf [8]byte
+		for i := 0; i < numCells; i++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("netlist: tfb: areas: %w", err)
+			}
+			a := math.Float64frombits(le.Uint64(buf[:]))
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+				return nil, fmt.Errorf("netlist: tfb: cell %d has invalid area %v", i, a)
+			}
+			areas = append(areas, a)
+		}
+	}
+	return fromNetCSR(numCells, off, pins, netNames, cellNames, areas), nil
+}
+
+// ReadFile loads a netlist from path, autodetecting the format by
+// content: a "TFBN" magic selects the .tfb binary reader, anything
+// else falls through to the .tfnet text parser.
+func ReadFile(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(len(tfbMagic))
+	if len(head) == len(tfbMagic) && [4]byte(head) == tfbMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}
+
+// WriteFile saves the netlist to path, picking the format from the
+// extension: ".tfb" writes the binary form, everything else the
+// .tfnet text form.
+func (nl *Netlist) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.EqualFold(filepath.Ext(path), ".tfb") {
+		werr = nl.WriteBinary(f)
+	} else {
+		werr = nl.Write(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func hasAnyName(names []string) bool {
+	for _, s := range names {
+		if s != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func allUnitArea(area []float64) bool {
+	for _, a := range area {
+		if a != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStrings(w *bufio.Writer, names []string, n int) {
+	var b [binary.MaxVarintLen64]byte
+	for i := 0; i < n; i++ {
+		s := ""
+		if i < len(names) {
+			s = names[i]
+		}
+		w.Write(b[:binary.PutUvarint(b[:], uint64(len(s)))])
+		w.WriteString(s)
+	}
+}
+
+// readU32sAsI32 decodes n little-endian uint32 values that must fit in
+// int32, growing the result chunk by chunk so the allocation tracks
+// the bytes actually read.
+func readU32sAsI32(r *bufio.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, min(n, allocChunk))
+	var buf [4 * 1024]byte
+	for len(out) < n {
+		want := min((n-len(out))*4, len(buf))
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i += 4 {
+			v := binary.LittleEndian.Uint32(buf[i : i+4])
+			if v > math.MaxInt32 {
+				return nil, fmt.Errorf("value %d overflows int32", v)
+			}
+			out = append(out, int32(v))
+		}
+	}
+	return out, nil
+}
+
+func readStrings(r *bufio.Reader, n int) ([]string, error) {
+	out := make([]string, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		l, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if l > maxStringLen {
+			return nil, fmt.Errorf("name %d length %d exceeds limit", i, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		out = append(out, string(b))
+	}
+	return out, nil
+}

@@ -2,9 +2,22 @@
 // cells (gates) connected by nets, where each net pins a set of cells.
 //
 // This is the substrate every other tanglefind package builds on. The
-// representation is flat and id-based — cells and nets are dense int32
-// ids — so that the tangled-logic finder can run over netlists with
-// hundreds of thousands of cells without pointer-chasing overhead.
+// representation is a flat CSR (compressed sparse row) incidence
+// structure — cells and nets are dense int32 ids, and both directions
+// of the incidence relation live in two flat arrays each:
+//
+//	cellPinOff[c] : cellPinOff[c+1]  indexes cellPinNet  → nets on cell c
+//	netPinOff[n]  : netPinOff[n+1]   indexes netPinCell  → cells on net n
+//
+// so that the tangled-logic finder can traverse netlists with hundreds
+// of thousands of cells with one cache line per pin run instead of a
+// pointer dereference per pin list. Accessors return subslices of the
+// flat arrays; callers never copy pins to walk the graph.
+//
+// Invariants (established by Builder and the file readers, checked by
+// Validate): each pin run is strictly ascending (which also rules out
+// duplicate incidences), offsets are non-decreasing and span the flat
+// arrays exactly, and the two directions are symmetric.
 //
 // Pin semantics follow the paper: a net e is a subset of cells, so a
 // cell contributes at most one pin to a given net (the Builder dedupes
@@ -13,8 +26,8 @@
 package netlist
 
 import (
-	"errors"
 	"fmt"
+	"sync"
 )
 
 // CellID identifies a cell (gate) within a Netlist.
@@ -23,50 +36,98 @@ type CellID = int32
 // NetID identifies a net within a Netlist.
 type NetID = int32
 
-// Netlist is an immutable hypergraph of cells and nets.
-// Construct one with a Builder or a generator; the zero value is an
-// empty netlist.
+// Netlist is an immutable hypergraph of cells and nets in CSR form.
+// Construct one with a Builder, a generator or the .tfnet/.tfb
+// readers; the zero value is an empty netlist.
 type Netlist struct {
-	cellPins [][]NetID  // cell -> distinct incident nets
-	netPins  [][]CellID // net -> distinct incident cells
-	numPins  int        // Σ len(cellPins[i]) == Σ len(netPins[j])
+	cellPinOff []int32  // len NumCells+1; cell -> range in cellPinNet
+	cellPinNet []NetID  // flat pin array; per-cell runs strictly ascending
+	netPinOff  []int32  // len NumNets+1; net -> range in netPinCell
+	netPinCell []CellID // flat pin array; per-net runs strictly ascending
 
 	cellNames []string  // optional; empty means synthesized names
 	netNames  []string  // optional
 	cellArea  []float64 // optional; nil means unit area
+
+	// scratch pools the epoch-stamped marker arrays behind the subset
+	// queries in subset.go. It is shared (by pointer) between WithAreas
+	// copies, which view the same hypergraph.
+	scratch *sync.Pool
+}
+
+// initScratch installs the subset-query scratch pool; called once by
+// every constructor (Builder.Build, fromNetCSR).
+func (nl *Netlist) initScratch() {
+	nl.scratch = &sync.Pool{New: func() any {
+		return &subsetScratch{
+			netMark:  make([]uint32, nl.NumNets()),
+			cellMark: make([]uint32, nl.NumCells()),
+		}
+	}}
 }
 
 // NumCells returns the number of cells.
-func (nl *Netlist) NumCells() int { return len(nl.cellPins) }
+func (nl *Netlist) NumCells() int {
+	if len(nl.cellPinOff) == 0 {
+		return 0
+	}
+	return len(nl.cellPinOff) - 1
+}
 
 // NumNets returns the number of nets.
-func (nl *Netlist) NumNets() int { return len(nl.netPins) }
+func (nl *Netlist) NumNets() int {
+	if len(nl.netPinOff) == 0 {
+		return 0
+	}
+	return len(nl.netPinOff) - 1
+}
 
 // NumPins returns the total pin count Σ_e |e|.
-func (nl *Netlist) NumPins() int { return nl.numPins }
+func (nl *Netlist) NumPins() int { return len(nl.cellPinNet) }
 
-// CellPins returns the nets incident to cell c. The caller must not
-// modify the returned slice.
-func (nl *Netlist) CellPins(c CellID) []NetID { return nl.cellPins[c] }
+// CellPins returns the nets incident to cell c as a subslice of the
+// flat CSR array, strictly ascending. The caller must not modify it.
+func (nl *Netlist) CellPins(c CellID) []NetID {
+	return nl.cellPinNet[nl.cellPinOff[c]:nl.cellPinOff[c+1]]
+}
 
-// NetPins returns the cells on net n. The caller must not modify the
-// returned slice.
-func (nl *Netlist) NetPins(n NetID) []CellID { return nl.netPins[n] }
+// NetPins returns the cells on net n as a subslice of the flat CSR
+// array, strictly ascending. The caller must not modify it.
+func (nl *Netlist) NetPins(n NetID) []CellID {
+	return nl.netPinCell[nl.netPinOff[n]:nl.netPinOff[n+1]]
+}
 
 // CellDegree returns the number of pins on cell c (distinct nets).
-func (nl *Netlist) CellDegree(c CellID) int { return len(nl.cellPins[c]) }
+func (nl *Netlist) CellDegree(c CellID) int {
+	return int(nl.cellPinOff[c+1] - nl.cellPinOff[c])
+}
 
 // NetSize returns |e| for net n: the number of cells it pins.
-func (nl *Netlist) NetSize(n NetID) int { return len(nl.netPins[n]) }
+func (nl *Netlist) NetSize(n NetID) int {
+	return int(nl.netPinOff[n+1] - nl.netPinOff[n])
+}
+
+// NetCSR returns a copy of the net→cell direction of the incidence
+// structure: offsets (len NumNets+1) and the flat pin array it
+// indexes. Callers that rewrite pins wholesale (resynthesis, netlist
+// editing) mutate the copy and feed it back through a Builder, instead
+// of materializing one slice per net.
+func (nl *Netlist) NetCSR() (offsets []int32, pins []CellID) {
+	offsets = make([]int32, len(nl.netPinOff))
+	copy(offsets, nl.netPinOff)
+	pins = make([]CellID, len(nl.netPinCell))
+	copy(pins, nl.netPinCell)
+	return offsets, pins
+}
 
 // AvgPins returns A(G): total pins divided by the number of cells.
 // This is the paper's normalization constant A_G. It returns 0 for an
 // empty netlist.
 func (nl *Netlist) AvgPins() float64 {
-	if len(nl.cellPins) == 0 {
+	if nl.NumCells() == 0 {
 		return 0
 	}
-	return float64(nl.numPins) / float64(len(nl.cellPins))
+	return float64(nl.NumPins()) / float64(nl.NumCells())
 }
 
 // CellName returns the name of cell c, synthesizing "c<id>" when the
@@ -97,7 +158,7 @@ func (nl *Netlist) CellArea(c CellID) float64 {
 // TotalArea returns the sum of all cell areas.
 func (nl *Netlist) TotalArea() float64 {
 	if nl.cellArea == nil {
-		return float64(len(nl.cellPins))
+		return float64(nl.NumCells())
 	}
 	sum := 0.0
 	for _, a := range nl.cellArea {
@@ -112,49 +173,98 @@ func (nl *Netlist) WithAreas(area []float64) (*Netlist, error) {
 	if len(area) != nl.NumCells() {
 		return nil, fmt.Errorf("netlist: area slice has %d entries for %d cells", len(area), nl.NumCells())
 	}
-	cp := *nl
-	cp.cellArea = area
-	return &cp, nil
+	cp := &Netlist{
+		cellPinOff: nl.cellPinOff,
+		cellPinNet: nl.cellPinNet,
+		netPinOff:  nl.netPinOff,
+		netPinCell: nl.netPinCell,
+		cellNames:  nl.cellNames,
+		netNames:   nl.netNames,
+		cellArea:   area,
+		scratch:    nl.scratch,
+	}
+	return cp, nil
 }
 
-// Validate checks the structural invariants of the netlist: pin lists
-// are symmetric, ids in range, no duplicate incidences.
-func (nl *Netlist) Validate() error {
-	if nl.numPins < 0 {
-		return errors.New("netlist: negative pin count")
+// checkOffsets verifies one CSR offset array: starts at 0, is
+// non-decreasing and ends exactly at the flat array's length.
+func checkOffsets(kind string, off []int32, flatLen int) error {
+	if len(off) == 0 {
+		if flatLen != 0 {
+			return fmt.Errorf("netlist: %s offsets missing for %d pins", kind, flatLen)
+		}
+		return nil
 	}
-	seen := make(map[int64]bool)
-	pins := 0
-	for c, nets := range nl.cellPins {
-		for _, n := range nets {
-			if n < 0 || int(n) >= len(nl.netPins) {
+	if off[0] != 0 {
+		return fmt.Errorf("netlist: %s offsets start at %d, want 0", kind, off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("netlist: %s offsets decrease at %d (%d -> %d)", kind, i, off[i-1], off[i])
+		}
+	}
+	if int(off[len(off)-1]) != flatLen {
+		return fmt.Errorf("netlist: %s offsets end at %d, want %d", kind, off[len(off)-1], flatLen)
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the CSR netlist
+// directly on the flat arrays: well-formed offsets, ids in range,
+// strictly ascending pin runs (which rules out duplicate incidences)
+// and symmetric incidence — all in O(pins) with no hashing.
+func (nl *Netlist) Validate() error {
+	numCells, numNets := nl.NumCells(), nl.NumNets()
+	if err := checkOffsets("cell", nl.cellPinOff, len(nl.cellPinNet)); err != nil {
+		return err
+	}
+	if err := checkOffsets("net", nl.netPinOff, len(nl.netPinCell)); err != nil {
+		return err
+	}
+	if len(nl.cellPinNet) != len(nl.netPinCell) {
+		return fmt.Errorf("netlist: cell-side pin count %d != net-side %d", len(nl.cellPinNet), len(nl.netPinCell))
+	}
+	for c := 0; c < numCells; c++ {
+		pins := nl.CellPins(CellID(c))
+		for i, n := range pins {
+			if n < 0 || int(n) >= numNets {
 				return fmt.Errorf("netlist: cell %d pins out-of-range net %d", c, n)
 			}
-			key := int64(c)<<32 | int64(n)
-			if seen[key] {
-				return fmt.Errorf("netlist: duplicate incidence cell %d / net %d", c, n)
+			if i > 0 && pins[i-1] >= n {
+				return fmt.Errorf("netlist: cell %d pin run not strictly ascending at net %d", c, n)
 			}
-			seen[key] = true
-			pins++
 		}
 	}
-	if pins != nl.numPins {
-		return fmt.Errorf("netlist: pin count %d != recorded %d", pins, nl.numPins)
-	}
-	back := 0
-	for n, cells := range nl.netPins {
-		for _, c := range cells {
-			if c < 0 || int(c) >= len(nl.cellPins) {
+	for n := 0; n < numNets; n++ {
+		pins := nl.NetPins(NetID(n))
+		for i, c := range pins {
+			if c < 0 || int(c) >= numCells {
 				return fmt.Errorf("netlist: net %d pins out-of-range cell %d", n, c)
 			}
-			if !seen[int64(c)<<32|int64(n)] {
-				return fmt.Errorf("netlist: net %d lists cell %d but cell does not list net", n, c)
+			if i > 0 && pins[i-1] >= c {
+				return fmt.Errorf("netlist: net %d pin run not strictly ascending at cell %d", n, c)
 			}
-			back++
 		}
 	}
-	if back != pins {
-		return fmt.Errorf("netlist: net-side pin count %d != cell-side %d", back, pins)
+	// Symmetry by counting: walk nets in ascending id order and advance
+	// a read cursor per cell. Because each cell's pin run is ascending,
+	// the cursor must see exactly net n when net n lists the cell —
+	// any mismatch in either direction surfaces as a cursor miss or as
+	// unconsumed cell-side pins.
+	cursor := make([]int32, numCells)
+	for n := 0; n < numNets; n++ {
+		for _, c := range nl.NetPins(NetID(n)) {
+			at := nl.cellPinOff[c] + cursor[c]
+			if at >= nl.cellPinOff[c+1] || nl.cellPinNet[at] != NetID(n) {
+				return fmt.Errorf("netlist: net %d lists cell %d but cell does not list net", n, c)
+			}
+			cursor[c]++
+		}
+	}
+	for c := 0; c < numCells; c++ {
+		if int(cursor[c]) != nl.CellDegree(CellID(c)) {
+			return fmt.Errorf("netlist: cell %d lists %d nets but nets list it %d times", c, nl.CellDegree(CellID(c)), cursor[c])
+		}
 	}
 	return nil
 }
@@ -168,15 +278,15 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (nl *Netlist) Stats() Stats {
-	s := Stats{Cells: nl.NumCells(), Nets: nl.NumNets(), Pins: nl.numPins, AvgPins: nl.AvgPins()}
-	for _, p := range nl.netPins {
-		if len(p) > s.MaxNetSize {
-			s.MaxNetSize = len(p)
+	s := Stats{Cells: nl.NumCells(), Nets: nl.NumNets(), Pins: nl.NumPins(), AvgPins: nl.AvgPins()}
+	for n := 0; n < s.Nets; n++ {
+		if sz := nl.NetSize(NetID(n)); sz > s.MaxNetSize {
+			s.MaxNetSize = sz
 		}
 	}
-	for _, p := range nl.cellPins {
-		if len(p) > s.MaxDegree {
-			s.MaxDegree = len(p)
+	for c := 0; c < s.Cells; c++ {
+		if d := nl.CellDegree(CellID(c)); d > s.MaxDegree {
+			s.MaxDegree = d
 		}
 	}
 	return s

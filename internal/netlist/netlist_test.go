@@ -246,11 +246,47 @@ func TestCliqueExpandSkipsBigNets(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
+	// Swap a pin on the net side only: cell 2 takes cell 1's slot on
+	// net n0, breaking the incidence symmetry.
 	nl := buildSmall(t)
-	// Corrupt: add a pin on the net side only.
-	nl.netPins[0] = append(nl.netPins[0], 2)
+	nl.netPinCell = append([]CellID(nil), nl.netPinCell...)
+	for i := nl.netPinOff[0]; i < nl.netPinOff[1]; i++ {
+		if nl.netPinCell[i] == 1 {
+			nl.netPinCell[i] = 2
+		}
+	}
 	if err := nl.Validate(); err == nil {
 		t.Error("expected validation error for asymmetric pin")
+	}
+}
+
+func TestValidateCatchesBadOffsets(t *testing.T) {
+	nl := buildSmall(t)
+	nl.netPinOff = append([]int32(nil), nl.netPinOff...)
+	nl.netPinOff[1], nl.netPinOff[2] = nl.netPinOff[2], nl.netPinOff[1]
+	if err := nl.Validate(); err == nil {
+		t.Error("expected validation error for decreasing offsets")
+	}
+}
+
+func TestValidateCatchesDuplicatePins(t *testing.T) {
+	nl := buildSmall(t)
+	// Duplicate the first pin of net n1 in place: the run is no longer
+	// strictly ascending.
+	nl.netPinCell = append([]CellID(nil), nl.netPinCell...)
+	lo := nl.netPinOff[1]
+	nl.netPinCell[lo+1] = nl.netPinCell[lo]
+	if err := nl.Validate(); err == nil {
+		t.Error("expected validation error for duplicate incidence")
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	nl := buildSmall(t)
+	nl.netPinCell = append([]CellID(nil), nl.netPinCell...)
+	nl.netPinCell[0] = CellID(nl.NumCells())
+	if err := nl.Validate(); err == nil {
+		t.Error("expected validation error for out-of-range cell id")
 	}
 }
 
@@ -287,5 +323,33 @@ func TestComponentsEmpty(t *testing.T) {
 	nl := b.MustBuild()
 	if got := nl.Components(); got != nil {
 		t.Errorf("empty netlist components = %v", got)
+	}
+}
+
+// TestCliqueExpandHubCell: a star cell on thousands of 2-pin nets has
+// a raw pre-merge degree far beyond any net-size bound; the expansion
+// must stay fast (heapsort path) and correct.
+func TestCliqueExpandHubCell(t *testing.T) {
+	var b Builder
+	const leaves = 3000
+	hub := b.AddCell("hub")
+	for i := 0; i < leaves; i++ {
+		leaf := b.AddCell("")
+		b.AddNet("", hub, leaf)
+		b.AddNet("", hub, leaf) // parallel net: weights must merge to 2
+	}
+	nl := b.MustBuild()
+	adj := nl.CliqueExpand(10)
+	if adj.Degree(hub) != leaves {
+		t.Fatalf("hub degree = %d, want %d", adj.Degree(hub), leaves)
+	}
+	nb, ws := adj.NeighborsOf(hub), adj.WeightsOf(hub)
+	for i := range nb {
+		if i > 0 && nb[i-1] >= nb[i] {
+			t.Fatalf("hub neighbors not sorted at %d", i)
+		}
+		if ws[i] != 2 {
+			t.Fatalf("hub weight[%d] = %v, want 2 (two parallel 2-pin nets)", i, ws[i])
+		}
 	}
 }

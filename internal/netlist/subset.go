@@ -20,6 +20,62 @@ func (s SliceMembers) Has(c int) bool {
 	return false
 }
 
+// subsetScratch is the reusable epoch-stamped marker state behind Cut,
+// InternalNets and Neighbors. A marker is "set" when its entry equals
+// the current epoch, so clearing between queries is one integer
+// increment instead of a map allocation — Phase III set algebra calls
+// these in a loop and must not allocate per call. Instances live in
+// the netlist's sync.Pool, which keeps the queries safe for concurrent
+// use without sharing marker arrays.
+type subsetScratch struct {
+	netMark  []uint32
+	cellMark []uint32
+	epoch    uint32
+}
+
+// next starts a new query epoch, re-zeroing the arrays on the (once
+// per 2^32 queries) wraparound so stale stamps can never collide.
+func (s *subsetScratch) next() {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.netMark)
+		clear(s.cellMark)
+		s.epoch = 1
+	}
+}
+
+func (s *subsetScratch) markNet(n NetID) bool {
+	if s.netMark[n] == s.epoch {
+		return false
+	}
+	s.netMark[n] = s.epoch
+	return true
+}
+
+func (s *subsetScratch) markCell(c CellID) bool {
+	if s.cellMark[c] == s.epoch {
+		return false
+	}
+	s.cellMark[c] = s.epoch
+	return true
+}
+
+// acquireScratch borrows an epoch scratch sized to this netlist.
+func (nl *Netlist) acquireScratch() *subsetScratch {
+	if nl.scratch == nil {
+		// Zero-value netlist: nothing to mark, but keep the methods
+		// total.
+		return &subsetScratch{}
+	}
+	return nl.scratch.Get().(*subsetScratch)
+}
+
+func (nl *Netlist) releaseScratch(s *subsetScratch) {
+	if nl.scratch != nil {
+		nl.scratch.Put(s)
+	}
+}
+
 // Cut returns T(C): the number of nets with at least one pin inside the
 // group and at least one outside. members enumerates the group's cells;
 // in is the membership test (must agree with members).
@@ -28,15 +84,16 @@ func (s SliceMembers) Has(c int) bool {
 // and by Phase III set algebra; the finder's inner loop uses the
 // incremental tracker in package group instead.
 func (nl *Netlist) Cut(members []CellID, in Membership) int {
-	seen := make(map[NetID]bool)
+	s := nl.acquireScratch()
+	defer nl.releaseScratch(s)
+	s.next()
 	cut := 0
 	for _, c := range members {
-		for _, n := range nl.cellPins[c] {
-			if seen[n] {
+		for _, n := range nl.CellPins(c) {
+			if !s.markNet(n) {
 				continue
 			}
-			seen[n] = true
-			for _, other := range nl.netPins[n] {
+			for _, other := range nl.NetPins(n) {
 				if !in.Has(int(other)) {
 					cut++
 					break
@@ -52,23 +109,24 @@ func (nl *Netlist) Cut(members []CellID, in Membership) int {
 func (nl *Netlist) PinsIn(members []CellID) int {
 	pins := 0
 	for _, c := range members {
-		pins += len(nl.cellPins[c])
+		pins += nl.CellDegree(c)
 	}
 	return pins
 }
 
 // InternalNets returns the number of nets entirely inside the group.
 func (nl *Netlist) InternalNets(members []CellID, in Membership) int {
-	seen := make(map[NetID]bool)
+	s := nl.acquireScratch()
+	defer nl.releaseScratch(s)
+	s.next()
 	internal := 0
 	for _, c := range members {
-		for _, n := range nl.cellPins[c] {
-			if seen[n] {
+		for _, n := range nl.CellPins(c) {
+			if !s.markNet(n) {
 				continue
 			}
-			seen[n] = true
 			inside := true
-			for _, other := range nl.netPins[n] {
+			for _, other := range nl.NetPins(n) {
 				if !in.Has(int(other)) {
 					inside = false
 					break
@@ -83,20 +141,20 @@ func (nl *Netlist) InternalNets(members []CellID, in Membership) int {
 }
 
 // Neighbors returns the distinct cells outside the group that share a
-// net with it (the group's frontier).
+// net with it (the group's frontier). The returned slice is the only
+// allocation the query makes.
 func (nl *Netlist) Neighbors(members []CellID, in Membership) []CellID {
-	seenNet := make(map[NetID]bool)
-	seenCell := make(map[CellID]bool)
+	s := nl.acquireScratch()
+	defer nl.releaseScratch(s)
+	s.next()
 	var out []CellID
 	for _, c := range members {
-		for _, n := range nl.cellPins[c] {
-			if seenNet[n] {
+		for _, n := range nl.CellPins(c) {
+			if !s.markNet(n) {
 				continue
 			}
-			seenNet[n] = true
-			for _, other := range nl.netPins[n] {
-				if !in.Has(int(other)) && !seenCell[other] {
-					seenCell[other] = true
+			for _, other := range nl.NetPins(n) {
+				if !in.Has(int(other)) && s.markCell(other) {
 					out = append(out, other)
 				}
 			}

@@ -1,0 +1,208 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// viewFixture builds a netlist with a mix of internal, boundary and
+// external nets around the subset {1, 2, 3}.
+func viewFixture(t *testing.T) *Netlist {
+	t.Helper()
+	var b Builder
+	b.AddCells(6)
+	b.AddNet("inner", 1, 2)    // fully inside
+	b.AddNet("span", 1, 2, 3)  // fully inside
+	b.AddNet("cut", 2, 4)      // one pin inside -> dropped from view
+	b.AddNet("out", 0, 5)      // fully outside
+	b.AddNet("mixed", 1, 3, 5) // two pins inside -> kept, restricted
+	return b.MustBuild()
+}
+
+func TestInducedViewBasics(t *testing.T) {
+	nl := viewFixture(t)
+	v := nl.InducedView([]CellID{3, 1, 2, 3}) // unsorted, duplicated
+	if v.NumCells() != 3 {
+		t.Fatalf("NumCells = %d, want 3", v.NumCells())
+	}
+	// Kept nets: inner (2 in), span (3 in), mixed (2 in).
+	if v.NumNets() != 3 {
+		t.Fatalf("NumNets = %d, want 3", v.NumNets())
+	}
+	if v.NumPins() != 2+3+2 {
+		t.Fatalf("NumPins = %d, want 7", v.NumPins())
+	}
+	for i, want := range []CellID{1, 2, 3} {
+		if v.GlobalCell(int32(i)) != want {
+			t.Errorf("GlobalCell(%d) = %d, want %d", i, v.GlobalCell(int32(i)), want)
+		}
+		if v.LocalCell(want) != int32(i) {
+			t.Errorf("LocalCell(%d) = %d, want %d", want, v.LocalCell(want), i)
+		}
+	}
+	if v.LocalCell(0) != -1 || v.LocalCell(4) != -1 {
+		t.Error("outside cells must map to -1")
+	}
+	if v.LocalNet(2) != -1 || v.LocalNet(3) != -1 {
+		t.Error("dropped nets must map to -1")
+	}
+	// Net "mixed" (global 4) restricted to {1, 3} = locals {0, 2}.
+	ln := v.LocalNet(4)
+	if ln < 0 {
+		t.Fatal("net 4 missing from view")
+	}
+	if v.NetSize(ln) != 2 {
+		t.Errorf("NetSize(mixed) = %d, want 2", v.NetSize(ln))
+	}
+	var got []int32
+	for c := range v.NetPins(ln) {
+		got = append(got, c)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1+1 {
+		t.Errorf("NetPins(mixed) = %v, want [0 2]", got)
+	}
+	// Cell 2 (local 1) pins nets inner and span but not the dropped
+	// "cut" net.
+	var nets []int32
+	for n := range v.CellPins(1) {
+		nets = append(nets, n)
+	}
+	if len(nets) != 2 {
+		t.Errorf("CellPins(local 1) = %v, want 2 nets", nets)
+	}
+	if v.CellDegree(1) != 2 {
+		t.Errorf("CellDegree(local 1) = %d, want 2", v.CellDegree(1))
+	}
+	if !v.Has(1) || v.Has(5) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestViewMaterializeEquivalence(t *testing.T) {
+	// Property: Materialize must equal the induced netlist built the
+	// slow way through a Builder with DropDegenerateNets.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		var b Builder
+		n := 5 + r.Intn(40)
+		b.AddCells(n)
+		for i := 0; i < n; i++ {
+			b.SetCellArea(CellID(i), 1+float64(r.Intn(4)))
+		}
+		nets := 1 + r.Intn(60)
+		for i := 0; i < nets; i++ {
+			sz := 1 + r.Intn(6)
+			pins := make([]CellID, sz)
+			for j := range pins {
+				pins[j] = CellID(r.Intn(n))
+			}
+			b.AddNet("", pins...)
+		}
+		nl := b.MustBuild()
+		var members []CellID
+		for c := 0; c < n; c++ {
+			if r.Intn(2) == 0 {
+				members = append(members, CellID(c))
+			}
+		}
+		v := nl.InducedView(members)
+		got := v.Materialize()
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: materialized netlist invalid: %v", trial, err)
+		}
+
+		// Reference: rebuild through the Builder.
+		var rb Builder
+		local := make(map[CellID]CellID)
+		for i, c := range v.cells {
+			id := rb.AddCell("")
+			rb.SetCellArea(id, nl.CellArea(c))
+			local[c] = CellID(i)
+		}
+		rb.DropDegenerateNets = true
+		for e := 0; e < nl.NumNets(); e++ {
+			var pins []CellID
+			for _, c := range nl.NetPins(NetID(e)) {
+				if lc, ok := local[c]; ok {
+					pins = append(pins, lc)
+				}
+			}
+			rb.AddNet("", pins...)
+		}
+		want := rb.MustBuild()
+		if got.NumCells() != want.NumCells() || got.NumNets() != want.NumNets() || got.NumPins() != want.NumPins() {
+			t.Fatalf("trial %d: counts %d/%d/%d want %d/%d/%d", trial,
+				got.NumCells(), got.NumNets(), got.NumPins(),
+				want.NumCells(), want.NumNets(), want.NumPins())
+		}
+		for e := 0; e < got.NumNets(); e++ {
+			gp, wp := got.NetPins(NetID(e)), want.NetPins(NetID(e))
+			if len(gp) != len(wp) {
+				t.Fatalf("trial %d: net %d size %d want %d", trial, e, len(gp), len(wp))
+			}
+			for i := range gp {
+				if gp[i] != wp[i] {
+					t.Fatalf("trial %d: net %d pin %d = %d want %d", trial, e, i, gp[i], wp[i])
+				}
+			}
+		}
+		for c := 0; c < got.NumCells(); c++ {
+			if got.CellArea(CellID(c)) != want.CellArea(CellID(c)) {
+				t.Fatalf("trial %d: cell %d area differs", trial, c)
+			}
+		}
+	}
+}
+
+func TestViewEmpty(t *testing.T) {
+	nl := viewFixture(t)
+	v := nl.InducedView(nil)
+	if v.NumCells() != 0 || v.NumNets() != 0 || v.NumPins() != 0 {
+		t.Fatalf("empty view has %d/%d/%d", v.NumCells(), v.NumNets(), v.NumPins())
+	}
+	m := v.Materialize()
+	if m.NumCells() != 0 || m.NumNets() != 0 {
+		t.Fatal("materialized empty view not empty")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewTraversalDoesNotAllocate(t *testing.T) {
+	nl := viewFixture(t)
+	v := nl.InducedView([]CellID{1, 2, 3})
+	allocs := testing.AllocsPerRun(100, func() {
+		sum := 0
+		for c := int32(0); c < int32(v.NumCells()); c++ {
+			for n := range v.CellPins(c) {
+				sum += v.NetSize(n)
+			}
+		}
+		if sum == 0 {
+			t.Fatal("no pins traversed")
+		}
+	})
+	// The iterator closures may cost a couple of allocations per cell,
+	// but the pin lists themselves must never be copied.
+	if allocs > 8 {
+		t.Errorf("traversal allocates %v times per run", allocs)
+	}
+}
+
+func TestSubsetQueriesDoNotAllocatePerCall(t *testing.T) {
+	nl := viewFixture(t)
+	members := []CellID{1, 2, 3}
+	// Box the Membership once: converting a slice to an interface
+	// allocates, and that caller-side cost is not what this test pins.
+	var in Membership = SliceMembers(members)
+	// Warm the scratch pool.
+	nl.Cut(members, in)
+	allocs := testing.AllocsPerRun(200, func() {
+		nl.Cut(members, in)
+		nl.InternalNets(members, in)
+	})
+	if allocs > 0 {
+		t.Errorf("Cut/InternalNets allocate %v times per call pair", allocs)
+	}
+}

@@ -74,13 +74,15 @@ func Cluster(nl *netlist.Netlist, groups [][]netlist.CellID) (*Clustering, error
 		macroOf[c] = newID[c]
 	}
 	// Nets: map pins through newID; Builder dedupes pins that collapse
-	// into the same macro, and drops nets that become single-pin.
+	// into the same macro, and drops nets that become single-pin. One
+	// reused buffer serves every net — AddNet copies what it keeps.
 	b.DropDegenerateNets = true
+	var mapped []netlist.CellID
 	for ni := 0; ni < nl.NumNets(); ni++ {
 		pins := nl.NetPins(netlist.NetID(ni))
-		mapped := make([]netlist.CellID, len(pins))
-		for i, c := range pins {
-			mapped[i] = newID[c]
+		mapped = mapped[:0]
+		for _, c := range pins {
+			mapped = append(mapped, newID[c])
 		}
 		b.AddNet(nl.NetName(netlist.NetID(ni)), mapped...)
 	}
@@ -141,39 +143,51 @@ func PlaceSoftBlocks(nl *netlist.Netlist, groups [][]netlist.CellID, die Rect, o
 		}
 		sub := opt
 		sub.Seed = opt.Seed + uint64(gi) + 1
-		subPl, err := placeSubset(nl, g, region, sub)
-		if err != nil {
+		if err := placeSubset(nl, g, region, sub, pl); err != nil {
 			return nil, err
-		}
-		for _, c := range g {
-			pl.X[c] = subPl.X[c]
-			pl.Y[c] = subPl.Y[c]
 		}
 	}
 	return pl, nil
 }
 
 // placeSubset recursively bisects just the given cells into region,
-// writing their coordinates into a full-size placement.
-func placeSubset(nl *netlist.Netlist, cells []netlist.CellID, region Rect, opt Options) (*Placement, error) {
+// writing their coordinates into out. It works on a zero-copy induced
+// view of the group materialized in local id space, so the per-group
+// working set is O(|group| + pins(group)) instead of a full-netlist
+// coordinate array per group; nets leaving the group are irrelevant
+// here because the bisection already treats outside pins as free
+// terminals.
+func placeSubset(nl *netlist.Netlist, cells []netlist.CellID, region Rect, opt Options, out *Placement) error {
 	opt.fill()
-	pl := &Placement{
-		Die: region,
-		X:   make([]float64, nl.NumCells()),
-		Y:   make([]float64, nl.NumCells()),
-	}
 	if region.Area() <= 0 {
 		for _, c := range cells {
-			pl.X[c] = region.X0
-			pl.Y[c] = region.Y0
+			out.X[c] = region.X0
+			out.Y[c] = region.Y0
 		}
-		return pl, nil
+		return nil
+	}
+	view := nl.InducedView(cells)
+	sub := view.Materialize()
+	pl := &Placement{
+		Die: region,
+		X:   make([]float64, sub.NumCells()),
+		Y:   make([]float64, sub.NumCells()),
+	}
+	// Keep the caller's cell order (it seeds the FM random walk), but
+	// in local ids.
+	localCells := make([]netlist.CellID, len(cells))
+	for i, c := range cells {
+		localCells[i] = view.LocalCell(c)
 	}
 	opt.ParallelDepth = -1 // sequential: per-group placements are small
 	var wg sync.WaitGroup
-	bisect(nl, pl, cells, region, 0, ds.NewRNG(opt.Seed+0x50f7), &opt, &wg)
+	bisect(sub, pl, localCells, region, 0, ds.NewRNG(opt.Seed+0x50f7), &opt, &wg)
 	wg.Wait()
-	return pl, nil
+	for i, c := range cells {
+		out.X[c] = pl.X[localCells[i]]
+		out.Y[c] = pl.Y[localCells[i]]
+	}
+	return nil
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -58,15 +58,14 @@ func Decompose(nl *netlist.Netlist, groups [][]netlist.CellID, maxPins int) (*Re
 		b.SetCellArea(id, nl.CellArea(netlist.CellID(c)))
 	}
 
-	// netPins accumulates the final pin list of each original net; a
-	// decomposed cell's pin on a net is re-pointed at the chain gate
-	// that took that net over.
-	netPins := make([][]netlist.CellID, nl.NumNets())
-	for n := 0; n < nl.NumNets(); n++ {
-		netPins[n] = append(netPins[n], nl.NetPins(netlist.NetID(n))...)
-	}
+	// A flat copy of the net→cell CSR accumulates the final pin list
+	// of each original net; a decomposed cell's pin on a net is
+	// re-pointed at the chain gate that took that net over. Copying
+	// the two flat arrays is two allocations total instead of one
+	// slice per net.
+	netOff, netPins := nl.NetCSR()
 	repoint := func(n netlist.NetID, from, to netlist.CellID) {
-		pins := netPins[n]
+		pins := netPins[netOff[n]:netOff[n+1]]
 		for i, c := range pins {
 			if c == from {
 				pins[i] = to
@@ -120,7 +119,7 @@ func Decompose(nl *netlist.Netlist, groups [][]netlist.CellID, maxPins int) (*Re
 	}
 	b.DropDegenerateNets = true
 	for n := 0; n < nl.NumNets(); n++ {
-		b.AddNet(nl.NetName(netlist.NetID(n)), netPins[n]...)
+		b.AddNet(nl.NetName(netlist.NetID(n)), netPins[netOff[n]:netOff[n+1]]...)
 	}
 	built, err := b.Build()
 	if err != nil {

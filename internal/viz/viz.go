@@ -143,14 +143,16 @@ func PlacementASCII(pl *place.Placement, gtls [][]netlist.CellID, size int, w io
 		}
 		counts[t][slot]++
 	}
-	inGTL := make(map[netlist.CellID]int)
+	// Flat GTL-membership array (0 = background), matching the id-dense
+	// substrate instead of hashing every cell.
+	inGTL := make([]int, len(pl.X))
 	for i, g := range gtls {
 		for _, c := range g {
 			inGTL[c] = i + 1
 		}
 	}
 	for c := 0; c < len(pl.X); c++ {
-		bump(tile(netlist.CellID(c)), inGTL[netlist.CellID(c)])
+		bump(tile(netlist.CellID(c)), inGTL[c])
 	}
 	bw := bufio.NewWriter(w)
 	for row := 0; row < size; row++ {
