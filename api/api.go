@@ -1,0 +1,193 @@
+// Package api defines the wire types of the gtlserved HTTP/JSON API:
+// netlist registry entries, job requests and statuses, streamed
+// progress events and server statistics. The server (internal/server)
+// and the Go client (package client) share these definitions, so a
+// request marshalled by one side always parses on the other.
+//
+// Finder options travel as a nested JSON document (JobRequest.Options)
+// and are decoded server-side with tanglefind.ParseOptions: absent
+// fields keep the paper defaults, unknown fields are rejected.
+package api
+
+import (
+	"encoding/json"
+	"time"
+
+	"tanglefind"
+)
+
+// Kind selects what a job computes over a registered netlist.
+type Kind string
+
+const (
+	// KindFind runs the three-phase TangledLogicFinder and reports the
+	// disjoint GTLs.
+	KindFind Kind = "find"
+	// KindCluster runs the finder, then collapses each detected GTL
+	// into a soft-block macro (the floorplanning mitigation).
+	KindCluster Kind = "cluster"
+	// KindDecompose runs the finder, then re-instantiates complex
+	// gates inside the detected GTLs as chains of simple gates (the
+	// re-synthesis mitigation).
+	KindDecompose Kind = "decompose"
+)
+
+// Valid reports whether k names a known job kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindFind, KindCluster, KindDecompose:
+		return true
+	}
+	return false
+}
+
+// State is a job's position in its lifecycle:
+// queued → running → done | failed | cancelled.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// NetlistInfo describes one entry of the content-addressed netlist
+// registry. Digest is the lowercase hex SHA-256 of the uploaded bytes
+// and is the netlist's identity everywhere in the API.
+type NetlistInfo struct {
+	Digest  string  `json:"digest"`
+	Format  string  `json:"format"` // "tfb" or "tfnet", sniffed from content
+	Bytes   int64   `json:"bytes"`  // uploaded payload size
+	Cells   int     `json:"cells"`
+	Nets    int     `json:"nets"`
+	Pins    int     `json:"pins"`
+	AvgPins float64 `json:"avg_pins"`
+	// Loaded is false once the parsed netlist has been evicted from
+	// memory to respect the registry's pin budget; the metadata stays
+	// so clients learn they must re-upload.
+	Loaded bool `json:"loaded"`
+}
+
+// JobRequest submits work over a registered netlist.
+type JobRequest struct {
+	Kind   Kind   `json:"kind"`
+	Digest string `json:"digest"`
+	// Options is a nested finder-options JSON document; absent means
+	// the paper defaults. Decoded with tanglefind.ParseOptions, so
+	// unknown fields are rejected.
+	Options json.RawMessage `json:"options,omitempty"`
+	// MaxPins is the decompose jobs' gate-pin limit (default 3, the
+	// 2-3 pin simple-gate library); ignored by other kinds.
+	MaxPins int `json:"max_pins,omitempty"`
+	// TimeoutMS bounds the job's compute time (not queue wait); 0
+	// means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// GTLInfo is one detected group of tangled logic on the wire.
+type GTLInfo struct {
+	Size    int                 `json:"size"`
+	Cut     int                 `json:"cut"`
+	Pins    int                 `json:"pins"`
+	NGTLS   float64             `json:"ngtl_s"`
+	GTLSD   float64             `json:"gtl_sd"`
+	Rent    float64             `json:"rent"`
+	Seed    tanglefind.CellID   `json:"seed"`
+	Members []tanglefind.CellID `json:"members"`
+}
+
+// ClusterInfo summarizes a cluster job's soft-block netlist.
+type ClusterInfo struct {
+	Macros     int `json:"macros"`      // one per detected GTL
+	MacroCells int `json:"macro_cells"` // clustered netlist cell count
+	MacroNets  int `json:"macro_nets"`
+}
+
+// DecomposeInfo summarizes a decompose job's resynthesized netlist.
+type DecomposeInfo struct {
+	CellsAdded int `json:"cells_added"` // new simple gates
+	Cells      int `json:"cells"`       // resulting netlist size
+	Nets       int `json:"nets"`
+	Pins       int `json:"pins"`
+}
+
+// JobResult is the outcome of a completed job. Every kind carries the
+// finder outcome; Cluster/Decompose carry their mitigation summary on
+// top.
+type JobResult struct {
+	GTLs       []GTLInfo      `json:"gtls"`
+	Candidates int            `json:"candidates"`
+	SeedsRun   int            `json:"seeds_run"`
+	Rent       float64        `json:"rent"`
+	EngineMS   float64        `json:"engine_ms"` // engine compute time
+	Cluster    *ClusterInfo   `json:"cluster,omitempty"`
+	Decompose  *DecomposeInfo `json:"decompose,omitempty"`
+}
+
+// JobStatus is a job's externally visible state.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   Kind   `json:"kind"`
+	Digest string `json:"digest"`
+	State  State  `json:"state"`
+	// Cached is true when the result was served from the
+	// digest+options result cache without running the engine.
+	Cached     bool                 `json:"cached"`
+	Error      string               `json:"error,omitempty"`
+	Progress   *tanglefind.Progress `json:"progress,omitempty"`
+	Result     *JobResult           `json:"result,omitempty"`
+	CreatedAt  time.Time            `json:"created_at"`
+	StartedAt  *time.Time           `json:"started_at,omitempty"`
+	FinishedAt *time.Time           `json:"finished_at,omitempty"`
+}
+
+// Event is one message on a job's progress stream. The first event a
+// subscriber receives is always a snapshot of the current state, so a
+// consumer that attaches at any point sees at least one event; a
+// terminal-state event ends the stream.
+type Event struct {
+	JobID    string               `json:"job_id"`
+	State    State                `json:"state"`
+	Progress *tanglefind.Progress `json:"progress,omitempty"`
+	Error    string               `json:"error,omitempty"`
+}
+
+// JobStats counts job-manager activity since process start.
+type JobStats struct {
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Cancelled  int64 `json:"cancelled"`
+	CacheHits  int64 `json:"cache_hits"`
+	EngineRuns int64 `json:"engine_runs"` // jobs that actually ran the finder
+	Queued     int   `json:"queued"`      // current
+	Running    int   `json:"running"`     // current
+	CachedSets int   `json:"cached_results"`
+}
+
+// StoreStats describes the netlist registry's memory state.
+type StoreStats struct {
+	Netlists   int   `json:"netlists"`    // currently loaded
+	Tombstones int   `json:"tombstones"`  // evicted, metadata retained
+	PinsLoaded int64 `json:"pins_loaded"` // Σ pins of loaded netlists
+	PinBudget  int64 `json:"pin_budget"`  // eviction threshold; 0 = unlimited
+	Evictions  int64 `json:"evictions"`   // cumulative
+}
+
+// ServerStats is the GET /v1/stats payload.
+type ServerStats struct {
+	Jobs  JobStats   `json:"jobs"`
+	Store StoreStats `json:"store"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -192,6 +192,51 @@ func TestFacadeEngine(t *testing.T) {
 	}
 }
 
+// TestFacadeOptionsWire covers the serving-layer exports: options
+// parsing/round-tripping and the engine introspection types, all
+// without touching internal packages.
+func TestFacadeOptionsWire(t *testing.T) {
+	opt, err := tanglefind.ParseOptions([]byte(`{"seeds": 9, "metric": "ngtls", "ordering": "bfs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Seeds != 9 || opt.Metric != tanglefind.MetricNGTLS || opt.Ordering != tanglefind.OrderBFS {
+		t.Errorf("parsed options = %+v", opt)
+	}
+	if opt.BigNetSkip != tanglefind.DefaultOptions().BigNetSkip {
+		t.Error("unset fields lost their defaults")
+	}
+	if _, err := tanglefind.ParseOptions([]byte(`{"sneeds": 9}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if m, err := tanglefind.ParseMetric("gtlsd"); err != nil || m != tanglefind.MetricGTLSD {
+		t.Errorf("ParseMetric = %v, %v", m, err)
+	}
+	if o, err := tanglefind.ParseOrdering("mincut"); err != nil || o != tanglefind.OrderMinCut {
+		t.Errorf("ParseOrdering = %v, %v", o, err)
+	}
+
+	// The per-seed trace types are reachable through the facade.
+	rg, err := tanglefind.NewRandomGraph(tanglefind.RandomGraphSpec{Cells: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.MaxOrderLen = 800
+	opt.KeepCurves = true
+	res, err := tanglefind.Find(rg.Netlist, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []tanglefind.SeedTrace = res.Seeds
+	if len(traces) != opt.Seeds {
+		t.Fatalf("traces = %d, want %d", len(traces), opt.Seeds)
+	}
+	var c *tanglefind.Curve = traces[0].Curve
+	if c == nil || len(c.Scores) == 0 {
+		t.Error("KeepCurves produced no curve through the facade")
+	}
+}
+
 func TestISPDProfilesExposed(t *testing.T) {
 	ps := tanglefind.ISPDProfiles()
 	if len(ps) != 6 {

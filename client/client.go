@@ -1,0 +1,224 @@
+// Package client is a small Go client for the gtlserved HTTP API: it
+// uploads netlists, submits find/cluster/decompose jobs, polls or
+// streams their progress and fetches results, speaking the wire types
+// of package api. The server's own end-to-end tests drive it, so its
+// coverage tracks the API exactly.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tanglefind"
+	"tanglefind/api"
+)
+
+// Client talks to one gtlserved instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a base URL like "http://127.0.0.1:8080".
+// The optional httpClient overrides http.DefaultClient (tests pass an
+// httptest server's client).
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// BaseURL returns the server base URL the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response decoded from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.StatusCode, e.Message)
+}
+
+// UploadNetlist registers a raw .tfnet/.tfb payload and returns its
+// registry entry (keyed by content digest; re-uploads are idempotent).
+func (c *Client) UploadNetlist(ctx context.Context, data []byte) (api.NetlistInfo, error) {
+	var info api.NetlistInfo
+	err := c.do(ctx, http.MethodPost, "/v1/netlists", "application/octet-stream", bytes.NewReader(data), &info)
+	return info, err
+}
+
+// Netlists lists the registry, most recently used first.
+func (c *Client) Netlists(ctx context.Context) ([]api.NetlistInfo, error) {
+	var out []api.NetlistInfo
+	err := c.do(ctx, http.MethodGet, "/v1/netlists", "", nil, &out)
+	return out, err
+}
+
+// Netlist fetches one registry entry's metadata.
+func (c *Client) Netlist(ctx context.Context, digest string) (api.NetlistInfo, error) {
+	var info api.NetlistInfo
+	err := c.do(ctx, http.MethodGet, "/v1/netlists/"+digest, "", nil, &info)
+	return info, err
+}
+
+// Submit sends a job request.
+func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	var st api.JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", "application/json", bytes.NewReader(body), &st)
+	return st, err
+}
+
+// SubmitFind submits a find job; a nil opt means the paper defaults.
+func (c *Client) SubmitFind(ctx context.Context, digest string, opt *tanglefind.Options) (api.JobStatus, error) {
+	req := api.JobRequest{Kind: api.KindFind, Digest: digest}
+	if opt != nil {
+		raw, err := json.Marshal(opt)
+		if err != nil {
+			return api.JobStatus{}, err
+		}
+		req.Options = raw
+	}
+	return c.Submit(ctx, req)
+}
+
+// Job fetches a job's status (result included once done).
+func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, "", nil, &st)
+	return st, err
+}
+
+// Jobs lists retained jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out []api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", "", nil, &out)
+	return out, err
+}
+
+// Cancel stops a job and returns its status after the request.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, "", nil, &st)
+	return st, err
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats(ctx context.Context) (api.ServerStats, error) {
+	var st api.ServerStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &st)
+	return st, err
+}
+
+// StreamEvents consumes a job's SSE progress stream, invoking fn for
+// every event in order. It returns nil when the stream ends (terminal
+// event or fn returning false) and ctx's error when cancelled.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(api.Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // blank separators and comments
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("client: bad event %q: %w", data, err)
+		}
+		if !fn(ev) || ev.State.Terminal() {
+			return nil
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// A clean EOF without a terminal event means the connection was
+	// dropped (server restart, proxy timeout) — the job's outcome was
+	// never delivered, which must not look like a completed stream.
+	return fmt.Errorf("client: event stream for %s ended before a terminal event: %w", id, io.ErrUnexpectedEOF)
+}
+
+// Wait polls a job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// do performs one JSON round trip.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	msg := resp.Status
+	var er api.ErrorResponse
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tanglefind/api"
+)
+
+// TestStreamEventsParsing feeds a canned SSE stream (with comments
+// and keep-alive noise) and checks events arrive in order and the
+// stream ends at the terminal event.
+func TestStreamEventsParsing(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/job-7/events" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, ": keep-alive comment\n\n")
+		fmt.Fprint(w, "data: {\"job_id\":\"job-7\",\"state\":\"queued\"}\n\n")
+		fmt.Fprint(w, "data: {\"job_id\":\"job-7\",\"state\":\"running\",\"progress\":{\"seeds_done\":3,\"seeds_total\":10,\"candidates\":1}}\n\n")
+		fmt.Fprint(w, "data: {\"job_id\":\"job-7\",\"state\":\"done\"}\n\n")
+		fmt.Fprint(w, "data: {\"job_id\":\"job-7\",\"state\":\"never-delivered\"}\n\n")
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL+"/", hs.Client()) // trailing slash must not hurt
+	var states []api.State
+	err := c.StreamEvents(context.Background(), "job-7", func(ev api.Event) bool {
+		states = append(states, ev.State)
+		if ev.State == api.StateRunning && ev.Progress.SeedsDone != 3 {
+			t.Errorf("progress = %+v", ev.Progress)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []api.State{api.StateQueued, api.StateRunning, api.StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("states = %v", states)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Errorf("state[%d] = %s, want %s", i, states[i], want[i])
+		}
+	}
+}
+
+func TestStreamEventsConsumerStops(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < 100; i++ {
+			fmt.Fprintf(w, "data: {\"job_id\":\"j\",\"state\":\"running\"}\n\n")
+		}
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	var n int
+	err := c.StreamEvents(context.Background(), "j", func(api.Event) bool {
+		n++
+		return n < 2
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestAPIErrorDecoding(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, `{"error":"kettle only"}`)
+	}))
+	defer hs.Close()
+	c := New(hs.URL, hs.Client())
+	_, err := c.Job(context.Background(), "whatever")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v", err)
+	}
+	if ae.StatusCode != http.StatusTeapot || ae.Message != "kettle only" {
+		t.Errorf("APIError = %+v", ae)
+	}
+	if ae.Error() == "" {
+		t.Error("empty error string")
+	}
+}

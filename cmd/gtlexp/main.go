@@ -13,16 +13,14 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
+	"tanglefind/internal/cliutil"
 	"tanglefind/internal/core"
 	"tanglefind/internal/experiments"
 	"tanglefind/internal/generate"
@@ -57,7 +55,7 @@ func main() {
 	run := func(name string) bool { return all || want[name] }
 	// Ctrl-C / SIGTERM cancels the engine mid-run instead of killing the
 	// process between experiments.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 	start := time.Now()
 	fmt.Printf("gtlexp: scale=%.3g seeds=%d seed=%d\n\n", cfg.Scale, cfg.Seeds, cfg.Seed)
@@ -224,9 +222,5 @@ func parseScale(s string) (experiments.Config, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gtlexp:", err)
-	if errors.Is(err, context.Canceled) {
-		os.Exit(130)
-	}
-	os.Exit(1)
+	cliutil.Fatal("gtlexp", err)
 }

@@ -10,18 +10,14 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
-	"tanglefind/internal/bookshelf"
+	"tanglefind/internal/cliutil"
 	"tanglefind/internal/core"
-	"tanglefind/internal/netlist"
 	"tanglefind/internal/report"
 )
 
@@ -47,7 +43,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	nl, err := load(*inPath, *auxPath)
+	nl, err := cliutil.LoadNetlist(*inPath, *auxPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,23 +54,11 @@ func main() {
 	opt.RandSeed = *randSeed
 	opt.Workers = *workers
 	opt.Refine = !*noRefine
-	switch *metric {
-	case "gtlsd":
-		opt.Metric = core.MetricGTLSD
-	case "ngtls":
-		opt.Metric = core.MetricNGTLS
-	default:
-		fatal(fmt.Errorf("unknown metric %q", *metric))
+	if opt.Metric, err = core.ParseMetric(*metric); err != nil {
+		fatal(err)
 	}
-	switch *ordering {
-	case "weighted":
-		opt.Ordering = core.OrderWeighted
-	case "mincut":
-		opt.Ordering = core.OrderMinCut
-	case "bfs":
-		opt.Ordering = core.OrderBFS
-	default:
-		fatal(fmt.Errorf("unknown ordering %q", *ordering))
+	if opt.Ordering, err = core.ParseOrdering(*ordering); err != nil {
+		fatal(err)
 	}
 	if opt.MaxOrderLen >= nl.NumCells() {
 		opt.MaxOrderLen = nl.NumCells() / 2
@@ -89,13 +73,10 @@ func main() {
 
 	// Ctrl-C / SIGTERM (and -timeout) cancel the engine, which still
 	// reports the GTLs of the seeds that completed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := cliutil.WithTimeout(ctx, *timeout)
+	defer cancel()
 	if *progress {
 		opt.Progress = func(p core.Progress) {
 			fmt.Fprintf(os.Stderr, "\rgtlfind: seeds %d/%d, candidates %d", p.SeedsDone, p.SeedsTotal, p.Candidates)
@@ -142,18 +123,6 @@ func main() {
 		// must be able to tell a truncated run from a complete one.
 		os.Exit(130)
 	}
-}
-
-func load(inPath, auxPath string) (*netlist.Netlist, error) {
-	if auxPath != "" {
-		d, err := bookshelf.ReadAux(auxPath)
-		if err != nil {
-			return nil, err
-		}
-		return d.Netlist, nil
-	}
-	// ReadFile sniffs the content: .tfb binary or .tfnet text.
-	return netlist.ReadFile(inPath)
 }
 
 func fatal(err error) {

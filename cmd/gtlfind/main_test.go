@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"tanglefind/internal/cliutil"
 	"tanglefind/internal/generate"
 )
 
@@ -23,14 +24,14 @@ func TestLoadTfnet(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	nl, err := load(p, "")
+	nl, err := cliutil.LoadNetlist(p, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if nl.NumCells() != 200 {
 		t.Fatalf("cells = %d", nl.NumCells())
 	}
-	if _, err := load(filepath.Join(dir, "missing.tfnet"), ""); err == nil {
+	if _, err := cliutil.LoadNetlist(filepath.Join(dir, "missing.tfnet"), ""); err == nil {
 		t.Error("expected error for missing file")
 	}
 }

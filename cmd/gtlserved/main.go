@@ -1,0 +1,113 @@
+// Command gtlserved runs the tangled-logic detection service: a
+// long-running HTTP server with a content-addressed netlist registry,
+// a bounded job queue over a worker pool, streamed progress and a
+// result cache. See the README's "Running as a service" section for
+// the API walkthrough.
+//
+// Usage:
+//
+//	gtlserved -addr :8080 -workers 2 -queue 64 \
+//	          -cache-pins 64000000 -cache-results 128
+//
+// Ctrl-C / SIGTERM triggers a graceful shutdown: in-flight HTTP
+// requests and running jobs drain within -grace, then anything left
+// is cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"tanglefind/internal/cliutil"
+	"tanglefind/internal/jobs"
+	"tanglefind/internal/server"
+	"tanglefind/internal/store"
+)
+
+// config carries the parsed flags; main builds it from the command
+// line and the tests build it directly.
+type config struct {
+	addr         string
+	workers      int
+	queueDepth   int
+	cachePins    int64
+	cacheResults int
+	grace        time.Duration
+
+	// ready, when set, receives the bound address once the listener is
+	// up (tests bind :0 and need the real port).
+	ready func(addr string)
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 2, "concurrent jobs (each internally parallel)")
+	flag.IntVar(&cfg.queueDepth, "queue", 64, "job queue depth; beyond it submissions get 429")
+	flag.Int64Var(&cfg.cachePins, "cache-pins", 64_000_000, "netlist registry pin budget before LRU eviction (0 = unlimited)")
+	flag.IntVar(&cfg.cacheResults, "cache-results", 128, "result cache entries")
+	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain deadline")
+	flag.Parse()
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		cliutil.Fatal("gtlserved", err)
+	}
+}
+
+// run serves until ctx is cancelled, then drains.
+func run(ctx context.Context, cfg config, w io.Writer) error {
+	st := store.New(cfg.cachePins)
+	mgr := jobs.New(jobs.Config{
+		Store:        st,
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queueDepth,
+		CacheResults: cfg.cacheResults,
+	})
+	srv := server.New(st, mgr)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "gtlserved: listening on %s (workers=%d queue=%d pin-budget=%d)\n",
+		ln.Addr(), cfg.workers, cfg.queueDepth, cfg.cachePins)
+	if cfg.ready != nil {
+		cfg.ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting traffic, then let running jobs
+	// finish; past the grace deadline everything left is cancelled.
+	fmt.Fprintf(w, "gtlserved: shutting down (grace %s)\n", cfg.grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	httpErr := hs.Shutdown(drainCtx)
+	jobErr := mgr.Shutdown(drainCtx)
+	<-errc // Serve has returned http.ErrServerClosed
+	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
+		return httpErr
+	}
+	if jobErr != nil {
+		fmt.Fprintf(w, "gtlserved: drain deadline hit, remaining jobs cancelled\n")
+	}
+	fmt.Fprintln(w, "gtlserved: bye")
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the real binary path on an ephemeral
+// port, probes the health endpoint, then cancels the context and
+// expects a clean graceful exit.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	cfg := config{
+		addr:         "127.0.0.1:0",
+		workers:      1,
+		queueDepth:   4,
+		cachePins:    1_000_000,
+		cacheResults: 8,
+		grace:        5 * time.Second,
+		ready:        func(a string) { addrCh <- a },
+	}
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, &out) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+	// Stats answers too — the full stack is wired.
+	resp, err = http.Get(fmt.Sprintf("http://%s/v1/stats", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stats status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancel")
+	}
+	if !bytes.Contains(out.Bytes(), []byte("listening on")) || !bytes.Contains(out.Bytes(), []byte("bye")) {
+		t.Errorf("unexpected log output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := run(ctx, config{addr: "127.0.0.1:-1"}, io.Discard)
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

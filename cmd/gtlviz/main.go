@@ -14,10 +14,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 
+	"tanglefind/internal/cliutil"
 	"tanglefind/internal/core"
 	"tanglefind/internal/netlist"
 	"tanglefind/internal/place"
@@ -28,18 +27,20 @@ import (
 // config carries the parsed flags; main builds it from the command
 // line and the tests build it directly.
 type config struct {
-	inPath string
-	outDir string
-	find   bool
-	seeds  int
-	grid   int
-	ascii  int
-	seed   uint64
+	inPath  string
+	auxPath string
+	outDir  string
+	find    bool
+	seeds   int
+	grid    int
+	ascii   int
+	seed    uint64
 }
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.inPath, "in", "", "input netlist (.tfnet or .tfb, autodetected)")
+	flag.StringVar(&cfg.auxPath, "aux", "", "input netlist as an ISPD Bookshelf .aux file")
 	flag.StringVar(&cfg.outDir, "out", "", "output directory for images (optional; ASCII always prints)")
 	flag.BoolVar(&cfg.find, "find", false, "run the finder and overlay detected GTLs")
 	flag.IntVar(&cfg.seeds, "seeds", 100, "finder seeds when -find is set")
@@ -47,23 +48,21 @@ func main() {
 	flag.IntVar(&cfg.ascii, "ascii", 48, "ASCII render size")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "RNG seed")
 	flag.Parse()
-	if cfg.inPath == "" {
-		fmt.Fprintln(os.Stderr, "gtlviz: -in is required")
+	if (cfg.inPath == "") == (cfg.auxPath == "") {
+		fmt.Fprintln(os.Stderr, "gtlviz: provide exactly one of -in or -aux")
 		flag.Usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 	if err := run(ctx, cfg, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "gtlviz:", err)
-		os.Exit(1)
+		cliutil.Fatal("gtlviz", err)
 	}
 }
 
 // run executes the whole flow, writing human-readable output to w.
 func run(ctx context.Context, cfg config, w io.Writer) error {
-	// ReadFile sniffs the content: .tfb binary or .tfnet text.
-	nl, err := netlist.ReadFile(cfg.inPath)
+	nl, err := cliutil.LoadNetlist(cfg.inPath, cfg.auxPath)
 	if err != nil {
 		return err
 	}

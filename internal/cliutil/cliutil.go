@@ -1,0 +1,67 @@
+// Package cliutil holds the I/O and lifecycle boilerplate shared by
+// the command-line tools (and the server binary): loading a netlist
+// from any supported on-disk form with autodetection, signal-driven
+// cancellation contexts, and uniform fatal-error exits.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tanglefind/internal/bookshelf"
+	"tanglefind/internal/netlist"
+)
+
+// LoadNetlist loads a netlist from exactly one of inPath (a
+// .tfnet/.tfb file, format autodetected by content) or auxPath (an
+// ISPD Bookshelf .aux file). Passing both or neither is an error, so
+// CLIs can feed their -in/-aux flags straight through.
+func LoadNetlist(inPath, auxPath string) (*netlist.Netlist, error) {
+	switch {
+	case inPath == "" && auxPath == "":
+		return nil, errors.New("no input: provide a netlist path (-in) or a Bookshelf .aux path (-aux)")
+	case inPath != "" && auxPath != "":
+		return nil, errors.New("ambiguous input: provide only one of -in and -aux")
+	case auxPath != "":
+		d, err := bookshelf.ReadAux(auxPath)
+		if err != nil {
+			return nil, err
+		}
+		return d.Netlist, nil
+	default:
+		return netlist.ReadFile(inPath)
+	}
+}
+
+// SignalContext returns a context cancelled on Ctrl-C (SIGINT) or
+// SIGTERM, so long runs exit cleanly with partial results instead of
+// being killed mid-write. Call the returned stop function when the
+// run finishes to restore default signal behavior.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// WithTimeout layers a deadline onto ctx when d > 0 and is a no-op
+// otherwise, matching the CLIs' "-timeout 0 means none" convention.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Fatal prints "tool: err" to stderr and exits — with the
+// conventional 130 when the error is a context cancellation (an
+// interrupted run, not a failed one), 1 otherwise.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tanglefind/internal/generate"
+)
+
+func TestLoadNetlistAutodetect(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	text := filepath.Join(dir, "x.tfnet")
+	bin := filepath.Join(dir, "x.tfb")
+	if err := rg.Netlist.WriteFile(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Netlist.WriteFile(bin); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{text, bin} {
+		nl, err := LoadNetlist(p, "")
+		if err != nil {
+			t.Fatalf("LoadNetlist(%s): %v", p, err)
+		}
+		if nl.NumCells() != 300 {
+			t.Errorf("%s: cells = %d", p, nl.NumCells())
+		}
+	}
+}
+
+func TestLoadNetlistArgErrors(t *testing.T) {
+	if _, err := LoadNetlist("", ""); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, err := LoadNetlist("a.tfnet", "b.aux"); err == nil {
+		t.Error("ambiguous input accepted")
+	}
+	if _, err := LoadNetlist(filepath.Join(t.TempDir(), "missing.tfnet"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if !os.IsNotExist(func() error {
+		_, err := LoadNetlist(filepath.Join(t.TempDir(), "missing.tfnet"), "")
+		return err
+	}()) {
+		t.Error("missing file error is not an os.IsNotExist error")
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout imposed a deadline")
+	}
+	ctx2, cancel2 := WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Error("positive timeout imposed no deadline")
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext()
+	if ctx.Err() != nil {
+		t.Error("fresh signal context already cancelled")
+	}
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Error("stop did not cancel the context")
+	}
+}

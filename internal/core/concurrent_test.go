@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+// TestConcurrentFindSharedNetlist is the invariant the serving layer
+// depends on: one immutable *Netlist may be analyzed from many
+// goroutines at once — through concurrent FindMany batches and
+// through one shared Finder — with identical, deterministic results.
+// Run under -race (the CI race shard does) to make the check real.
+func TestConcurrentFindSharedNetlist(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []generate.BlockSpec{{Size: 500}},
+		Seed:   33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rg.Netlist
+	opt := DefaultOptions()
+	opt.Seeds = 16
+	opt.MaxOrderLen = 1500
+	opt.Workers = 2
+
+	ref, err := Find(nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gtlHash(ref)
+
+	const goroutines = 4
+	ctx := context.Background()
+
+	// Concurrent FindMany batches over the same shared netlist (the
+	// batch itself also repeats it).
+	var wg sync.WaitGroup
+	results := make([][]*Result, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = FindMany(ctx, []*netlist.Netlist{nl, nl}, opt)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for i, res := range results[g] {
+			if got := gtlHash(res); got != want {
+				t.Errorf("goroutine %d result %d diverged: %x != %x", g, i, got, want)
+			}
+		}
+	}
+
+	// Concurrent runs on one shared Finder draw from one state pool.
+	f, err := NewFinder(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]*Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shared[g], errs[g] = f.Find(ctx, opt)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("shared finder goroutine %d: %v", g, errs[g])
+		}
+		if got := gtlHash(shared[g]); got != want {
+			t.Errorf("shared finder goroutine %d diverged", g)
+		}
+	}
+}

@@ -18,11 +18,13 @@ import (
 // Options.Progress callback after every completed seed. SeedsTotal is
 // the number of unique seeds actually executed, which can be smaller
 // than Options.Seeds when stratified seeding collapses strata onto the
-// same cell (tiny netlists with large seed counts).
+// same cell (tiny netlists with large seed counts). Progress is a
+// plain value with JSON tags so serving layers can stream snapshots
+// over the wire verbatim.
 type Progress struct {
-	SeedsDone  int
-	SeedsTotal int
-	Candidates int // refined candidates found so far
+	SeedsDone  int `json:"seeds_done"`
+	SeedsTotal int `json:"seeds_total"`
+	Candidates int `json:"candidates"` // refined candidates found so far
 }
 
 // ProgressFunc receives Progress snapshots. Calls are serialized by the

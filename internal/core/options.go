@@ -19,8 +19,11 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"strings"
 )
 
 // Metric selects the score Φ that drives candidate extraction,
@@ -44,6 +47,49 @@ func (m Metric) String() string {
 		return "nGTL-S"
 	}
 	return "unknown"
+}
+
+// ParseMetric maps a metric name — the CLI/JSON form ("gtlsd",
+// "ngtls") or the paper form ("GTL-SD", "nGTL-S") — to its constant.
+func ParseMetric(s string) (Metric, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gtlsd", "gtl-sd":
+		return MetricGTLSD, nil
+	case "ngtls", "ngtl-s":
+		return MetricNGTLS, nil
+	}
+	return 0, fmt.Errorf("core: unknown metric %q (want gtlsd or ngtls)", s)
+}
+
+// jsonName is the wire form of the metric (matches the CLI flags).
+func (m Metric) jsonName() string {
+	if m == MetricNGTLS {
+		return "ngtls"
+	}
+	return "gtlsd"
+}
+
+// MarshalJSON encodes the metric as its wire name.
+func (m Metric) MarshalJSON() ([]byte, error) { return json.Marshal(m.jsonName()) }
+
+// UnmarshalJSON accepts a metric name (or a bare constant for
+// compatibility with naive encoders).
+func (m *Metric) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		var n int
+		if json.Unmarshal(b, &n) == nil && (n == int(MetricGTLSD) || n == int(MetricNGTLS)) {
+			*m = Metric(n)
+			return nil
+		}
+		return fmt.Errorf("core: metric must be a string: %w", err)
+	}
+	v, err := ParseMetric(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // Ordering selects the Phase I growth rule; variants other than
@@ -75,35 +121,76 @@ func (o Ordering) String() string {
 	return "unknown"
 }
 
+// ParseOrdering maps an ordering name to its constant.
+func ParseOrdering(s string) (Ordering, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "weighted":
+		return OrderWeighted, nil
+	case "mincut":
+		return OrderMinCut, nil
+	case "bfs":
+		return OrderBFS, nil
+	}
+	return 0, fmt.Errorf("core: unknown ordering %q (want weighted, mincut or bfs)", s)
+}
+
+// MarshalJSON encodes the ordering as its name.
+func (o Ordering) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// UnmarshalJSON accepts an ordering name (or a bare constant).
+func (o *Ordering) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		var n int
+		if json.Unmarshal(b, &n) == nil && n >= int(OrderWeighted) && n <= int(OrderBFS) {
+			*o = Ordering(n)
+			return nil
+		}
+		return fmt.Errorf("core: ordering must be a string: %w", err)
+	}
+	v, err := ParseOrdering(s)
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
 // Options configures a finder run. The zero value is not valid; start
 // from DefaultOptions.
+//
+// Options is JSON-round-trippable: every field that affects results
+// carries a struct tag (Metric and Ordering serialize as their names),
+// and ParseOptions turns a JSON document into validated Options with
+// unspecified fields at their defaults. Progress is a callback and is
+// never serialized.
 type Options struct {
 	// Seeds is m, the number of random starting cells (paper: 100).
-	Seeds int
+	Seeds int `json:"seeds"`
 	// MaxOrderLen is Z, the cap on each linear ordering's length
 	// (paper: 100K). It is clamped to the netlist size.
-	MaxOrderLen int
+	MaxOrderLen int `json:"max_order_len"`
 	// Metric is Φ, the score driving extraction and pruning.
-	Metric Metric
+	Metric Metric `json:"metric"`
 	// Ordering is the Phase I growth rule (OrderWeighted = paper).
-	Ordering Ordering
+	Ordering Ordering `json:"ordering"`
 	// MinGroupSize is the smallest prefix considered in Phase II; the
 	// paper does "not care about tiny clusters with a handful of
 	// cells".
-	MinGroupSize int
+	MinGroupSize int `json:"min_group_size"`
 	// AcceptThreshold is the largest Φ value a candidate minimum may
 	// have. Average-quality groups score ≈ 1, strong GTLs « 1.
-	AcceptThreshold float64
+	AcceptThreshold float64 `json:"accept_threshold"`
 	// DipRatio qualifies a "clear minimum": the minimum must be at
 	// most DipRatio times the curve value at both ends of the search
 	// window, rejecting monotone curves from seeds outside any GTL.
-	DipRatio float64
+	DipRatio float64 `json:"dip_ratio"`
 	// BigNetSkip is the λ(e) threshold above which Phase I skips
 	// connection-weight updates for a net (paper: 20).
-	BigNetSkip int
+	BigNetSkip int `json:"big_net_skip"`
 	// RefineSeeds is the number of interior re-seeds per candidate in
 	// Phase III (paper: 3).
-	RefineSeeds int
+	RefineSeeds int `json:"refine_seeds"`
 	// PruneOverlapTolerance is the fraction of a candidate's cells
 	// allowed to collide with already-accepted GTLs during final
 	// pruning; colliding cells are trimmed and the remainder kept.
@@ -111,20 +198,21 @@ type Options struct {
 	// the boundary nets of two structures, and pruning on any
 	// single-cell overlap would then discard a whole structure — the
 	// paper notes a few extra cells are negligible (§5.1.1).
-	PruneOverlapTolerance float64
+	PruneOverlapTolerance float64 `json:"prune_overlap_tolerance"`
 	// Refine disables Phase III when false (ablation).
-	Refine bool
-	// Workers caps the goroutine pool; <= 0 means GOMAXPROCS.
-	Workers int
+	Refine bool `json:"refine"`
+	// Workers caps the goroutine pool; <= 0 means GOMAXPROCS. Workers
+	// never changes results, only scheduling.
+	Workers int `json:"workers,omitempty"`
 	// RandSeed makes the whole run reproducible.
-	RandSeed uint64
+	RandSeed uint64 `json:"rand_seed"`
 	// KeepCurves retains each seed's score curve in the result (memory
 	// heavy; used by the figure generators).
-	KeepCurves bool
+	KeepCurves bool `json:"keep_curves,omitempty"`
 	// Progress, when non-nil, receives engine progress snapshots after
 	// every completed seed. It has no effect on results. Calls are
 	// serialized but may come from any worker goroutine; keep it fast.
-	Progress ProgressFunc
+	Progress ProgressFunc `json:"-"`
 }
 
 // DefaultOptions returns the paper's parameter settings.
@@ -144,6 +232,31 @@ func DefaultOptions() Options {
 		Workers:               0,
 		RandSeed:              1,
 	}
+}
+
+// ParseOptions decodes a JSON document into Options. Fields absent
+// from the document keep their DefaultOptions values, unknown fields
+// are rejected (catching typos that would silently fall back to a
+// default), and the result is validated — so API layers can hand the
+// returned Options straight to the engine. An empty or all-whitespace
+// document yields DefaultOptions.
+func ParseOptions(data []byte) (Options, error) {
+	opt := DefaultOptions()
+	if len(bytes.TrimSpace(data)) == 0 {
+		return opt, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opt); err != nil {
+		return Options{}, fmt.Errorf("core: parse options: %w", err)
+	}
+	if dec.More() {
+		return Options{}, fmt.Errorf("core: parse options: trailing data after JSON document")
+	}
+	if err := opt.validate(); err != nil {
+		return Options{}, err
+	}
+	return opt, nil
 }
 
 func (o *Options) workers() int {

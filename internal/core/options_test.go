@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Seeds = 17
+	opt.Metric = MetricNGTLS
+	opt.Ordering = OrderBFS
+	opt.Refine = false
+	opt.Workers = 3
+	opt.KeepCurves = true
+	opt.RandSeed = 99
+
+	data, err := json.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"metric":"ngtls"`, `"ordering":"bfs"`, `"refine":false`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshal missing %s in %s", want, data)
+		}
+	}
+	got, err := ParseOptions(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, opt) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, opt)
+	}
+}
+
+func TestParseOptionsDefaultsAndErrors(t *testing.T) {
+	// Absent fields keep their defaults; empty document is all-default.
+	for _, doc := range []string{"", "   ", "{}"} {
+		got, err := ParseOptions([]byte(doc))
+		if err != nil {
+			t.Fatalf("ParseOptions(%q): %v", doc, err)
+		}
+		if !reflect.DeepEqual(got, DefaultOptions()) {
+			t.Errorf("ParseOptions(%q) != DefaultOptions", doc)
+		}
+	}
+	got, err := ParseOptions([]byte(`{"seeds": 5, "metric": "ngtls"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seeds != 5 || got.Metric != MetricNGTLS || got.MaxOrderLen != DefaultOptions().MaxOrderLen {
+		t.Errorf("partial overlay wrong: %+v", got)
+	}
+
+	// Unknown fields, invalid values and trailing garbage are rejected.
+	for _, doc := range []string{
+		`{"seedz": 5}`,
+		`{"seeds": -1}`,
+		`{"metric": "banana"}`,
+		`{"ordering": "dfs"}`,
+		`{} {"seeds": 2}`,
+		`{"dip_ratio": 0}`,
+	} {
+		if _, err := ParseOptions([]byte(doc)); err == nil {
+			t.Errorf("ParseOptions(%q) accepted", doc)
+		}
+	}
+}
+
+func TestParseMetricOrdering(t *testing.T) {
+	cases := []struct {
+		in   string
+		m    Metric
+		fail bool
+	}{
+		{"gtlsd", MetricGTLSD, false},
+		{"GTL-SD", MetricGTLSD, false},
+		{" ngtls ", MetricNGTLS, false},
+		{"nGTL-S", MetricNGTLS, false},
+		{"", 0, true},
+		{"cut", 0, true},
+	}
+	for _, c := range cases {
+		m, err := ParseMetric(c.in)
+		if (err != nil) != c.fail || (!c.fail && m != c.m) {
+			t.Errorf("ParseMetric(%q) = %v, %v", c.in, m, err)
+		}
+	}
+	for _, s := range []string{"weighted", "mincut", "bfs"} {
+		o, err := ParseOrdering(s)
+		if err != nil || o.String() != s {
+			t.Errorf("ParseOrdering(%q) = %v, %v", s, o, err)
+		}
+	}
+	if _, err := ParseOrdering("random"); err == nil {
+		t.Error("ParseOrdering accepted garbage")
+	}
+}

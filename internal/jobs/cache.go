@@ -1,0 +1,60 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+
+	"tanglefind/api"
+)
+
+// resultCache is an LRU map from compute identity (see cacheKey) to a
+// completed job result. Results are immutable once cached — every hit
+// shares the same *api.JobResult.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEnt struct {
+	key string
+	res *api.JobResult
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, byKey: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *resultCache) get(key string) (*api.JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEnt).res, true
+}
+
+func (c *resultCache) put(key string, res *api.JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEnt).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEnt{key: key, res: res})
+	for c.order.Len() > c.max {
+		el := c.order.Back()
+		delete(c.byKey, el.Value.(*cacheEnt).key)
+		c.order.Remove(el)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

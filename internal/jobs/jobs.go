@@ -1,0 +1,655 @@
+// Package jobs runs detection work over registered netlists: a
+// bounded submission queue feeding a fixed worker pool, each job a
+// Finder run (optionally followed by the cluster/decompose
+// mitigation) with its own cancellation context and optional compute
+// deadline, a queued → running → done/failed/cancelled state machine,
+// per-job progress fan-out to any number of subscribers, and a
+// digest+options result cache so identical requests are answered
+// without touching the engine.
+//
+// Everything here speaks the facade (package tanglefind) and the wire
+// types (package api); no internal/core import is needed — the point
+// of the PR-3 facade exports.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tanglefind"
+	"tanglefind/api"
+	"tanglefind/internal/store"
+)
+
+// Typed submission failures, mapped to HTTP statuses by the server.
+var (
+	// ErrQueueFull means the bounded queue rejected the job; retry later.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed means the manager is draining for shutdown.
+	ErrClosed = errors.New("jobs: manager shut down")
+	// ErrNoJob means the job id is unknown (or its record was retired).
+	ErrNoJob = errors.New("jobs: no such job")
+	// ErrBadRequest wraps malformed submissions (unknown kind, bad
+	// options, undersized netlist).
+	ErrBadRequest = errors.New("jobs: bad request")
+)
+
+// Config sizes a Manager. Zero fields take the documented defaults.
+type Config struct {
+	// Store resolves digests to netlists and shared engines. Required.
+	Store *store.Store
+	// Workers is the number of concurrent jobs (default 2). Each job
+	// is itself internally parallel per its Options.Workers.
+	Workers int
+	// QueueDepth bounds the submission queue (default 64); a full
+	// queue rejects with ErrQueueFull instead of buffering unboundedly.
+	QueueDepth int
+	// CacheResults bounds the result cache entry count (default 128).
+	CacheResults int
+	// MaxJobs bounds retained job records; the oldest terminal records
+	// are retired past this (default 1024).
+	MaxJobs int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheResults <= 0 {
+		c.CacheResults = 128
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+}
+
+// Manager owns the queue, the worker pool, the job records and the
+// result cache. Construct with New, dispose with Shutdown.
+//
+// The queue is an explicit pending list (not a channel) so that
+// cancelling a queued job frees its slot immediately — buffered
+// cancelled jobs must not hold QueueDepth against live submissions.
+type Manager struct {
+	cfg   Config
+	cache *resultCache
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers that pending grew or closed flipped
+	pending []*Job     // queued jobs awaiting a worker, FIFO
+	jobs    map[string]*Job
+	order   []string // submission order, for listing and retirement
+	closed  bool
+
+	nextID     atomic.Int64
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	cancelled  atomic.Int64
+	cacheHits  atomic.Int64
+	engineRuns atomic.Int64
+}
+
+// New starts a manager and its worker pool.
+func New(cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheResults),
+		jobs:  make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Job is one unit of work. All mutable state is behind mu; the
+// identity fields are immutable after Submit.
+type Job struct {
+	id       string
+	kind     api.Kind
+	digest   string
+	opt      tanglefind.Options
+	maxPins  int
+	timeout  time.Duration
+	cacheKey string
+	finder   *tanglefind.Finder
+	ctx      context.Context
+	cancel   context.CancelFunc
+
+	mu       sync.Mutex
+	state    api.State
+	cached   bool
+	errMsg   string
+	result   *api.JobResult
+	progress *tanglefind.Progress
+	created  time.Time
+	started  *time.Time
+	finished *time.Time
+	subs     map[int]chan api.Event
+	nextSub  int
+}
+
+// Submit validates a request, resolves its netlist, consults the
+// result cache, and either answers from cache (state done, Cached
+// true, no engine work) or enqueues the job. The returned status is
+// the job's state at return time.
+func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
+	if !req.Kind.Valid() {
+		return api.JobStatus{}, fmt.Errorf("%w: unknown kind %q (want find, cluster or decompose)", ErrBadRequest, req.Kind)
+	}
+	finder, info, err := m.cfg.Store.Engine(req.Digest)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	opt, err := tanglefind.ParseOptions(req.Options)
+	if err != nil {
+		return api.JobStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Mirror the CLI clamp: an ordering may not swallow the whole
+	// netlist, or Phase II has no exterior curve to contrast against.
+	if opt.MaxOrderLen >= info.Cells {
+		opt.MaxOrderLen = info.Cells / 2
+		if opt.MaxOrderLen < 2 {
+			return api.JobStatus{}, fmt.Errorf("%w: netlist too small (%d cells)", ErrBadRequest, info.Cells)
+		}
+	}
+	maxPins := 0
+	if req.Kind == api.KindDecompose {
+		maxPins = req.MaxPins
+		if maxPins == 0 {
+			maxPins = 3
+		}
+		if maxPins < 2 {
+			return api.JobStatus{}, fmt.Errorf("%w: max_pins must be at least 2, got %d", ErrBadRequest, maxPins)
+		}
+	}
+	if req.TimeoutMS < 0 {
+		return api.JobStatus{}, fmt.Errorf("%w: timeout_ms must be non-negative", ErrBadRequest)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		kind:     req.Kind,
+		digest:   req.Digest,
+		opt:      opt,
+		maxPins:  maxPins,
+		timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		cacheKey: cacheKey(req.Kind, req.Digest, maxPins, opt),
+		finder:   finder,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    api.StateQueued,
+		created:  time.Now(),
+		subs:     make(map[int]chan api.Event),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		cancel()
+		return api.JobStatus{}, ErrClosed
+	}
+
+	if res, ok := m.cache.get(j.cacheKey); ok {
+		// Identical digest+kind+options already computed: serve the
+		// cached result without consuming a queue slot or worker.
+		m.submitted.Add(1)
+		m.cacheHits.Add(1)
+		cancel()
+		j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
+		now := time.Now()
+		j.state = api.StateDone
+		j.cached = true
+		j.result = res
+		j.finished = &now
+		m.addJobLocked(j)
+		return j.Status(), nil
+	}
+
+	if len(m.pending) >= m.cfg.QueueDepth {
+		cancel()
+		return api.JobStatus{}, ErrQueueFull
+	}
+	// Accepted: only now does the submission count, so rejected
+	// requests don't inflate the stats.
+	m.submitted.Add(1)
+	j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
+	m.pending = append(m.pending, j)
+	m.cond.Signal()
+	m.addJobLocked(j)
+	return j.Status(), nil
+}
+
+// addJobLocked records a job and retires the oldest terminal records
+// past the retention bound. Callers hold m.mu.
+func (m *Manager) addJobLocked(j *Job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	for len(m.order) > m.cfg.MaxJobs {
+		oldest := m.jobs[m.order[0]]
+		if oldest != nil && !oldest.Status().State.Terminal() {
+			break // never retire a live job record
+		}
+		delete(m.jobs, m.order[0])
+		m.order = m.order[1:]
+	}
+}
+
+// Status returns the job's current externally visible state.
+func (m *Manager) Status(id string) (api.JobStatus, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return api.JobStatus{}, ErrNoJob
+	}
+	return j.Status(), nil
+}
+
+// List returns every retained job's status, most recent submission
+// first.
+func (m *Manager) List() []api.JobStatus {
+	m.mu.Lock()
+	js := make([]*Job, 0, len(m.order))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		if j := m.jobs[m.order[i]]; j != nil {
+			js = append(js, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]api.JobStatus, len(js))
+	for i, j := range js {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job flips to cancelled immediately, a
+// running job's context is cancelled and its worker returns with
+// partial work discarded (the worker is freed for the next job). It
+// is a no-op on terminal jobs.
+func (m *Manager) Cancel(id string) (api.JobStatus, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j != nil {
+		// Drop it from the pending list so its queue slot frees
+		// immediately instead of when a worker eventually pops it.
+		for i, p := range m.pending {
+			if p == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if j == nil {
+		return api.JobStatus{}, ErrNoJob
+	}
+	j.mu.Lock()
+	queued := j.state == api.StateQueued
+	j.mu.Unlock()
+	if queued {
+		// finish is a no-op if the worker won the race to start it; in
+		// that case the context cancellation below still stops it.
+		if j.finish(api.StateCancelled, nil, "cancelled before start") {
+			m.cancelled.Add(1)
+		}
+	}
+	j.cancel()
+	return j.Status(), nil
+}
+
+// Subscribe attaches a progress consumer to a job. The channel
+// immediately carries a snapshot event (so a consumer always sees at
+// least one event), then every state/progress change; it is closed
+// after the terminal event. Call the returned function to detach.
+func (m *Manager) Subscribe(id string) (<-chan api.Event, func(), error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return nil, nil, ErrNoJob
+	}
+	ch, unsub := j.subscribe()
+	return ch, unsub, nil
+}
+
+// Stats reports cumulative counters and current queue occupancy.
+func (m *Manager) Stats() api.JobStats {
+	st := api.JobStats{
+		Submitted:  m.submitted.Load(),
+		Completed:  m.completed.Load(),
+		Failed:     m.failed.Load(),
+		Cancelled:  m.cancelled.Load(),
+		CacheHits:  m.cacheHits.Load(),
+		EngineRuns: m.engineRuns.Load(),
+		CachedSets: m.cache.len(),
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.Status().State {
+		case api.StateQueued:
+			st.Queued++
+		case api.StateRunning:
+			st.Running++
+		}
+	}
+	m.mu.Unlock()
+	return st
+}
+
+// Shutdown drains the manager: no new submissions, queued and running
+// jobs keep going until done. If ctx expires first, every remaining
+// job is cancelled and Shutdown still waits for the workers to
+// return before reporting the deadline error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.cancel()
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker consumes the pending list until it is empty after Shutdown —
+// jobs queued before the shutdown still drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.run(j)
+	}
+}
+
+// run executes one job end to end.
+func (m *Manager) run(j *Job) {
+	if j.ctx.Err() != nil {
+		// Cancelled while queued (explicitly or by a forced shutdown).
+		if j.finish(api.StateCancelled, nil, "cancelled before start") {
+			m.cancelled.Add(1)
+		}
+		return
+	}
+	if !j.tryStart() {
+		return // lost the race with Cancel
+	}
+	ctx, cancel := j.ctx, func() {}
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+	}
+	defer cancel()
+
+	opt := j.opt
+	opt.Progress = j.setProgress
+	m.engineRuns.Add(1)
+	res, err := j.finder.Find(ctx, opt)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			if j.finish(api.StateCancelled, nil, "cancelled") {
+				m.cancelled.Add(1)
+			}
+		default: // deadline exceeded or an engine error
+			if j.finish(api.StateFailed, nil, err.Error()) {
+				m.failed.Add(1)
+			}
+		}
+		return
+	}
+	out := findResult(res)
+	if err := j.applyMitigation(res, out); err != nil {
+		if j.finish(api.StateFailed, nil, err.Error()) {
+			m.failed.Add(1)
+		}
+		return
+	}
+	m.cache.put(j.cacheKey, out)
+	if j.finish(api.StateDone, out, "") {
+		m.completed.Add(1)
+	}
+}
+
+// applyMitigation attaches the cluster/decompose summary for the
+// non-find kinds, operating on the groups the finder detected.
+func (j *Job) applyMitigation(res *tanglefind.Result, out *api.JobResult) error {
+	if j.kind == api.KindFind {
+		return nil
+	}
+	groups := make([][]tanglefind.CellID, len(res.GTLs))
+	for i := range res.GTLs {
+		groups[i] = res.GTLs[i].Members
+	}
+	nl := j.finder.Netlist()
+	switch j.kind {
+	case api.KindCluster:
+		cl, err := tanglefind.Cluster(nl, groups)
+		if err != nil {
+			return err
+		}
+		out.Cluster = &api.ClusterInfo{
+			Macros:     len(cl.Groups),
+			MacroCells: cl.Clustered.NumCells(),
+			MacroNets:  cl.Clustered.NumNets(),
+		}
+	case api.KindDecompose:
+		rs, err := tanglefind.Decompose(nl, groups, j.maxPins)
+		if err != nil {
+			return err
+		}
+		out.Decompose = &api.DecomposeInfo{
+			CellsAdded: rs.CellsAdded,
+			Cells:      rs.Netlist.NumCells(),
+			Nets:       rs.Netlist.NumNets(),
+			Pins:       rs.Netlist.NumPins(),
+		}
+	}
+	return nil
+}
+
+// findResult converts an engine result to its wire form. Member
+// slices are shared with the engine result, which is immutable once
+// returned.
+func findResult(res *tanglefind.Result) *api.JobResult {
+	out := &api.JobResult{
+		GTLs:       make([]api.GTLInfo, 0, len(res.GTLs)),
+		Candidates: res.Candidates,
+		SeedsRun:   len(res.Seeds),
+		Rent:       res.Rent,
+		EngineMS:   float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	for i := range res.GTLs {
+		g := &res.GTLs[i]
+		out.GTLs = append(out.GTLs, api.GTLInfo{
+			Size:    g.Size(),
+			Cut:     g.Cut,
+			Pins:    g.Pins,
+			NGTLS:   g.NGTLS,
+			GTLSD:   g.GTLSD,
+			Rent:    g.Rent,
+			Seed:    g.Seed,
+			Members: g.Members,
+		})
+	}
+	return out
+}
+
+// cacheKey canonicalizes a request's compute identity. Workers is
+// zeroed because it never changes results (the engine is
+// deterministic for a fixed RandSeed regardless of parallelism), so
+// requests differing only in worker count share a cache line.
+func cacheKey(kind api.Kind, digest string, maxPins int, opt tanglefind.Options) string {
+	opt.Workers = 0
+	opt.Progress = nil
+	data, err := json.Marshal(opt)
+	if err != nil {
+		// Options is a plain struct with tagged scalar fields; this
+		// cannot fail, but never let a cache key collapse to "".
+		return fmt.Sprintf("%s|%s|%d|unmarshalable", kind, digest, maxPins)
+	}
+	return fmt.Sprintf("%s|%s|%d|%s", kind, digest, maxPins, data)
+}
+
+// ---- Job state machine ----
+
+// tryStart moves queued → running; false means the job was already
+// finished (cancelled) and must not run.
+func (j *Job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != api.StateQueued {
+		return false
+	}
+	j.state = api.StateRunning
+	now := time.Now()
+	j.started = &now
+	j.publishLocked()
+	return true
+}
+
+// setProgress records the latest engine snapshot and fans it out.
+func (j *Job) setProgress(p tanglefind.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return // a late callback after cancellation; subscribers are gone
+	}
+	cp := p
+	j.progress = &cp
+	j.publishLocked()
+}
+
+// finish moves the job to a terminal state exactly once, publishes
+// the terminal event and closes all subscriber channels. It reports
+// whether this call performed the transition (so callers count each
+// outcome once).
+func (j *Job) finish(state api.State, res *api.JobResult, errMsg string) bool {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	if state != api.StateDone {
+		j.errMsg = errMsg
+	}
+	now := time.Now()
+	j.finished = &now
+	j.publishLocked()
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+	return true
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{
+		ID:         j.id,
+		Kind:       j.kind,
+		Digest:     j.digest,
+		State:      j.state,
+		Cached:     j.cached,
+		Error:      j.errMsg,
+		Progress:   j.progress,
+		Result:     j.result,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+	return st
+}
+
+// subscribe registers a fan-out channel; see Manager.Subscribe.
+func (j *Job) subscribe() (chan api.Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan api.Event, 16)
+	ch <- j.eventLocked() // snapshot; fresh buffer, never blocks
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+	}
+}
+
+// eventLocked builds the current event; callers hold j.mu.
+func (j *Job) eventLocked() api.Event {
+	return api.Event{JobID: j.id, State: j.state, Progress: j.progress, Error: j.errMsg}
+}
+
+// publishLocked fans the current event out to every subscriber. Slow
+// consumers lose intermediate progress events (oldest dropped), never
+// the terminal event — finish publishes after the last progress and
+// nothing else writes afterwards.
+func (j *Job) publishLocked() {
+	ev := j.eventLocked()
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"tanglefind/api"
+	"tanglefind/internal/generate"
+	"tanglefind/internal/store"
+)
+
+// registered builds a store holding one planted-block netlist and
+// returns its digest.
+func registered(t *testing.T, cells, block int, seed uint64) (*store.Store, string) {
+	t.Helper()
+	spec := generate.RandomGraphSpec{Cells: cells, Seed: seed}
+	if block > 0 {
+		spec.Blocks = []generate.BlockSpec{{Size: block}}
+	}
+	rg, err := generate.NewRandomGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rg.Netlist.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := store.New(0)
+	info, err := s.Ingest(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, info.Digest
+}
+
+// smallOpts keeps test jobs fast and deterministic.
+func smallOpts(t *testing.T, seeds int) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{
+		"seeds":         seeds,
+		"max_order_len": 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// wait polls a job to a terminal state.
+func wait(t *testing.T, m *Manager, id string) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFindJobAndResultCache(t *testing.T) {
+	s, digest := registered(t, 5000, 500, 11)
+	m := New(Config{Store: s, Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	req := api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 16)}
+	st1, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cached {
+		t.Error("first submission claimed a cache hit")
+	}
+	st1 = wait(t, m, st1.ID)
+	if st1.State != api.StateDone || st1.Result == nil {
+		t.Fatalf("job 1: %+v", st1)
+	}
+	if len(st1.Result.GTLs) == 0 || st1.Result.GTLs[0].Size < 400 {
+		t.Fatalf("planted block not found: %+v", st1.Result)
+	}
+
+	// Identical request: served from cache, engine untouched.
+	runs := m.Stats().EngineRuns
+	st2, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.State != api.StateDone || st2.Result == nil {
+		t.Fatalf("job 2 not cached: %+v", st2)
+	}
+	if st2.Result != st1.Result && len(st2.Result.GTLs) != len(st1.Result.GTLs) {
+		t.Error("cached result differs")
+	}
+	stats := m.Stats()
+	if stats.EngineRuns != runs {
+		t.Errorf("cache hit ran the engine (%d -> %d runs)", runs, stats.EngineRuns)
+	}
+	if stats.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", stats.CacheHits)
+	}
+
+	// Same options with a different worker count still hits (results
+	// are scheduling-independent)...
+	var withWorkers map[string]any
+	if err := json.Unmarshal(smallOpts(t, 16), &withWorkers); err != nil {
+		t.Fatal(err)
+	}
+	withWorkers["workers"] = 7
+	raw, _ := json.Marshal(withWorkers)
+	st3, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.Cached {
+		t.Error("worker-count-only change missed the cache")
+	}
+	// ...but a different seed count misses.
+	st4, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Cached {
+		t.Error("different options hit the cache")
+	}
+	wait(t, m, st4.ID)
+}
+
+func TestMitigationKinds(t *testing.T) {
+	s, digest := registered(t, 5000, 500, 11)
+	m := New(Config{Store: s, Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Submit(api.JobRequest{Kind: api.KindCluster, Digest: digest, Options: smallOpts(t, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = wait(t, m, st.ID)
+	if st.State != api.StateDone || st.Result == nil || st.Result.Cluster == nil {
+		t.Fatalf("cluster job: %+v", st)
+	}
+	if st.Result.Cluster.Macros != len(st.Result.GTLs) {
+		t.Errorf("macros = %d for %d GTLs", st.Result.Cluster.Macros, len(st.Result.GTLs))
+	}
+
+	st, err = m.Submit(api.JobRequest{Kind: api.KindDecompose, Digest: digest, Options: smallOpts(t, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = wait(t, m, st.ID)
+	if st.State != api.StateDone || st.Result == nil || st.Result.Decompose == nil {
+		t.Fatalf("decompose job: %+v", st)
+	}
+	if st.Result.Decompose.CellsAdded == 0 {
+		t.Error("decompose added no cells in a dense block")
+	}
+	// Kinds do not share cache lines with find.
+	stats := m.Stats()
+	if stats.CacheHits != 0 {
+		t.Errorf("cross-kind cache hits: %d", stats.CacheHits)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, digest := registered(t, 2000, 0, 5)
+	m := New(Config{Store: s})
+	defer m.Shutdown(context.Background())
+
+	cases := []api.JobRequest{
+		{Kind: "melt", Digest: digest},
+		{Kind: api.KindFind, Digest: "no-such-digest"},
+		{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(`{"seedz": 1}`)},
+		{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(`{"seeds": -2}`)},
+		{Kind: api.KindDecompose, Digest: digest, MaxPins: 1},
+		{Kind: api.KindFind, Digest: digest, TimeoutMS: -5},
+	}
+	for _, req := range cases {
+		if _, err := m.Submit(req); err == nil {
+			t.Errorf("accepted bad request %+v", req)
+		}
+	}
+	if _, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: "no-such-digest"}); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unknown digest error = %v", err)
+	}
+}
+
+func TestCancelRunningJobFreesWorker(t *testing.T) {
+	s, digest := registered(t, 30000, 2000, 13)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	slow, err := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for it to occupy the only worker.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, err := m.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", cur.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := wait(t, m, st.ID); got.State != api.StateCancelled {
+		t.Fatalf("cancelled job state = %s", got.State)
+	}
+	// The worker must be free for the next job.
+	quick, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wait(t, m, quick.ID); got.State != api.StateDone {
+		t.Fatalf("follow-up job state = %s (%s)", got.State, got.Error)
+	}
+	if stats := m.Stats(); stats.Cancelled != 1 {
+		t.Errorf("cancelled count = %d", stats.Cancelled)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s, digest := registered(t, 30000, 2000, 13)
+	m := New(Config{Store: s, Workers: 1, QueueDepth: 4})
+	defer m.Shutdown(context.Background())
+
+	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	blocker, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateCancelled {
+		t.Errorf("queued job after cancel = %s", st.State)
+	}
+	if _, err := m.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, m, blocker.ID)
+}
+
+func TestQueueFull(t *testing.T) {
+	s, digest := registered(t, 30000, 2000, 13)
+	m := New(Config{Store: s, Workers: 1, QueueDepth: 1})
+	defer m.Shutdown(context.Background())
+
+	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	// One running + one queued fills the system; the next submission
+	// may land before the worker dequeues, so allow one slack slot.
+	var reject error
+	for i := 0; i < 4 && reject == nil; i++ {
+		_, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
+		if err != nil {
+			reject = err
+		}
+	}
+	if !errors.Is(reject, ErrQueueFull) {
+		t.Fatalf("overflow error = %v, want ErrQueueFull", reject)
+	}
+	for _, st := range m.List() {
+		m.Cancel(st.ID)
+	}
+}
+
+// TestCancelFreesQueueSlot: cancelling queued jobs must release their
+// queue capacity immediately, even while every worker stays busy.
+func TestCancelFreesQueueSlot(t *testing.T) {
+	s, digest := registered(t, 30000, 2000, 13)
+	m := New(Config{Store: s, Workers: 1, QueueDepth: 2})
+	defer m.Shutdown(context.Background())
+
+	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	submit := func() (api.JobStatus, error) {
+		return m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
+	}
+	blocker, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the blocker to leave the queue and occupy the worker.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := m.Status(blocker.ID); st.State == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	q1, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull submit error = %v", err)
+	}
+	// Cancel both queued jobs: their slots must free while the worker
+	// is still busy with the blocker.
+	for _, id := range []string{q1.ID, q2.ID} {
+		st, err := m.Cancel(id)
+		if err != nil || st.State != api.StateCancelled {
+			t.Fatalf("cancel %s: %+v, %v", id, st, err)
+		}
+	}
+	if _, err := submit(); err != nil {
+		t.Fatalf("submit after cancelling queued jobs: %v", err)
+	}
+	for _, st := range m.List() {
+		m.Cancel(st.ID)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	s, digest := registered(t, 30000, 2000, 13)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow), TimeoutMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = wait(t, m, st.ID)
+	if st.State != api.StateFailed {
+		t.Fatalf("timed-out job state = %s", st.State)
+	}
+	if st.Error == "" {
+		t.Error("timed-out job carries no error message")
+	}
+}
+
+func TestSubscribeSeesEvents(t *testing.T) {
+	s, digest := registered(t, 5000, 500, 11)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub, err := m.Subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	var n int
+	var lastState api.State
+	for ev := range events {
+		n++
+		lastState = ev.State
+	}
+	if n < 1 {
+		t.Fatal("no events delivered")
+	}
+	if !lastState.Terminal() {
+		t.Errorf("stream ended in non-terminal state %s", lastState)
+	}
+	// A late subscriber still gets the terminal snapshot.
+	late, unsub2, err := m.Subscribe(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub2()
+	ev, open := <-late
+	if !open || !ev.State.Terminal() {
+		t.Errorf("late snapshot = %+v (open=%v)", ev, open)
+	}
+	if _, open := <-late; open {
+		t.Error("late channel not closed after terminal snapshot")
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	s, digest := registered(t, 5000, 500, 11)
+	m := New(Config{Store: s, Workers: 1})
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != api.StateDone {
+		t.Errorf("drained job state = %s", got.State)
+	}
+	if _, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-shutdown submit error = %v", err)
+	}
+}
+
+func TestForcedShutdownCancels(t *testing.T) {
+	s, digest := registered(t, 30000, 2000, 13)
+	m := New(Config{Store: s, Workers: 1})
+	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown error = %v", err)
+	}
+	got, err := m.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.State.Terminal() {
+		t.Errorf("job survived forced shutdown in state %s", got.State)
+	}
+}

@@ -193,21 +193,27 @@ func ReadBinary(r io.Reader) (*Netlist, error) {
 	return fromNetCSR(numCells, off, pins, netNames, cellNames, areas), nil
 }
 
-// ReadFile loads a netlist from path, autodetecting the format by
+// ReadAuto parses a netlist from r, autodetecting the format by
 // content: a "TFBN" magic selects the .tfb binary reader, anything
 // else falls through to the .tfnet text parser.
+func ReadAuto(r io.Reader) (*Netlist, error) {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(len(tfbMagic))
+	if len(head) == len(tfbMagic) && [4]byte(head) == tfbMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}
+
+// ReadFile loads a netlist from path, autodetecting the format by
+// content (see ReadAuto).
 func ReadFile(path string) (*Netlist, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
-	head, _ := br.Peek(len(tfbMagic))
-	if len(head) == len(tfbMagic) && [4]byte(head) == tfbMagic {
-		return ReadBinary(br)
-	}
-	return Read(br)
+	return ReadAuto(f)
 }
 
 // WriteFile saves the netlist to path, picking the format from the

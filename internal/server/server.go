@@ -1,0 +1,227 @@
+// Package server exposes the netlist registry and job manager over an
+// HTTP/JSON API — the long-running front of the detection engine.
+//
+// Routes (all JSON unless noted):
+//
+//	POST   /v1/netlists            upload a raw .tfnet/.tfb payload → NetlistInfo
+//	GET    /v1/netlists            list registry entries
+//	GET    /v1/netlists/{digest}   one entry's metadata
+//	POST   /v1/jobs                submit a JobRequest → JobStatus
+//	GET    /v1/jobs                list retained jobs, newest first
+//	GET    /v1/jobs/{id}           one job's status (+result when done)
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/jobs/{id}/events    Server-Sent Events progress stream
+//	GET    /v1/stats               job + registry statistics
+//	GET    /v1/healthz             liveness probe (plain "ok")
+//
+// Error responses carry api.ErrorResponse bodies; submission
+// backpressure surfaces as 429 with a Retry-After hint.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tanglefind/api"
+	"tanglefind/internal/jobs"
+	"tanglefind/internal/store"
+)
+
+// maxUploadBytes bounds one netlist payload; a 256 MiB .tfb holds
+// ~60M pins, far past the paper's largest circuits.
+const maxUploadBytes = 256 << 20
+
+// Server routes API traffic to a registry and a job manager. Graceful
+// shutdown is composed by the owner: http.Server.Shutdown to stop
+// traffic, then Manager.Shutdown to drain jobs.
+type Server struct {
+	store *store.Store
+	mgr   *jobs.Manager
+	mux   *http.ServeMux
+}
+
+// New wires the routes.
+func New(st *store.Store, mgr *jobs.Manager) *Server {
+	s := &Server{store: st, mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/netlists", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/netlists", s.handleNetlists)
+	s.mux.HandleFunc("GET /v1/netlists/{digest}", s.handleNetlist)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("payload exceeds %d bytes", mbe.Limit))
+		} else {
+			// A mid-stream read failure (client hung up) is not an
+			// oversize payload.
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read payload: %w", err))
+		}
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty payload"))
+		return
+	}
+	info, err := s.store.Ingest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleNetlists(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleNetlist(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.store.Info(r.PathValue("digest"))
+	if !ok {
+		writeError(w, http.StatusNotFound, store.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse job request: %w", err))
+		return
+	}
+	st, err := s.mgr.Submit(req)
+	if err != nil {
+		writeError(w, submitStatusCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// submitStatusCode maps the manager's typed failures onto HTTP.
+func submitStatusCode(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrEvicted):
+		// The digest is known but its payload is gone: the client must
+		// re-upload, which 410 states more precisely than 404.
+		return http.StatusGone
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: one
+// `data: <api.Event JSON>` frame per state/progress change, starting
+// with a snapshot, ending after the terminal event (or when the
+// client goes away).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, unsub, err := s.mgr.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer unsub()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+			if ev.State.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.ServerStats{
+		Jobs:  s.mgr.Stats(),
+		Store: s.store.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, api.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,239 @@
+// Package store is the serving layer's content-addressed netlist
+// registry. Uploaded .tfnet/.tfb payloads are keyed by the SHA-256 of
+// their bytes, parsed once into an immutable *netlist.Netlist shared
+// by every job that references the digest, and paired with a lazily
+// built tanglefind.Finder engine so repeated jobs over one netlist
+// reuse the engine's pooled per-worker state.
+//
+// Memory is bounded by a pin budget: when the pins of all loaded
+// netlists exceed it, least-recently-used entries are evicted.
+// Eviction drops the parsed netlist and engine but keeps the metadata
+// as a tombstone (Loaded=false), so clients get "re-upload" instead
+// of "never existed". Jobs that resolved their netlist before the
+// eviction keep running — the hypergraph is immutable and only
+// becomes collectable once the last job releases it.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"tanglefind"
+	"tanglefind/api"
+	"tanglefind/internal/netlist"
+)
+
+// ErrNotFound is returned for digests never uploaded.
+var ErrNotFound = fmt.Errorf("store: netlist not found")
+
+// ErrEvicted is returned for digests whose netlist was evicted by the
+// pin budget; the payload must be uploaded again.
+var ErrEvicted = fmt.Errorf("store: netlist evicted (re-upload it)")
+
+// Store is the registry. Safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	pinBudget int64 // max Σ pins of loaded entries; <= 0 means unlimited
+	pins      int64
+	entries   map[string]*entry
+	lru       *list.List // front = most recently used; element value is *entry
+	evictions int64
+}
+
+type entry struct {
+	info   api.NetlistInfo
+	nl     *netlist.Netlist
+	finder *tanglefind.Finder // built on first Engine call
+	elem   *list.Element      // nil once evicted
+}
+
+// New creates a registry that evicts least-recently-used netlists once
+// the loaded pin total exceeds pinBudget (<= 0 disables eviction).
+func New(pinBudget int64) *Store {
+	return &Store{
+		pinBudget: pinBudget,
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+	}
+}
+
+// Digest returns the registry key for a payload: lowercase hex
+// SHA-256 of the raw bytes.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Ingest registers a payload: parses it (format autodetected by
+// content), stores the netlist under its digest and returns the entry
+// metadata. Re-uploading known bytes is idempotent and cheap when the
+// netlist is still loaded; re-uploading an evicted digest reloads it.
+func (s *Store) Ingest(data []byte) (api.NetlistInfo, error) {
+	digest := Digest(data)
+
+	// Fast path outside the parse: already loaded.
+	s.mu.Lock()
+	if e, ok := s.entries[digest]; ok && e.nl != nil {
+		s.touch(e)
+		info := e.info
+		s.mu.Unlock()
+		return info, nil
+	}
+	s.mu.Unlock()
+
+	// Parse outside the lock; uploads must not block readers.
+	nl, err := netlist.ReadAuto(bytes.NewReader(data))
+	if err != nil {
+		return api.NetlistInfo{}, err
+	}
+	if nl.NumCells() == 0 {
+		return api.NetlistInfo{}, fmt.Errorf("store: empty netlist")
+	}
+	format := "tfnet"
+	if len(data) >= 4 && string(data[:4]) == "TFBN" {
+		format = "tfb"
+	}
+	st := nl.Stats()
+	info := api.NetlistInfo{
+		Digest:  digest,
+		Format:  format,
+		Bytes:   int64(len(data)),
+		Cells:   st.Cells,
+		Nets:    st.Nets,
+		Pins:    st.Pins,
+		AvgPins: st.AvgPins,
+		Loaded:  true,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[digest]; ok && e.nl != nil {
+		// Lost a reload race; the winner's copy is equivalent.
+		s.touch(e)
+		return e.info, nil
+	}
+	e := &entry{info: info, nl: nl}
+	s.entries[digest] = e
+	e.elem = s.lru.PushFront(e)
+	s.pins += int64(st.Pins)
+	s.evict()
+	return e.info, nil
+}
+
+// Get returns the loaded netlist for digest, refreshing its LRU
+// position. It fails with ErrNotFound or ErrEvicted.
+func (s *Store) Get(digest string) (*netlist.Netlist, api.NetlistInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.loaded(digest)
+	if err != nil {
+		return nil, api.NetlistInfo{}, err
+	}
+	s.touch(e)
+	return e.nl, e.info, nil
+}
+
+// Engine returns the shared finder engine for digest, building it on
+// first use. Jobs should hold the returned engine (it pins the
+// netlist) rather than re-resolving the digest mid-run.
+func (s *Store) Engine(digest string) (*tanglefind.Finder, api.NetlistInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.loaded(digest)
+	if err != nil {
+		return nil, api.NetlistInfo{}, err
+	}
+	if e.finder == nil {
+		f, ferr := tanglefind.NewFinder(e.nl)
+		if ferr != nil {
+			return nil, api.NetlistInfo{}, ferr
+		}
+		e.finder = f
+	}
+	s.touch(e)
+	return e.finder, e.info, nil
+}
+
+// Info returns the metadata for digest, loaded or tombstoned.
+func (s *Store) Info(digest string) (api.NetlistInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[digest]
+	if !ok {
+		return api.NetlistInfo{}, false
+	}
+	return e.info, true
+}
+
+// List returns every entry's metadata, most recently used first,
+// tombstones last.
+func (s *Store) List() []api.NetlistInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.NetlistInfo, 0, len(s.entries))
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).info)
+	}
+	for _, e := range s.entries {
+		if e.elem == nil {
+			out = append(out, e.info)
+		}
+	}
+	return out
+}
+
+// Stats reports the registry's memory state.
+func (s *Store) Stats() api.StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return api.StoreStats{
+		Netlists:   s.lru.Len(),
+		Tombstones: len(s.entries) - s.lru.Len(),
+		PinsLoaded: s.pins,
+		PinBudget:  max(s.pinBudget, 0),
+		Evictions:  s.evictions,
+	}
+}
+
+// loaded resolves digest to a live entry; callers hold s.mu.
+func (s *Store) loaded(digest string) (*entry, error) {
+	e, ok := s.entries[digest]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if e.nl == nil {
+		return nil, ErrEvicted
+	}
+	return e, nil
+}
+
+// touch marks an entry most recently used; callers hold s.mu.
+func (s *Store) touch(e *entry) {
+	if e.elem != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+}
+
+// evict drops least-recently-used entries until the pin budget holds
+// again, always sparing the most recent entry so a single netlist
+// larger than the whole budget is still servable. Callers hold s.mu.
+func (s *Store) evict() {
+	if s.pinBudget <= 0 {
+		return
+	}
+	for s.pins > s.pinBudget && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		e.elem = nil
+		e.nl = nil
+		e.finder = nil
+		e.info.Loaded = false
+		s.pins -= int64(e.info.Pins)
+		s.evictions++
+	}
+}

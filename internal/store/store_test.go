@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+// payload serializes a small planted-block netlist in the requested
+// format.
+func payload(t *testing.T, cells int, seed uint64, binary bool) []byte {
+	t.Helper()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: cells, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if binary {
+		err = rg.Netlist.WriteBinary(&buf)
+	} else {
+		err = rg.Netlist.Write(&buf)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngestIdempotentAndAutodetect(t *testing.T) {
+	s := New(0)
+	text := payload(t, 300, 1, false)
+	bin := payload(t, 300, 1, true)
+
+	it, err := s.Ingest(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Format != "tfnet" || it.Cells != 300 || !it.Loaded {
+		t.Errorf("text info = %+v", it)
+	}
+	ib, err := s.Ingest(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.Format != "tfb" {
+		t.Errorf("binary info = %+v", ib)
+	}
+	// Same hypergraph, different bytes: distinct registry identities.
+	if it.Digest == ib.Digest {
+		t.Error("text and binary payloads share a digest")
+	}
+
+	// Re-ingest returns the same entry without growing the registry.
+	it2, err := s.Ingest(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it2.Digest != it.Digest {
+		t.Error("re-ingest changed digest")
+	}
+	if st := s.Stats(); st.Netlists != 2 {
+		t.Errorf("registry has %d entries, want 2", st.Netlists)
+	}
+
+	nl, _, err := s.Get(it.Digest)
+	if err != nil || nl.NumCells() != 300 {
+		t.Fatalf("Get: %v (cells %d)", err, nl.NumCells())
+	}
+	if _, _, err := s.Get("deadbeef"); err != ErrNotFound {
+		t.Errorf("unknown digest error = %v", err)
+	}
+	if _, err := s.Ingest([]byte("not a netlist")); err == nil {
+		t.Error("garbage payload accepted")
+	}
+}
+
+func TestEngineSharedAndPinned(t *testing.T) {
+	s := New(0)
+	info, err := s.Ingest(payload(t, 400, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _, err := s.Engine(info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _, err := s.Engine(info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("Engine rebuilt per call; must be shared")
+	}
+	if f1.Netlist().NumCells() != 400 {
+		t.Errorf("engine netlist cells = %d", f1.Netlist().NumCells())
+	}
+}
+
+func TestEvictionByPinBudget(t *testing.T) {
+	// Budget fits roughly two of the three netlists.
+	first := payload(t, 400, 3, true)
+	nl, err := netlist.ReadAuto(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(nl.NumPins()) * 5 / 2
+	s := New(budget)
+
+	var infos []string
+	for i := uint64(3); i < 6; i++ {
+		info, err := s.Ingest(payload(t, 400, i, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, info.Digest)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 || st.PinsLoaded > budget {
+		t.Fatalf("stats after overflow: %+v (budget %d)", st, budget)
+	}
+	// The oldest entry was evicted: tombstoned, not forgotten.
+	if _, _, err := s.Get(infos[0]); err != ErrEvicted {
+		t.Errorf("oldest entry error = %v, want ErrEvicted", err)
+	}
+	info, ok := s.Info(infos[0])
+	if !ok || info.Loaded {
+		t.Errorf("tombstone info = %+v, ok=%v", info, ok)
+	}
+	if _, _, err := s.Get(infos[2]); err != nil {
+		t.Errorf("newest entry evicted: %v", err)
+	}
+
+	// Touching an entry protects it: access infos[1], ingest a fourth
+	// netlist, and infos[1] must survive while infos[2] goes.
+	if _, _, err := s.Get(infos[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(payload(t, 400, 6, true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(infos[1]); err != nil {
+		t.Errorf("recently used entry evicted: %v", err)
+	}
+	if _, _, err := s.Get(infos[2]); err != ErrEvicted {
+		t.Errorf("LRU entry error = %v, want ErrEvicted", err)
+	}
+
+	// Re-uploading an evicted payload reloads it in place.
+	reload, err := s.Ingest(payload(t, 400, 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reload.Digest != infos[0] || !reload.Loaded {
+		t.Errorf("reload info = %+v", reload)
+	}
+	if _, _, err := s.Get(infos[0]); err != nil {
+		t.Errorf("reloaded entry unreadable: %v", err)
+	}
+}
+
+func TestSingleOversizeEntrySurvives(t *testing.T) {
+	s := New(1) // absurd budget: every entry exceeds it
+	info, err := s.Ingest(payload(t, 300, 9, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(info.Digest); err != nil {
+		t.Errorf("sole oversize entry evicted: %v", err)
+	}
+	// A second ingest displaces it: the newest always survives.
+	info2, err := s.Ingest(payload(t, 300, 10, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(info2.Digest); err != nil {
+		t.Errorf("new entry missing: %v", err)
+	}
+	if _, _, err := s.Get(info.Digest); err != ErrEvicted {
+		t.Errorf("displaced entry error = %v", err)
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	s := New(0)
+	var digests []string
+	for i := uint64(1); i <= 3; i++ {
+		info, err := s.Ingest(payload(t, 250, i, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, info.Digest)
+	}
+	// Touch the first so it becomes most recent.
+	if _, _, err := s.Get(digests[0]); err != nil {
+		t.Fatal(err)
+	}
+	l := s.List()
+	if len(l) != 3 {
+		t.Fatalf("list has %d entries", len(l))
+	}
+	if l[0].Digest != digests[0] {
+		t.Errorf("most recent is %s, want %s", l[0].Digest, digests[0])
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	d := Digest([]byte("abc"))
+	if d != fmt.Sprintf("%x", [32]byte{0xba, 0x78, 0x16, 0xbf, 0x8f, 0x01, 0xcf, 0xea,
+		0x41, 0x41, 0x40, 0xde, 0x5d, 0xae, 0x22, 0x23,
+		0xb0, 0x03, 0x61, 0xa3, 0x96, 0x17, 0x7a, 0x9c,
+		0xb4, 0x10, 0xff, 0x61, 0xf2, 0x00, 0x15, 0xad}) {
+		t.Errorf("Digest(abc) = %s", d)
+	}
+}

@@ -58,11 +58,15 @@ type CellID = netlist.CellID
 // NetID identifies a net.
 type NetID = netlist.NetID
 
-// Options configures the finder; start from DefaultOptions.
+// Options configures the finder; start from DefaultOptions. Options
+// is JSON-round-trippable (see ParseOptions).
 type Options = core.Options
 
 // Metric selects the driving score Φ.
 type Metric = core.Metric
+
+// Ordering selects the Phase I growth rule.
+type Ordering = core.Ordering
 
 // Finder metric and ordering constants (see core documentation).
 const (
@@ -84,14 +88,25 @@ type GTL = core.GTL
 // per netlist with NewFinder, then run it many times. Repeated runs
 // reuse pooled per-worker state, runs accept a context for
 // cancellation/deadline, emit Options.Progress callbacks, and can be
-// split into resumable shards (FindShard + Merge).
+// split into resumable shards (Finder.FindShard + Finder.Merge — both
+// part of this facade via the Finder alias; no internal import
+// needed).
 type Finder = core.Finder
 
 // ShardResult holds the raw outcomes of one seed-range chunk of a run;
 // see Finder.FindShard and Finder.Merge.
 type ShardResult = core.ShardResult
 
-// Progress is the engine's per-seed progress snapshot.
+// SeedTrace records what one Phase I/II seed produced: ordering
+// length, whether a candidate was extracted, and its size/score.
+type SeedTrace = core.SeedTrace
+
+// Curve is one seed's per-prefix score curve (retained in SeedTrace
+// when Options.KeepCurves is set).
+type Curve = core.Curve
+
+// Progress is the engine's per-seed progress snapshot. It carries JSON
+// tags, so serving layers can stream snapshots verbatim.
 type Progress = core.Progress
 
 // ProgressFunc receives Progress snapshots via Options.Progress.
@@ -99,6 +114,20 @@ type ProgressFunc = core.ProgressFunc
 
 // DefaultOptions returns the paper's parameter settings.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// ParseOptions decodes a JSON document into validated Options: absent
+// fields keep their DefaultOptions values and unknown fields are
+// rejected. This is the entry point API layers use to accept finder
+// options over the wire.
+func ParseOptions(data []byte) (Options, error) { return core.ParseOptions(data) }
+
+// ParseMetric maps a metric name ("gtlsd", "ngtls", or the paper
+// forms) to its constant.
+func ParseMetric(s string) (Metric, error) { return core.ParseMetric(s) }
+
+// ParseOrdering maps an ordering name ("weighted", "mincut", "bfs") to
+// its constant.
+func ParseOrdering(s string) (Ordering, error) { return core.ParseOrdering(s) }
 
 // NewFinder constructs a reusable detection engine over nl.
 func NewFinder(nl *Netlist) (*Finder, error) { return core.NewFinder(nl) }
