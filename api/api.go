@@ -120,15 +120,18 @@ type DecomposeInfo struct {
 
 // JobResult is the outcome of a completed job. Every kind carries the
 // finder outcome; Cluster/Decompose carry their mitigation summary on
-// top.
+// top. Levels is present only for multilevel runs (Options.Levels > 1
+// with a hierarchy that actually formed): the per-level breakdown of
+// the coarsen → detect → project + refine pipeline.
 type JobResult struct {
-	GTLs       []GTLInfo      `json:"gtls"`
-	Candidates int            `json:"candidates"`
-	SeedsRun   int            `json:"seeds_run"`
-	Rent       float64        `json:"rent"`
-	EngineMS   float64        `json:"engine_ms"` // engine compute time
-	Cluster    *ClusterInfo   `json:"cluster,omitempty"`
-	Decompose  *DecomposeInfo `json:"decompose,omitempty"`
+	GTLs       []GTLInfo               `json:"gtls"`
+	Candidates int                     `json:"candidates"`
+	SeedsRun   int                     `json:"seeds_run"`
+	Rent       float64                 `json:"rent"`
+	EngineMS   float64                 `json:"engine_ms"` // engine compute time
+	Levels     []tanglefind.LevelStats `json:"levels,omitempty"`
+	Cluster    *ClusterInfo            `json:"cluster,omitempty"`
+	Decompose  *DecomposeInfo          `json:"decompose,omitempty"`
 }
 
 // JobStatus is a job's externally visible state.
@@ -170,6 +173,10 @@ type JobStats struct {
 	Queued     int   `json:"queued"`      // current
 	Running    int   `json:"running"`     // current
 	CachedSets int   `json:"cached_results"`
+	// RunsByLevels counts completed engine runs by the number of
+	// hierarchy levels they actually used ("1" = flat), so operators
+	// can see how much traffic rides the multilevel pipeline.
+	RunsByLevels map[string]int64 `json:"runs_by_levels,omitempty"`
 }
 
 // StoreStats describes the netlist registry's memory state.
@@ -179,6 +186,11 @@ type StoreStats struct {
 	PinsLoaded int64 `json:"pins_loaded"` // Σ pins of loaded netlists
 	PinBudget  int64 `json:"pin_budget"`  // eviction threshold; 0 = unlimited
 	Evictions  int64 `json:"evictions"`   // cumulative
+	// EngineBytes estimates the memory retained by the registry's
+	// finder engines beyond the netlists themselves: pooled per-worker
+	// scratch plus cached coarsening hierarchies — the footprint the
+	// pin budget alone does not see.
+	EngineBytes int64 `json:"engine_bytes"`
 }
 
 // ServerStats is the GET /v1/stats payload.

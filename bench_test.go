@@ -305,6 +305,30 @@ func BenchmarkAblation_BigNetSkip_Off(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Multilevel pipeline — flat vs coarsen → detect → project + refine on
+// the same workloads, reporting the wall-clock speedup and the
+// planted-cell recovery of the multilevel run. The CI bench-smoke
+// shard executes this once per PR, so the speed/quality trade stays on
+// the perf trajectory (gtlexp -exp multilevel -scale full regenerates
+// the committed BENCH_multilevel.json record at paper scale).
+// ---------------------------------------------------------------------
+
+func BenchmarkMultilevel_FlatVsMultilevel(b *testing.B) {
+	b.ReportAllocs()
+	var speedup, recovery float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Multilevel(context.Background(), benchCfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := results[len(results)-1]
+		speedup, recovery = last.Speedup, last.MultiRecovery
+	}
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(recovery, "ml-recovery-%")
+}
+
+// ---------------------------------------------------------------------
 // Engine reuse — the allocation win of the pooled Finder. Each pair
 // runs the identical workload twice per iteration: the Cold variant
 // through the one-shot compatibility wrapper (fresh worker state both

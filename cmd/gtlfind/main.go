@@ -36,6 +36,9 @@ func main() {
 		noRefine = flag.Bool("no-refine", false, "disable Phase III refinement")
 		progress = flag.Bool("progress", false, "report seed progress on stderr while running")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none), keeping partial results")
+		levels   = flag.Int("levels", 1, "multilevel pipeline depth: coarsen levels-1 times, detect on the coarsest, project + refine down (1 = flat)")
+		minCC    = flag.Int("min-coarse-cells", 0, "stop coarsening below this many cells (0 = default floor)")
+		radius   = flag.Int("refine-radius", 2, "boundary-refinement sweeps per level after projection (0 = project only)")
 	)
 	flag.Parse()
 	if (*inPath == "") == (*auxPath == "") {
@@ -54,6 +57,9 @@ func main() {
 	opt.RandSeed = *randSeed
 	opt.Workers = *workers
 	opt.Refine = !*noRefine
+	opt.Levels = *levels
+	opt.MinCoarseCells = *minCC
+	opt.RefineRadius = *radius
 	if opt.Metric, err = core.ParseMetric(*metric); err != nil {
 		fatal(err)
 	}
@@ -98,8 +104,17 @@ func main() {
 		interrupted = true
 		fmt.Fprintf(os.Stderr, "\ngtlfind: interrupted (%v); reporting partial results\n", err)
 	}
-	fmt.Printf("finder: %d seeds -> %d candidates -> %d disjoint GTLs in %s (Rent p ≈ %.3f)\n\n",
+	fmt.Printf("finder: %d seeds -> %d candidates -> %d disjoint GTLs in %s (Rent p ≈ %.3f)\n",
 		len(res.Seeds), res.Candidates, len(res.GTLs), res.Elapsed.Round(time.Millisecond), res.Rent)
+	for _, lv := range res.Levels {
+		what := fmt.Sprintf("refined (+%d cells)", lv.RefineAdded)
+		if lv.SeedsRun > 0 {
+			what = fmt.Sprintf("detected (%d seeds, %d candidates)", lv.SeedsRun, lv.Candidates)
+		}
+		fmt.Printf("  level %d: %d cells, %d nets — %s in %.0fms\n",
+			lv.Level, lv.Cells, lv.Nets, what, lv.ElapsedMS)
+	}
+	fmt.Println()
 
 	tbl := report.New("Detected GTLs (best first)",
 		"#", "Size", "Cut", "A_C", "nGTL-S", "GTL-SD", "Seed")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,10 @@ type Progress struct {
 	SeedsDone  int `json:"seeds_done"`
 	SeedsTotal int `json:"seeds_total"`
 	Candidates int `json:"candidates"` // refined candidates found so far
+	// Level is the hierarchy level the seeds are growing on: 0 for
+	// flat runs, the coarsest level's index during a multilevel run's
+	// detection pass.
+	Level int `json:"level,omitempty"`
 }
 
 // ProgressFunc receives Progress snapshots. Calls are serialized by the
@@ -38,14 +43,27 @@ type ProgressFunc func(Progress)
 // curve buffers) is pooled across runs, so repeated runs allocate far
 // less than repeated one-shot Find calls.
 //
+// The pool is bounded: at most PoolCap idle worker states (default
+// GOMAXPROCS at construction time) are retained between runs, each
+// O(NumCells) bytes, and TrimPool drops them all — so a serving layer
+// holding many engines can both cap and reclaim idle engine memory,
+// and MemoryEstimate reports the engine's current retained footprint.
+//
 // Finder is safe for concurrent use; concurrent runs draw from the same
 // worker-state pool. Results are deterministic for a fixed
 // Options.RandSeed regardless of scheduling, worker count, or whether a
 // run executes whole (Find) or as shards (FindShard + Merge).
 type Finder struct {
-	nl   *netlist.Netlist
-	aG   float64
-	pool sync.Pool // *workerState
+	nl *netlist.Netlist
+	aG float64
+
+	poolMu  sync.Mutex
+	free    []*workerState // idle states; len <= poolCap
+	poolCap int
+
+	mlMu    sync.Mutex
+	ml      map[mlKey]*mlEntry // cached hierarchies + per-level sub-engines
+	mlOrder []mlKey            // insertion order, for bounded eviction
 }
 
 // workerState is the reusable per-worker scratch: one Phase I grower
@@ -56,31 +74,134 @@ type workerState struct {
 	ev *group.Evaluator
 }
 
+// memoryFootprint estimates the state's retained bytes from the actual
+// capacities of its buffers.
+func (ws *workerState) memoryFootprint() int64 {
+	g := ws.gr
+	b := int64(cap(g.gain))*8 + int64(cap(g.tie))*4 + int64(cap(g.inFront)) + int64(cap(g.touched))*4
+	b += g.heap.MemoryFootprint()
+	b += g.tracker.MemoryFootprint()
+	b += int64(cap(g.ord.Members))*4 + int64(cap(g.ord.Cuts))*4 + int64(cap(g.ord.Pins))*8
+	b += int64(cap(g.curve.Scores)) * 8
+	b += ws.ev.MemoryFootprint()
+	return b
+}
+
 // NewFinder constructs an engine over nl. The netlist must be non-empty
 // and must not be mutated while the engine is in use.
 func NewFinder(nl *netlist.Netlist) (*Finder, error) {
 	if nl == nil || nl.NumCells() == 0 {
 		return nil, fmt.Errorf("core: empty netlist")
 	}
-	f := &Finder{nl: nl, aG: nl.AvgPins()}
-	f.pool.New = func() any {
-		return &workerState{gr: newGrower(nl), ev: group.NewEvaluator(nl)}
-	}
-	return f, nil
+	return &Finder{nl: nl, aG: nl.AvgPins(), poolCap: runtime.GOMAXPROCS(0)}, nil
 }
 
 // Netlist returns the netlist the engine operates on.
 func (f *Finder) Netlist() *netlist.Netlist { return f.nl }
 
+// SetPoolCap bounds how many idle worker states the engine retains
+// between runs (n <= 0 means retain none). Worker states in active use
+// are unaffected — the cap only limits what release keeps. Lowering
+// the cap drops the excess immediately.
+func (f *Finder) SetPoolCap(n int) {
+	f.poolMu.Lock()
+	f.poolCap = n
+	if n < 0 {
+		n = 0
+	}
+	for len(f.free) > n {
+		f.free[len(f.free)-1] = nil // release the reference, not just the slot
+		f.free = f.free[:len(f.free)-1]
+	}
+	f.poolMu.Unlock()
+	f.forEachSubFinder(func(sub *Finder) { sub.SetPoolCap(n) })
+}
+
+// TrimPool drops every idle pooled worker state, in this engine and in
+// the per-level sub-engines of any cached multilevel hierarchies.
+// In-flight runs are unaffected; the next run re-allocates lazily.
+func (f *Finder) TrimPool() {
+	f.poolMu.Lock()
+	f.free = nil
+	f.poolMu.Unlock()
+	f.forEachSubFinder(func(sub *Finder) { sub.TrimPool() })
+}
+
+// PooledStates returns the number of idle worker states currently
+// retained (excluding sub-engines).
+func (f *Finder) PooledStates() int {
+	f.poolMu.Lock()
+	defer f.poolMu.Unlock()
+	return len(f.free)
+}
+
+// MemoryEstimate reports the engine's retained memory in bytes: idle
+// pooled worker states plus, for cached multilevel hierarchies, the
+// coarse netlists and their sub-engines' pools. The netlist itself and
+// states borrowed by in-flight runs are not counted.
+func (f *Finder) MemoryEstimate() int64 {
+	f.poolMu.Lock()
+	var b int64
+	for _, ws := range f.free {
+		b += ws.memoryFootprint()
+	}
+	f.poolMu.Unlock()
+	for _, s := range f.mlStates() {
+		for l := 1; l < s.hier.NumLevels(); l++ {
+			b += s.hier.Level(l).MemoryFootprint()
+			b += s.finders[l].MemoryEstimate()
+		}
+	}
+	return b
+}
+
+// mlStates snapshots the finished hierarchy states. Entries still
+// building (or failed) are skipped: the cache mutex only guards the
+// map, never a build, so this never blocks behind a coarsening pass.
+func (f *Finder) mlStates() []*mlState {
+	f.mlMu.Lock()
+	states := make([]*mlState, 0, len(f.ml))
+	for _, e := range f.ml {
+		if e.s != nil {
+			states = append(states, e.s)
+		}
+	}
+	f.mlMu.Unlock()
+	return states
+}
+
+// forEachSubFinder applies fn to the sub-engines of every cached
+// hierarchy (level 0 excluded — that is f itself).
+func (f *Finder) forEachSubFinder(fn func(*Finder)) {
+	for _, s := range f.mlStates() {
+		for l := 1; l < s.hier.NumLevels(); l++ {
+			fn(s.finders[l])
+		}
+	}
+}
+
 func (f *Finder) acquire(opt *Options) *workerState {
-	ws := f.pool.Get().(*workerState)
+	f.poolMu.Lock()
+	var ws *workerState
+	if n := len(f.free); n > 0 {
+		ws = f.free[n-1]
+		f.free = f.free[:n-1]
+	}
+	f.poolMu.Unlock()
+	if ws == nil {
+		ws = &workerState{gr: newGrower(f.nl), ev: group.NewEvaluator(f.nl)}
+	}
 	ws.gr.opt = opt
 	return ws
 }
 
 func (f *Finder) release(ws *workerState) {
 	ws.gr.opt = nil
-	f.pool.Put(ws)
+	f.poolMu.Lock()
+	if len(f.free) < f.poolCap {
+		f.free = append(f.free, ws)
+	}
+	f.poolMu.Unlock()
 }
 
 // seedPlan is the deterministic seed schedule of one run: the seed cell
@@ -168,6 +289,9 @@ func (s *ShardResult) SeedsRun() int { return len(s.outs) }
 func (f *Finder) FindShard(ctx context.Context, opt Options, lo, hi int) (*ShardResult, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
+	}
+	if opt.Levels > 1 {
+		return nil, fmt.Errorf("core: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", opt.Levels)
 	}
 	if lo < 0 || hi > opt.Seeds || lo >= hi {
 		return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d seeds", lo, hi, opt.Seeds)
@@ -277,6 +401,9 @@ func (f *Finder) Merge(opt Options, shards ...*ShardResult) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if opt.Levels > 1 {
+		return nil, fmt.Errorf("core: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", opt.Levels)
+	}
 	ordered := make([]*ShardResult, len(shards))
 	copy(ordered, shards)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
@@ -318,9 +445,12 @@ func (f *Finder) Merge(opt Options, shards ...*ShardResult) (*Result, error) {
 	return res, nil
 }
 
-// Find runs the full three-phase finder under ctx. On cancellation it
-// returns the partial Result assembled from the seeds that completed,
-// together with an error wrapping ctx.Err().
+// Find runs the full three-phase finder under ctx. With Options.Levels
+// > 1 it runs the multilevel pipeline (coarsen → detect on the
+// coarsest level → project + boundary-refine down); otherwise the
+// classic flat pipeline. On cancellation it returns the partial Result
+// assembled from the seeds that completed, together with an error
+// wrapping ctx.Err().
 func (f *Finder) Find(ctx context.Context, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -328,13 +458,21 @@ func (f *Finder) Find(ctx context.Context, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opt.Levels > 1 {
+		return f.findMultilevel(ctx, &opt)
+	}
+	return f.findFlat(ctx, &opt)
+}
+
+// findFlat is the validated single-level pipeline Find has always run.
+func (f *Finder) findFlat(ctx context.Context, opt *Options) (*Result, error) {
 	start := time.Now()
-	plan := f.plan(&opt)
-	sr, err := f.findShard(ctx, &opt, plan, 0, opt.Seeds)
+	plan := f.plan(opt)
+	sr, err := f.findShard(ctx, opt, plan, 0, opt.Seeds)
 	if err != nil && sr == nil {
 		return nil, err
 	}
-	res := f.assemble(&opt, plan, sr.outs)
+	res := f.assemble(opt, plan, sr.outs)
 	res.Elapsed = time.Since(start)
 	return res, err
 }
@@ -417,12 +555,7 @@ func (f *Finder) prune(opt *Options, cands []cand, res *Result) {
 				continue
 			}
 			set = pruneEval.Eval(kept)
-			switch opt.Metric {
-			case MetricNGTLS:
-				score = metrics.NGTLScore(set.Cut, set.Size(), c.rent, f.aG)
-			default:
-				score = metrics.GTLSD(set.Cut, set.Size(), set.Pins, c.rent, f.aG)
-			}
+			score = scoreVals(set.Cut, set.Size(), set.Pins, c.rent, f.aG, opt.Metric)
 		}
 		for _, m := range set.Members {
 			taken.Add(int(m))

@@ -6,7 +6,6 @@ import (
 
 	"tanglefind/internal/ds"
 	"tanglefind/internal/group"
-	"tanglefind/internal/metrics"
 	"tanglefind/internal/netlist"
 )
 
@@ -44,6 +43,9 @@ type Result struct {
 	Elapsed    time.Duration
 	Rent       float64 // mean Rent exponent across successful seeds
 	AG         float64
+	// Levels is the per-level breakdown of a multilevel run (nil for
+	// flat runs): coarsest first, finishing at the original netlist.
+	Levels []LevelStats
 }
 
 // Find runs the TangledLogicFinder over nl with the given options and
@@ -162,12 +164,7 @@ func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex ext
 
 // score evaluates Φ for an arbitrary set under the chosen metric.
 func score(s *group.Set, rent, aG float64, m Metric) float64 {
-	switch m {
-	case MetricNGTLS:
-		return metrics.NGTLScore(s.Cut, s.Size(), rent, aG)
-	default:
-		return metrics.GTLSD(s.Cut, s.Size(), s.Pins, rent, aG)
-	}
+	return scoreVals(s.Cut, s.Size(), s.Pins, rent, aG, m)
 }
 
 // GrowOrdering exposes Phase I for one seed — the building block the

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"tanglefind/internal/group"
+	"tanglefind/internal/metrics"
+	"tanglefind/internal/netlist"
+)
+
+// This file is the multilevel detection pipeline: coarsen → detect →
+// project + refine. A flat run's cost is seeds × ordering length ×
+// pin degree, all at full netlist resolution; the multilevel run
+// instead coarsens the netlist by repeated heavy-edge matching
+// (internal/netlist.BuildHierarchy), runs the complete three-phase
+// seed-and-grow detection on the coarsest level — where orderings are
+// 2^(Levels-1) times shorter — and then carries each winning group
+// back down, expanding its members one level at a time and running a
+// bounded boundary-refinement sweep at every finer level to recover
+// the cells the coarse boundary quantized away. Final scoring, and
+// the global disjointness pruning, happen at the original resolution.
+
+// mlKey identifies one hierarchy configuration of a Finder.
+type mlKey struct {
+	levels    int
+	minCoarse int
+}
+
+// maxHierarchies bounds how many hierarchy configurations one engine
+// caches. (Levels, MinCoarseCells) is client-controlled in serving
+// deployments, and each cached hierarchy is O(cells+pins) — without a
+// bound a client cycling min_coarse_cells values could grow engine
+// memory without limit. Past the bound the oldest configuration is
+// evicted; an evicted configuration simply rebuilds on next use.
+const maxHierarchies = 4
+
+// mlState caches a built hierarchy plus one sub-engine per coarse
+// level, so repeated multilevel runs over one netlist pay the
+// coarsening cost once and reuse pooled per-worker state at every
+// level, exactly like flat runs reuse the finest-level pool.
+type mlState struct {
+	hier    *netlist.Hierarchy
+	finders []*Finder // finders[0] is the owning engine itself
+}
+
+// mlEntry is one cache slot: the build runs under the entry's Once —
+// outside the cache mutex — so a multi-second coarsening of a large
+// netlist never blocks readers like MemoryEstimate or TrimPool, while
+// concurrent runs with the same configuration still build only once.
+type mlEntry struct {
+	once sync.Once
+	s    *mlState
+	err  error
+}
+
+// LevelStats describes one level's share of a multilevel run, for
+// results, the serving stats endpoint and the experiment tables.
+type LevelStats struct {
+	Level       int     `json:"level"` // 0 = original/finest
+	Cells       int     `json:"cells"`
+	Nets        int     `json:"nets"`
+	SeedsRun    int     `json:"seeds_run,omitempty"`    // detection level only
+	Candidates  int     `json:"candidates,omitempty"`   // detection level only
+	RefineAdded int     `json:"refine_added,omitempty"` // cells absorbed by boundary refinement
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// multilevelState returns (building and caching on first use) the
+// hierarchy and sub-engines for the run's coarsening configuration.
+func (f *Finder) multilevelState(opt *Options) (*mlState, error) {
+	minCoarse := opt.MinCoarseCells
+	if minCoarse == 0 {
+		// BuildHierarchy treats 0 as the default floor; normalize the
+		// cache key so "omitted" and "explicit default" share one
+		// hierarchy instead of building and caching it twice.
+		minCoarse = netlist.DefaultMinCoarseCells
+	}
+	key := mlKey{levels: opt.Levels, minCoarse: minCoarse}
+	f.mlMu.Lock()
+	if f.ml == nil {
+		f.ml = make(map[mlKey]*mlEntry)
+	}
+	e, ok := f.ml[key]
+	if !ok {
+		e = &mlEntry{}
+		f.ml[key] = e
+		f.mlOrder = append(f.mlOrder, key)
+		for len(f.mlOrder) > maxHierarchies {
+			delete(f.ml, f.mlOrder[0])
+			f.mlOrder = f.mlOrder[1:]
+		}
+	}
+	f.mlMu.Unlock()
+	e.once.Do(func() {
+		s, err := f.buildMLState(opt)
+		// Publish under the cache mutex so concurrent snapshot readers
+		// (MemoryEstimate, TrimPool) see a consistent entry; waiters on
+		// the Once itself are ordered by its happens-before edge.
+		f.mlMu.Lock()
+		e.s, e.err = s, err
+		f.mlMu.Unlock()
+	})
+	return e.s, e.err
+}
+
+// buildMLState coarsens the netlist and constructs the per-level
+// sub-engines for one configuration.
+func (f *Finder) buildMLState(opt *Options) (*mlState, error) {
+	h, err := netlist.BuildHierarchy(f.nl, netlist.CoarsenOptions{
+		Levels:   opt.Levels,
+		MinCells: opt.MinCoarseCells,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &mlState{hier: h, finders: make([]*Finder, h.NumLevels())}
+	s.finders[0] = f
+	f.poolMu.Lock()
+	cap := f.poolCap
+	f.poolMu.Unlock()
+	for l := 1; l < h.NumLevels(); l++ {
+		sub, err := NewFinder(h.Level(l))
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d engine: %w", l, err)
+		}
+		// Sub-engines inherit the owner's current pool bound, so a
+		// SetPoolCap issued before the hierarchy existed still holds.
+		sub.SetPoolCap(cap)
+		s.finders[l] = sub
+	}
+	return s, nil
+}
+
+// coarseOptions derives the detection options for the coarsest level:
+// size-dependent knobs shrink by the aggregation ratio (a coarse cell
+// stands for ~ratio fine cells), everything else carries over, and
+// the ordering cap never swallows the coarse netlist whole — Phase II
+// needs exterior curve to contrast a minimum against.
+func coarseOptions(opt *Options, fineCells, coarseCells, level int) Options {
+	c := *opt
+	c.Levels = 1
+	ratio := float64(fineCells) / float64(coarseCells)
+	c.MaxOrderLen = int(float64(opt.MaxOrderLen) / ratio)
+	if c.MaxOrderLen > coarseCells/2 {
+		c.MaxOrderLen = coarseCells / 2
+	}
+	if c.MaxOrderLen < 2 {
+		c.MaxOrderLen = 2
+	}
+	if opt.MinGroupSize > 0 {
+		c.MinGroupSize = int(float64(opt.MinGroupSize) / ratio)
+		if c.MinGroupSize < 2 {
+			c.MinGroupSize = 2
+		}
+	}
+	c.BigNetSkip = scaledSkip(opt.BigNetSkip, ratio)
+	c.Progress = nil
+	if opt.Progress != nil {
+		outer := opt.Progress
+		c.Progress = func(p Progress) {
+			p.Level = level
+			outer(p)
+		}
+	}
+	return c
+}
+
+// scaledSkip rescales the paper's K-factor net-skip threshold for a
+// coarser level: λ outside pins there stand for ~λ·ratio fine pins,
+// so the "this net's contribution is negligible" cutoff shrinks with
+// the same ratio. Aggregation inflates coarse cell degrees, and
+// without this the skipped-net walks dominate coarse-level work.
+func scaledSkip(skip int, ratio float64) int {
+	if skip <= 0 {
+		return skip
+	}
+	s := int(float64(skip) / ratio)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// mlCand is one coarse-level winner being carried down the hierarchy.
+type mlCand struct {
+	members []netlist.CellID // at the level currently being processed
+	rent    float64          // Rent exponent from the coarse ordering
+	seed    netlist.CellID   // original coarse seed (mapped down at the end)
+}
+
+// findMultilevel runs the coarsen → detect → project + refine
+// pipeline. On cancellation it returns the partial result assembled
+// from whatever completed, mirroring findFlat's contract.
+func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, error) {
+	start := time.Now()
+	ms, err := f.multilevelState(opt)
+	if err != nil {
+		return nil, err
+	}
+	L := ms.hier.NumLevels()
+	if L == 1 {
+		// Coarsening had nothing to do (netlist already at or below the
+		// floor): the flat pipeline is the multilevel pipeline.
+		return f.findFlat(ctx, opt)
+	}
+
+	// Detect on the coarsest level with the full three-phase pipeline,
+	// including its own refinement and disjointness pruning — the
+	// survivors are the only groups worth projecting down.
+	top := ms.finders[L-1]
+	copt := coarseOptions(opt, f.nl.NumCells(), top.nl.NumCells(), L-1)
+	detectStart := time.Now()
+	cres, runErr := top.findFlat(ctx, &copt)
+	if cres == nil {
+		return nil, runErr
+	}
+
+	levels := make([]LevelStats, 0, L)
+	levels = append(levels, LevelStats{
+		Level:      L - 1,
+		Cells:      top.nl.NumCells(),
+		Nets:       top.nl.NumNets(),
+		SeedsRun:   len(cres.Seeds),
+		Candidates: cres.Candidates,
+		ElapsedMS:  float64(time.Since(detectStart)) / float64(time.Millisecond),
+	})
+
+	cands := make([]mlCand, 0, len(cres.GTLs))
+	for i := range cres.GTLs {
+		g := &cres.GTLs[i]
+		cands = append(cands, mlCand{members: g.Members, rent: g.Rent, seed: g.Seed})
+	}
+
+	// Project down level by level, boundary-refining after each
+	// expansion so the group tracks the finer netlist's true contour
+	// instead of the coarse quantization of it.
+	for l := L - 1; l >= 1; l-- {
+		lower := ms.finders[l-1]
+		lvlStart := time.Now()
+		added := 0
+		var ws *workerState
+		if opt.RefineRadius > 0 && len(cands) > 0 {
+			ws = lower.acquire(opt)
+		}
+		skip := scaledSkip(opt.BigNetSkip, float64(f.nl.NumCells())/float64(lower.nl.NumCells()))
+		for i := range cands {
+			cands[i].members = ms.hier.ExpandDown(l, cands[i].members)
+			if ws == nil || ctx.Err() != nil {
+				continue
+			}
+			set, n := ws.gr.refineBoundary(cands[i].members, opt.RefineRadius, skip, opt.Metric, cands[i].rent, lower.aG)
+			cands[i].members = set.Members
+			added += n
+		}
+		if ws != nil {
+			lower.release(ws)
+		}
+		levels = append(levels, LevelStats{
+			Level:       l - 1,
+			Cells:       lower.nl.NumCells(),
+			Nets:        lower.nl.NumNets(),
+			RefineAdded: added,
+			ElapsedMS:   float64(time.Since(lvlStart)) / float64(time.Millisecond),
+		})
+	}
+
+	// Score every candidate at the original resolution and run the
+	// global Phase III pruning there, so the result's disjointness and
+	// ranking semantics match a flat run's exactly.
+	res := &Result{AG: f.aG, Rent: cres.Rent, Candidates: cres.Candidates}
+	res.Seeds = append(res.Seeds, cres.Seeds...)
+	for i := range res.Seeds {
+		res.Seeds[i].Seed = ms.hier.RepresentativeAtFinest(L-1, res.Seeds[i].Seed)
+	}
+	ws := f.acquire(opt)
+	cs := make([]cand, 0, len(cands))
+	for i := range cands {
+		set := ws.ev.Eval(cands[i].members)
+		if set.Size() < opt.MinGroupSize {
+			// The coarse pass runs with a ratio-scaled minimum; a group
+			// that projects back below the caller's MinGroupSize is one
+			// a flat run could never return — drop it here so the
+			// result honors the original contract.
+			continue
+		}
+		cs = append(cs, cand{
+			set:   &set,
+			score: scoreVals(set.Cut, set.Size(), set.Pins, cands[i].rent, f.aG, opt.Metric),
+			rent:  cands[i].rent,
+			seed:  ms.hier.RepresentativeAtFinest(L-1, cands[i].seed),
+		})
+	}
+	f.release(ws)
+	f.prune(opt, cs, res)
+	res.Levels = levels
+	res.Elapsed = time.Since(start)
+	if runErr == nil && ctx.Err() != nil {
+		runErr = fmt.Errorf("core: multilevel run cancelled during projection: %w", ctx.Err())
+	}
+	return res, runErr
+}
+
+// scoreVals evaluates Φ from raw cut/size/pin totals.
+func scoreVals(cut, size, pins int, rent, aG float64, m Metric) float64 {
+	switch m {
+	case MetricNGTLS:
+		return metrics.NGTLScore(cut, size, rent, aG)
+	default:
+		return metrics.GTLSD(cut, size, pins, rent, aG)
+	}
+}
+
+// refineBoundary runs the bounded boundary-refinement pass for one
+// projected candidate: up to `rounds` sweeps over the group's
+// frontier (outside cells on cut nets), greedily absorbing every cell
+// whose addition improves Φ, stopping early when a sweep absorbs
+// nothing. skip is the K-factor cutoff: cut nets with at least that
+// many outside pins contribute no frontier (0 disables), mirroring
+// Phase I's BigNetSkip — a clock net's 50K pins are not boundary
+// candidates, and walking them per sweep would dominate the pass. It
+// reports the refined set and how many cells were absorbed. The sweep
+// reuses the grower's tracker and mark arrays and visits every
+// incident net once per sweep (via the tracker's touched-net list),
+// so a sweep is O(touched nets + frontier pins).
+func (g *grower) refineBoundary(members []netlist.CellID, rounds, skip int, m Metric, rent, aG float64) (group.Set, int) {
+	g.reset()
+	t := g.tracker
+	for _, c := range members {
+		if !t.Has(int(c)) {
+			t.Add(c)
+		}
+	}
+	cur := scoreVals(t.Cut(), t.Size(), t.Pins(), rent, aG, m)
+	added := 0
+	var frontier []netlist.CellID
+	for r := 0; r < rounds; r++ {
+		// Enumerate the frontier once per sweep — each touched net
+		// exactly once, marking cells with inFront to dedupe; marks are
+		// cleared before the sweep ends so the grower stays reusable.
+		frontier = frontier[:0]
+		for _, e := range t.TouchedNets() {
+			p := t.NetPinsIn(e)
+			lambda := g.nl.NetSize(e) - p
+			if p == 0 || lambda == 0 {
+				continue // untouched or fully internal: no frontier
+			}
+			if skip > 0 && lambda >= skip {
+				continue // K-factor: huge cut nets carry no boundary signal
+			}
+			for _, w := range g.nl.NetPins(e) {
+				if t.Has(int(w)) || g.inFront[w] {
+					continue
+				}
+				g.inFront[w] = true
+				frontier = append(frontier, w)
+			}
+		}
+		for _, w := range frontier {
+			g.inFront[w] = false
+		}
+		slices.Sort(frontier)
+		grew := 0
+		for _, c := range frontier {
+			dcut := t.DeltaCut(c)
+			deg := g.nl.CellDegree(c)
+			if ns := scoreVals(t.Cut()+dcut, t.Size()+1, t.Pins()+deg, rent, aG, m); ns < cur {
+				t.Add(c)
+				cur = ns
+				grew++
+			}
+		}
+		added += grew
+		if grew == 0 {
+			break
+		}
+	}
+	return t.Snapshot(), added
+}

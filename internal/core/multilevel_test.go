@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+// TestLevelsOneBitIdentical is the multilevel golden guarantee:
+// Levels=1 (and the zero value 0) must reproduce the flat pipeline's
+// results bit-identically — same GTL member sets, same traces — on
+// the same workloads the engine golden test locks down.
+func TestLevelsOneBitIdentical(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  12000,
+		Blocks: []generate.BlockSpec{{Size: 900}},
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := DefaultOptions()
+	flat.Seeds = 40
+	flat.MaxOrderLen = 3600
+	flat.RandSeed = 42
+
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := f.Find(context.Background(), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, levels := range []int{0, 1} {
+		opt := flat
+		opt.Levels = levels
+		got, err := f.Find(context.Background(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gtlHash(got) != gtlHash(ref) {
+			t.Errorf("Levels=%d result differs from flat run", levels)
+		}
+		if got.Levels != nil {
+			t.Errorf("Levels=%d: flat run carries level stats %+v", levels, got.Levels)
+		}
+		if len(got.Seeds) != len(ref.Seeds) {
+			t.Errorf("Levels=%d: trace count %d != flat %d", levels, len(got.Seeds), len(ref.Seeds))
+		}
+	}
+}
+
+// TestMultilevelRecoversPlantedBlocks checks the quality half of the
+// pipeline's contract: with Levels>=2 the detector must still recover
+// the overwhelming majority of planted-GTL cells.
+func TestMultilevelRecoversPlantedBlocks(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  40_000,
+		Blocks: []generate.BlockSpec{{Size: 2500}, {Size: 1800}},
+		Seed:   21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Seeds = 64
+	opt.MaxOrderLen = 10_000
+	opt.RandSeed = 21
+	opt.Levels = 3
+	opt.MinCoarseCells = 2000
+
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Find(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) < 2 {
+		t.Fatalf("multilevel run reports %d level entries; hierarchy did not form", len(res.Levels))
+	}
+	if res.Levels[0].SeedsRun == 0 {
+		t.Error("coarsest level ran no seeds")
+	}
+	planted, recovered := 0, 0
+	for _, truth := range rg.Blocks {
+		planted += len(truth)
+		if m := bestMatch(truth, res.GTLs); m != nil {
+			missed, _ := matchBlock(truth, m.Members)
+			recovered += len(truth) - missed
+		}
+	}
+	frac := float64(recovered) / float64(planted)
+	t.Logf("multilevel recovery: %d/%d planted cells (%.1f%%), %d GTLs, levels=%d",
+		recovered, planted, 100*frac, len(res.GTLs), len(res.Levels))
+	if frac < 0.9 {
+		t.Errorf("recovered only %.1f%% of planted cells; want >= 90%%", 100*frac)
+	}
+
+	// Determinism: the multilevel pipeline must reproduce itself.
+	res2, err := f.Find(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtlHash(res) != gtlHash(res2) {
+		t.Error("multilevel run not deterministic")
+	}
+}
+
+// TestMultilevelShardGuard: sharded execution is a flat-pipeline
+// feature; Levels>1 must be an explicit error, not silent flatness.
+func TestMultilevelShardGuard(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Seeds = 8
+	opt.MaxOrderLen = 500
+	opt.Levels = 2
+	if _, err := f.FindShard(context.Background(), opt, 0, 4); err == nil || !strings.Contains(err.Error(), "flat-only") {
+		t.Errorf("FindShard with Levels=2: err = %v, want flat-only rejection", err)
+	}
+	if _, err := f.Merge(opt); err == nil || !strings.Contains(err.Error(), "flat-only") {
+		t.Errorf("Merge with Levels=2: err = %v, want flat-only rejection", err)
+	}
+}
+
+// TestMultilevelOptionValidation covers the new fields' bounds.
+func TestMultilevelOptionValidation(t *testing.T) {
+	var b netlist.Builder
+	b.AddCells(16)
+	for i := 0; i < 15; i++ {
+		b.AddNet("", netlist.CellID(i), netlist.CellID(i+1))
+	}
+	nl := b.MustBuild()
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Options)
+		want   string
+	}{
+		{"negative levels", func(o *Options) { o.Levels = -1 }, "Levels"},
+		{"absurd levels", func(o *Options) { o.Levels = 40 }, "Levels"},
+		{"negative min coarse", func(o *Options) { o.MinCoarseCells = -5 }, "MinCoarseCells"},
+		{"negative refine radius", func(o *Options) { o.RefineRadius = -1 }, "RefineRadius"},
+	} {
+		opt := DefaultOptions()
+		tc.mutate(&opt)
+		if _, err := Find(nl, opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMultilevelTinyNetlistFallsBack: when the netlist is already at
+// or below the coarsening floor, Levels>1 must degrade gracefully to
+// the flat pipeline instead of failing.
+func TestMultilevelTinyNetlistFallsBack(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  2000,
+		Blocks: []generate.BlockSpec{{Size: 300}},
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Seeds = 24
+	opt.MaxOrderLen = 900
+	opt.Levels = 3 // floor (default 2500) exceeds the netlist size
+
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := f.Find(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Levels = 1
+	flat, err := f.Find(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtlHash(ml) != gtlHash(flat) {
+		t.Error("degenerate multilevel run differs from flat run")
+	}
+}
+
+// TestPoolCapAndTrim covers the bounded worker-state pool: the engine
+// must retain at most PoolCap idle states, SetPoolCap(0) and TrimPool
+// must drop them, and MemoryEstimate must track what is retained.
+func TestPoolCapAndTrim(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []generate.BlockSpec{{Size: 400}},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Seeds = 16
+	opt.MaxOrderLen = 1200
+	opt.Workers = 4
+	if _, err := f.Find(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.PooledStates(); n == 0 {
+		t.Fatal("no worker states pooled after a run")
+	}
+	if b := f.MemoryEstimate(); b <= 0 {
+		t.Errorf("MemoryEstimate = %d after a pooled run; want positive", b)
+	}
+
+	f.SetPoolCap(1)
+	if n := f.PooledStates(); n > 1 {
+		t.Errorf("pool holds %d states after SetPoolCap(1)", n)
+	}
+	if _, err := f.Find(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.PooledStates(); n > 1 {
+		t.Errorf("pool refilled past cap: %d states", n)
+	}
+
+	f.TrimPool()
+	if n := f.PooledStates(); n != 0 {
+		t.Errorf("pool holds %d states after TrimPool", n)
+	}
+	if b := f.MemoryEstimate(); b != 0 {
+		t.Errorf("MemoryEstimate = %d after TrimPool; want 0", b)
+	}
+
+	// A multilevel run builds sub-engines; the trim and the estimate
+	// must reach them too.
+	f.SetPoolCap(2)
+	mlOpt := opt
+	mlOpt.Levels = 2
+	mlOpt.MinCoarseCells = 500
+	if _, err := f.Find(context.Background(), mlOpt); err != nil {
+		t.Fatal(err)
+	}
+	if b := f.MemoryEstimate(); b <= 0 {
+		t.Errorf("MemoryEstimate = %d after a multilevel run; want positive (hierarchy retained)", b)
+	}
+	f.TrimPool()
+	if n := f.PooledStates(); n != 0 {
+		t.Errorf("finest pool holds %d states after TrimPool", n)
+	}
+	// The hierarchy's coarse netlists stay cached (rebuilding them per
+	// run would defeat the engine), so the estimate stays positive but
+	// must shrink once the pools are gone.
+	afterTrim := f.MemoryEstimate()
+	if afterTrim <= 0 {
+		t.Errorf("MemoryEstimate = %d after multilevel trim; hierarchy bytes should remain", afterTrim)
+	}
+
+	// Results must be unaffected by pool churn.
+	res1, err := f.Find(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.TrimPool()
+	res2, err := f.Find(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtlHash(res1) != gtlHash(res2) {
+		t.Error("pool trimming changed results")
+	}
+}

@@ -201,6 +201,23 @@ type Options struct {
 	PruneOverlapTolerance float64 `json:"prune_overlap_tolerance"`
 	// Refine disables Phase III when false (ablation).
 	Refine bool `json:"refine"`
+	// Levels selects the multilevel pipeline depth: the netlist is
+	// coarsened Levels-1 times by heavy-edge matching, seeds grow on
+	// the coarsest level, and winning groups are projected down and
+	// boundary-refined at each finer level. Levels <= 1 runs the
+	// classic flat pipeline (bit-identical to pre-multilevel results).
+	// The hierarchy may come out shallower than requested when
+	// coarsening hits MinCoarseCells or stops making progress.
+	Levels int `json:"levels"`
+	// MinCoarseCells stops coarsening once a level has at most this
+	// many cells, so detection always has enough exterior to contrast
+	// candidates against (0 means netlist.DefaultMinCoarseCells).
+	MinCoarseCells int `json:"min_coarse_cells"`
+	// RefineRadius bounds the boundary-refinement sweeps per level
+	// after projection: each sweep scans the projected group's
+	// frontier once and greedily absorbs score-improving cells. 0
+	// projects without refinement (fastest, coarsest boundaries).
+	RefineRadius int `json:"refine_radius"`
 	// Workers caps the goroutine pool; <= 0 means GOMAXPROCS. Workers
 	// never changes results, only scheduling.
 	Workers int `json:"workers,omitempty"`
@@ -229,6 +246,9 @@ func DefaultOptions() Options {
 		RefineSeeds:           3,
 		Refine:                true,
 		PruneOverlapTolerance: 0.02,
+		Levels:                1,
+		MinCoarseCells:        0, // netlist.DefaultMinCoarseCells
+		RefineRadius:          2,
 		Workers:               0,
 		RandSeed:              1,
 	}
@@ -287,6 +307,12 @@ func (o *Options) validate() error {
 		return fmt.Errorf("core: RefineSeeds must be non-negative, got %d", o.RefineSeeds)
 	case o.PruneOverlapTolerance < 0:
 		return fmt.Errorf("core: PruneOverlapTolerance must be non-negative, got %g", o.PruneOverlapTolerance)
+	case o.Levels < 0 || o.Levels > 16:
+		return fmt.Errorf("core: Levels must be in [0,16] (0 and 1 both mean flat), got %d", o.Levels)
+	case o.MinCoarseCells < 0:
+		return fmt.Errorf("core: MinCoarseCells must be non-negative (0 means the default floor), got %d", o.MinCoarseCells)
+	case o.RefineRadius < 0:
+		return fmt.Errorf("core: RefineRadius must be non-negative (0 disables boundary refinement), got %d", o.RefineRadius)
 	}
 	return nil
 }

@@ -21,6 +21,10 @@ type gainEntry struct {
 // Len returns the number of queued entries, including stale ones.
 func (h *GainHeap) Len() int { return len(h.entries) }
 
+// MemoryFootprint returns the heap's retained bytes (entry capacity,
+// whether or not in use) for engine memory accounting.
+func (h *GainHeap) MemoryFootprint() int64 { return int64(cap(h.entries)) * 16 }
+
 // Reset empties the heap, retaining capacity.
 func (h *GainHeap) Reset() { h.entries = h.entries[:0] }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -239,5 +241,51 @@ func TestTable2Bookshelf(t *testing.T) {
 	}
 	if r.Top[0].Size() < 450 {
 		t.Errorf("top GTL size = %d, want ~500", r.Top[0].Size())
+	}
+}
+
+// TestMultilevelShapeHolds is the smoke test of the flat-vs-multilevel
+// comparison: the table renders, the multilevel runs actually coarsen,
+// and the pipeline does not collapse quality on the planted blocks.
+func TestMultilevelShapeHolds(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := Multilevel(context.Background(), tiny, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(MultilevelCases) {
+		t.Fatalf("got %d results for %d cases", len(results), len(MultilevelCases))
+	}
+	for _, r := range results {
+		if r.LevelsUsed < 2 {
+			t.Errorf("%s: multilevel run used %d levels; coarsening never engaged", r.Name, r.LevelsUsed)
+		}
+		if r.MultiRecovery < 85 {
+			t.Errorf("%s: multilevel recovery %.1f%%; want >= 85%% at smoke scale", r.Name, r.MultiRecovery)
+		}
+		if r.FlatMS <= 0 || r.MultiMS <= 0 {
+			t.Errorf("%s: non-positive timings: flat %.1fms ml %.1fms", r.Name, r.FlatMS, r.MultiMS)
+		}
+	}
+	if !strings.Contains(buf.String(), "Flat vs multilevel") {
+		t.Error("table title missing from rendered output")
+	}
+
+	// The JSON record round-trips.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_multilevel.json")
+	if err := WriteMultilevelRecord(path, tiny, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec MultilevelRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if len(rec.Results) != len(results) || rec.Scale != tiny.Scale {
+		t.Errorf("record mismatch: %+v", rec)
 	}
 }

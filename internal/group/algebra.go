@@ -116,6 +116,12 @@ func NewEvaluator(nl *netlist.Netlist) *Evaluator {
 	}
 }
 
+// MemoryFootprint returns the evaluator's retained bytes, for engine
+// memory accounting.
+func (e *Evaluator) MemoryFootprint() int64 {
+	return int64(e.in.Capacity())/8 + int64(cap(e.netSeen))*4
+}
+
 // Eval computes the Set value (cut and pins) for the given members.
 // Duplicate ids are tolerated and collapsed.
 func (e *Evaluator) Eval(members []netlist.CellID) Set {

@@ -56,6 +56,14 @@ func (t *Tracker) Reset() {
 // Netlist returns the netlist the tracker operates on.
 func (t *Tracker) Netlist() *netlist.Netlist { return t.nl }
 
+// MemoryFootprint returns the tracker's retained bytes (membership
+// bitset, per-net pin counts and scratch capacity), for engine memory
+// accounting.
+func (t *Tracker) MemoryFootprint() int64 {
+	return int64(t.in.Capacity())/8 + int64(cap(t.pinsIn))*4 +
+		int64(cap(t.touched))*4 + int64(cap(t.members))*4
+}
+
 // Size returns |S|.
 func (t *Tracker) Size() int { return len(t.members) }
 
@@ -81,6 +89,13 @@ func (t *Tracker) Members() []netlist.CellID { return t.members }
 
 // NetPinsIn returns |e ∩ S| for net n.
 func (t *Tracker) NetPinsIn(n netlist.NetID) int { return int(t.pinsIn[n]) }
+
+// TouchedNets returns every net with at least one member pin, each
+// exactly once, in first-touch order. The slice aliases the tracker's
+// scratch: do not modify it, and treat it as invalid after Reset.
+// Boundary walks use it to visit each incident net once instead of
+// once per member.
+func (t *Tracker) TouchedNets() []netlist.NetID { return t.touched }
 
 // Add inserts cell c into the group, updating cut and pin counts in
 // O(deg(c)). It panics if c is already a member (a finder logic error).

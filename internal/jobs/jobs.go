@@ -96,15 +96,19 @@ type Manager struct {
 	cancelled  atomic.Int64
 	cacheHits  atomic.Int64
 	engineRuns atomic.Int64
+
+	levelMu     sync.Mutex
+	runsByLevel map[int]int64 // engine runs keyed by hierarchy levels used (1 = flat)
 }
 
 // New starts a manager and its worker pool.
 func New(cfg Config) *Manager {
 	cfg.fill()
 	m := &Manager{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheResults),
-		jobs:  make(map[string]*Job),
+		cfg:         cfg,
+		cache:       newResultCache(cfg.CacheResults),
+		jobs:        make(map[string]*Job),
+		runsByLevel: make(map[int]int64),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -337,6 +341,14 @@ func (m *Manager) Stats() api.JobStats {
 		EngineRuns: m.engineRuns.Load(),
 		CachedSets: m.cache.len(),
 	}
+	m.levelMu.Lock()
+	if len(m.runsByLevel) > 0 {
+		st.RunsByLevels = make(map[string]int64, len(m.runsByLevel))
+		for lv, n := range m.runsByLevel {
+			st.RunsByLevels[fmt.Sprintf("%d", lv)] = n
+		}
+	}
+	m.levelMu.Unlock()
 	m.mu.Lock()
 	for _, j := range m.jobs {
 		switch j.Status().State {
@@ -423,6 +435,18 @@ func (m *Manager) run(j *Job) {
 	opt.Progress = j.setProgress
 	m.engineRuns.Add(1)
 	res, err := j.finder.Find(ctx, opt)
+	if res != nil {
+		// Count by the levels the run actually used: a Levels=4 request
+		// over a small netlist may coarsen less than asked (or not at
+		// all), and that is what operators need to see.
+		used := len(res.Levels)
+		if used == 0 {
+			used = 1
+		}
+		m.levelMu.Lock()
+		m.runsByLevel[used]++
+		m.levelMu.Unlock()
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
@@ -496,6 +520,7 @@ func findResult(res *tanglefind.Result) *api.JobResult {
 		SeedsRun:   len(res.Seeds),
 		Rent:       res.Rent,
 		EngineMS:   float64(res.Elapsed) / float64(time.Millisecond),
+		Levels:     res.Levels,
 	}
 	for i := range res.GTLs {
 		g := &res.GTLs[i]

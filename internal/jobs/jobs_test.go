@@ -447,3 +447,91 @@ func TestForcedShutdownCancels(t *testing.T) {
 		t.Errorf("job survived forced shutdown in state %s", got.State)
 	}
 }
+
+// TestMultilevelJob runs a find job through the multilevel pipeline
+// and checks the serving-layer surfaces: the result carries the
+// per-level breakdown, /v1/stats-style counters attribute the run to
+// its level count, multilevel options form their own cache lines, and
+// the store reports engine memory after the run.
+func TestMultilevelJob(t *testing.T) {
+	s, digest := registered(t, 8000, 600, 11)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	raw, err := json.Marshal(map[string]any{
+		"seeds":            16,
+		"max_order_len":    1500,
+		"levels":           2,
+		"min_coarse_cells": 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = wait(t, m, st.ID)
+	if st.State != api.StateDone || st.Result == nil {
+		t.Fatalf("multilevel job: %+v", st)
+	}
+	if len(st.Result.Levels) != 2 {
+		t.Fatalf("result level entries = %d, want 2", len(st.Result.Levels))
+	}
+	if len(st.Result.GTLs) == 0 {
+		t.Error("multilevel job found no GTLs on a planted-block netlist")
+	}
+
+	// A flat job over the same netlist must not share a cache line.
+	flat, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: smallOpts(t, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Cached {
+		t.Error("flat request hit the multilevel cache line")
+	}
+	wait(t, m, flat.ID)
+
+	stats := m.Stats()
+	if stats.RunsByLevels["2"] != 1 {
+		t.Errorf("runs_by_levels[2] = %d, want 1 (stats: %+v)", stats.RunsByLevels["2"], stats.RunsByLevels)
+	}
+	if stats.RunsByLevels["1"] != 1 {
+		t.Errorf("runs_by_levels[1] = %d, want 1 (stats: %+v)", stats.RunsByLevels["1"], stats.RunsByLevels)
+	}
+	if eb := s.Stats().EngineBytes; eb <= 0 {
+		t.Errorf("store engine_bytes = %d after engine runs; want positive", eb)
+	}
+	s.TrimEngines()
+	// Hierarchy bytes legitimately remain; the trim must not panic or
+	// deadlock and must never increase the estimate.
+	if eb := s.Stats().EngineBytes; eb < 0 {
+		t.Errorf("engine_bytes negative after trim: %d", eb)
+	}
+}
+
+// TestOldClientPayload submits the exact options document a
+// pre-multilevel client would send and expects flat behavior — the
+// explicit wire-level forward-compatibility check on top of the core
+// ParseOptions test.
+func TestOldClientPayload(t *testing.T) {
+	s, digest := registered(t, 5000, 500, 11)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	old := json.RawMessage(`{"seeds": 16, "max_order_len": 1500, "metric": "gtlsd", "refine": true, "rand_seed": 1}`)
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: old})
+	if err != nil {
+		t.Fatalf("old-client payload rejected: %v", err)
+	}
+	st = wait(t, m, st.ID)
+	if st.State != api.StateDone || st.Result == nil {
+		t.Fatalf("old-client job: %+v", st)
+	}
+	if len(st.Result.Levels) != 0 {
+		t.Errorf("old-client payload triggered a multilevel run: %+v", st.Result.Levels)
+	}
+	if m.Stats().RunsByLevels["1"] != 1 {
+		t.Errorf("old-client run not counted as flat: %+v", m.Stats().RunsByLevels)
+	}
+}

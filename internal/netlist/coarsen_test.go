@@ -1,0 +1,298 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomTestNetlist builds a deterministic pseudo-random netlist with a
+// dense planted block, exercising matched pairs, singletons and
+// self-loop elision.
+func randomTestNetlist(t testing.TB, cells, nets int, seed int64) *Netlist {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var b Builder
+	b.DropDegenerateNets = true
+	b.AddCells(cells)
+	for i := 0; i < cells; i++ {
+		b.SetCellArea(CellID(i), 0.5+r.Float64())
+	}
+	for e := 0; e < nets; e++ {
+		k := 2 + r.Intn(4)
+		pins := make([]CellID, k)
+		for i := range pins {
+			pins[i] = CellID(r.Intn(cells))
+		}
+		b.AddNet("", pins...)
+	}
+	// Dense block over the first tenth of the cells.
+	blk := cells / 10
+	for e := 0; e < blk*3; e++ {
+		k := 2 + r.Intn(3)
+		pins := make([]CellID, k)
+		for i := range pins {
+			pins[i] = CellID(r.Intn(blk))
+		}
+		b.AddNet("", pins...)
+	}
+	return b.MustBuild()
+}
+
+// checkHierarchyInvariants asserts, for every coarsening step of h:
+// the fine→coarse map is total and in range, the member lists form a
+// partition of the fine cells (disjoint, union = all, matches the
+// forward map) with at most two cells per aggregate, area is conserved
+// level to level, the coarse netlist is exactly the image of the fine
+// nets (pin aggregation + self-loop elision), and the coarse CSR
+// passes Validate.
+func checkHierarchyInvariants(t testing.TB, h *Hierarchy) {
+	t.Helper()
+	for l := 0; l+1 < h.NumLevels(); l++ {
+		fine, coarse := h.Level(l), h.Level(l+1)
+		if err := coarse.Validate(); err != nil {
+			t.Fatalf("level %d: coarse netlist invalid: %v", l+1, err)
+		}
+
+		// Total map, in range.
+		seen := make([]int, coarse.NumCells())
+		for c := 0; c < fine.NumCells(); c++ {
+			cc := h.CoarseCell(l, CellID(c))
+			if cc < 0 || int(cc) >= coarse.NumCells() {
+				t.Fatalf("level %d: cell %d maps out of range (%d)", l, c, cc)
+			}
+			seen[cc]++
+		}
+		// Partition: members match the forward map, 1-2 per aggregate.
+		total := 0
+		for cc := 0; cc < coarse.NumCells(); cc++ {
+			mem := h.FineCells(l, CellID(cc))
+			if len(mem) < 1 || len(mem) > 2 {
+				t.Fatalf("level %d: coarse cell %d has %d members", l, cc, len(mem))
+			}
+			if len(mem) != seen[cc] {
+				t.Fatalf("level %d: coarse cell %d members %d != forward-map count %d", l, cc, len(mem), seen[cc])
+			}
+			for _, f := range mem {
+				if h.CoarseCell(l, f) != CellID(cc) {
+					t.Fatalf("level %d: member %d of coarse %d maps to %d", l, f, cc, h.CoarseCell(l, f))
+				}
+			}
+			total += len(mem)
+		}
+		if total != fine.NumCells() {
+			t.Fatalf("level %d: members cover %d of %d fine cells", l, total, fine.NumCells())
+		}
+
+		// Area conservation.
+		if fa, ca := fine.TotalArea(), coarse.TotalArea(); math.Abs(fa-ca) > 1e-6*math.Max(1, fa) {
+			t.Fatalf("level %d: area not conserved: fine %g coarse %g", l, fa, ca)
+		}
+
+		// Pin aggregation: the coarse nets are exactly the fine nets
+		// with >= 2 distinct coarse endpoints, in fine net order, each
+		// holding the sorted distinct mapped pins.
+		cn := 0
+		for e := 0; e < fine.NumNets(); e++ {
+			set := map[CellID]bool{}
+			for _, c := range fine.NetPins(NetID(e)) {
+				set[h.CoarseCell(l, c)] = true
+			}
+			if len(set) < 2 {
+				continue // self-loop: elided
+			}
+			if cn >= coarse.NumNets() {
+				t.Fatalf("level %d: more surviving fine nets than coarse nets", l)
+			}
+			got := coarse.NetPins(NetID(cn))
+			if len(got) != len(set) {
+				t.Fatalf("level %d: coarse net %d has %d pins, want %d", l, cn, len(got), len(set))
+			}
+			for _, p := range got {
+				if !set[p] {
+					t.Fatalf("level %d: coarse net %d pins unexpected cell %d", l, cn, p)
+				}
+			}
+			if coarse.NetSize(NetID(cn)) > fine.NetSize(NetID(e)) {
+				t.Fatalf("level %d: coarse net %d grew: %d > %d pins", l, cn, coarse.NetSize(NetID(cn)), fine.NetSize(NetID(e)))
+			}
+			cn++
+		}
+		if cn != coarse.NumNets() {
+			t.Fatalf("level %d: %d surviving fine nets but %d coarse nets", l, cn, coarse.NumNets())
+		}
+	}
+}
+
+func TestBuildHierarchyInvariants(t *testing.T) {
+	nl := randomTestNetlist(t, 4000, 8000, 7)
+	h, err := BuildHierarchy(nl, CoarsenOptions{Levels: 4, MinCells: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 2 {
+		t.Fatalf("expected at least 2 levels, got %d", h.NumLevels())
+	}
+	if h.Level(0) != nl {
+		t.Fatal("level 0 must be the original netlist")
+	}
+	for l := 1; l < h.NumLevels(); l++ {
+		fineN, coarseN := h.Level(l-1).NumCells(), h.Level(l).NumCells()
+		if coarseN >= fineN {
+			t.Fatalf("level %d did not shrink: %d -> %d", l, fineN, coarseN)
+		}
+		t.Logf("level %d: %d cells, %d nets, %d pins", l, coarseN, h.Level(l).NumNets(), h.Level(l).NumPins())
+	}
+	checkHierarchyInvariants(t, h)
+}
+
+// TestHierarchyProjectionRoundTrip checks ExpandDown/ExpandToFinest
+// against the forward map: projecting any coarse subset down and
+// mapping every resulting cell back up recovers exactly the subset,
+// and expansions of disjoint sets stay disjoint.
+func TestHierarchyProjectionRoundTrip(t *testing.T) {
+	nl := randomTestNetlist(t, 3000, 6000, 11)
+	h, err := BuildHierarchy(nl, CoarsenOptions{Levels: 3, MinCells: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() < 3 {
+		t.Fatalf("want 3 levels, got %d", h.NumLevels())
+	}
+	r := rand.New(rand.NewSource(5))
+	for l := 1; l < h.NumLevels(); l++ {
+		n := h.Level(l).NumCells()
+		pick := map[CellID]bool{}
+		for len(pick) < n/4 {
+			pick[CellID(r.Intn(n))] = true
+		}
+		var subset []CellID
+		for c := range pick {
+			subset = append(subset, c)
+		}
+		down := h.ExpandDown(l, subset)
+		// Round trip: every expanded cell maps back into the subset,
+		// and expansion counts add up (partition ⇒ no dup, no loss).
+		for _, f := range down {
+			if !pick[h.CoarseCell(l-1, f)] {
+				t.Fatalf("level %d: expanded cell %d maps outside the subset", l, f)
+			}
+		}
+		wantLen := 0
+		for c := range pick {
+			wantLen += len(h.FineCells(l-1, c))
+		}
+		if len(down) != wantLen {
+			t.Fatalf("level %d: expansion has %d cells, want %d", l, len(down), wantLen)
+		}
+		dup := map[CellID]bool{}
+		for _, f := range down {
+			if dup[f] {
+				t.Fatalf("level %d: duplicate cell %d in expansion", l, f)
+			}
+			dup[f] = true
+		}
+		// Finest projection of all of level l is all of level 0.
+		all := make([]CellID, n)
+		for i := range all {
+			all[i] = CellID(i)
+		}
+		if got := h.ExpandToFinest(l, all); len(got) != nl.NumCells() {
+			t.Fatalf("level %d: full expansion has %d cells, want %d", l, len(got), nl.NumCells())
+		}
+	}
+	// Representative must be a member of the expansion.
+	for l := 1; l < h.NumLevels(); l++ {
+		c := CellID(r.Intn(h.Level(l).NumCells()))
+		rep := h.RepresentativeAtFinest(l, c)
+		found := false
+		for _, f := range h.ExpandToFinest(l, []CellID{c}) {
+			if f == rep {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("level %d: representative %d not in expansion of %d", l, rep, c)
+		}
+	}
+}
+
+// TestHierarchyTFBRoundTrip asserts the .tfb binary round-trip holds
+// at every level — coarse netlists are ordinary Builder products.
+func TestHierarchyTFBRoundTrip(t *testing.T) {
+	nl := randomTestNetlist(t, 2000, 4000, 3)
+	h, err := BuildHierarchy(nl, CoarsenOptions{Levels: 3, MinCells: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < h.NumLevels(); l++ {
+		var buf bytes.Buffer
+		if err := h.Level(l).WriteBinary(&buf); err != nil {
+			t.Fatalf("level %d: write: %v", l, err)
+		}
+		got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("level %d: read: %v", l, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("level %d: round-tripped netlist invalid: %v", l, err)
+		}
+		a, b := h.Level(l).Stats(), got.Stats()
+		if a != b {
+			t.Fatalf("level %d: stats changed across round trip: %+v vs %+v", l, a, b)
+		}
+	}
+}
+
+// TestBuildHierarchyStops checks the floor and progress guards.
+func TestBuildHierarchyStops(t *testing.T) {
+	nl := randomTestNetlist(t, 500, 1000, 9)
+	// MinCells above the netlist size: no coarsening happens.
+	h, err := BuildHierarchy(nl, CoarsenOptions{Levels: 5, MinCells: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() != 1 {
+		t.Fatalf("expected 1 level, got %d", h.NumLevels())
+	}
+	// A netlist with no nets cannot match anything: progress guard.
+	var b Builder
+	b.AddCells(64)
+	iso := b.MustBuild()
+	h, err = BuildHierarchy(iso, CoarsenOptions{Levels: 4, MinCells: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() != 1 {
+		t.Fatalf("isolated cells coarsened: %d levels", h.NumLevels())
+	}
+	// Empty netlist is a descriptive error.
+	if _, err := BuildHierarchy(&Netlist{}, CoarsenOptions{Levels: 2}); err == nil {
+		t.Fatal("empty netlist accepted")
+	}
+}
+
+// TestCoarsenDeterminism: identical inputs must produce identical
+// hierarchies (the engine's reproducibility depends on it).
+func TestCoarsenDeterminism(t *testing.T) {
+	nl := randomTestNetlist(t, 2500, 5000, 13)
+	h1, err := BuildHierarchy(nl, CoarsenOptions{Levels: 3, MinCells: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := BuildHierarchy(nl, CoarsenOptions{Levels: 3, MinCells: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.NumLevels() != h2.NumLevels() {
+		t.Fatalf("level counts differ: %d vs %d", h1.NumLevels(), h2.NumLevels())
+	}
+	for l := 0; l+1 < h1.NumLevels(); l++ {
+		for c := 0; c < h1.Level(l).NumCells(); c++ {
+			if h1.CoarseCell(l, CellID(c)) != h2.CoarseCell(l, CellID(c)) {
+				t.Fatalf("level %d: cell %d maps differently across runs", l, c)
+			}
+		}
+	}
+}

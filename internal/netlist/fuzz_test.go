@@ -149,3 +149,44 @@ func FuzzReadBinary(f *testing.F) {
 		checkBinaryInput(t, input)
 	})
 }
+
+// FuzzCoarsen feeds arbitrary bytes through the .tfb reader and, when
+// a valid netlist comes out, coarsens it and checks every hierarchy
+// invariant: BuildHierarchy must never panic, every coarse level must
+// pass Validate, the projection maps must partition the fine cells and
+// conserve area, and coarse nets must be exactly the image of the fine
+// nets. Runs the seed corpus under plain `go test`; explore with `go
+// test -fuzz=FuzzCoarsen`.
+func FuzzCoarsen(f *testing.F) {
+	f.Add(binarySeed(f), 3, 8)
+	f.Add([]byte{}, 2, 0)
+	f.Add(tfbMagic[:], 5, 1)
+	f.Fuzz(func(t *testing.T, input []byte, levels, minCells int) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("coarsen panicked on %q (levels=%d minCells=%d): %v", truncate(input), levels, minCells, p)
+			}
+		}()
+		nl, err := ReadBinary(bytes.NewReader(input))
+		if err != nil || nl.Validate() != nil {
+			return
+		}
+		if levels < 1 {
+			levels = 1
+		}
+		if levels > 6 {
+			levels = 6
+		}
+		if minCells < 1 {
+			minCells = 1
+		}
+		h, err := BuildHierarchy(nl, CoarsenOptions{Levels: levels, MinCells: minCells})
+		if err != nil {
+			if nl.NumCells() > 0 {
+				t.Fatalf("coarsen failed on a valid %d-cell netlist: %v", nl.NumCells(), err)
+			}
+			return
+		}
+		checkHierarchyInvariants(t, h)
+	})
+}

@@ -120,6 +120,22 @@ func (nl *Netlist) NetCSR() (offsets []int32, pins []CellID) {
 	return offsets, pins
 }
 
+// MemoryFootprint estimates the netlist's retained bytes: both CSR
+// directions plus names and areas. Used by serving layers to account
+// for coarse hierarchy levels against memory budgets.
+func (nl *Netlist) MemoryFootprint() int64 {
+	b := int64(len(nl.cellPinOff))*4 + int64(len(nl.cellPinNet))*4 +
+		int64(len(nl.netPinOff))*4 + int64(len(nl.netPinCell))*4 +
+		int64(len(nl.cellArea))*8
+	for _, s := range nl.cellNames {
+		b += int64(len(s)) + 16
+	}
+	for _, s := range nl.netNames {
+		b += int64(len(s)) + 16
+	}
+	return b
+}
+
 // AvgPins returns A(G): total pins divided by the number of cells.
 // This is the paper's normalization constant A_G. It returns 0 for an
 // empty netlist.

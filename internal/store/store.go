@@ -186,16 +186,50 @@ func (s *Store) List() []api.NetlistInfo {
 	return out
 }
 
-// Stats reports the registry's memory state.
+// Stats reports the registry's memory state. EngineBytes is the
+// estimated footprint of the lazily built engines on top of the
+// netlists the pin budget tracks: pooled per-worker scratch and cached
+// coarsening hierarchies.
 func (s *Store) Stats() api.StoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return api.StoreStats{
+	finders := make([]*tanglefind.Finder, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry); e.finder != nil {
+			finders = append(finders, e.finder)
+		}
+	}
+	st := api.StoreStats{
 		Netlists:   s.lru.Len(),
 		Tombstones: len(s.entries) - s.lru.Len(),
 		PinsLoaded: s.pins,
 		PinBudget:  max(s.pinBudget, 0),
 		Evictions:  s.evictions,
+	}
+	s.mu.Unlock()
+	// Estimate outside the registry lock: MemoryEstimate takes engine
+	// locks, and a stats poll must never queue Ingest/Get behind them.
+	for _, f := range finders {
+		st.EngineBytes += f.MemoryEstimate()
+	}
+	return st
+}
+
+// TrimEngines drops the idle pooled worker state of every loaded
+// engine (cached coarse hierarchies stay — rebuilding them is the
+// expensive part). Callers can invoke it on memory pressure; running
+// jobs are unaffected and pools refill lazily.
+func (s *Store) TrimEngines() {
+	s.mu.Lock()
+	finders := make([]*tanglefind.Finder, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry); e.finder != nil {
+			finders = append(finders, e.finder)
+		}
+	}
+	s.mu.Unlock()
+	// Trim outside the registry lock: a trim must never block Ingest/Get.
+	for _, f := range finders {
+		f.TrimPool()
 	}
 }
 

@@ -106,8 +106,14 @@ type SeedTrace = core.SeedTrace
 type Curve = core.Curve
 
 // Progress is the engine's per-seed progress snapshot. It carries JSON
-// tags, so serving layers can stream snapshots verbatim.
+// tags, so serving layers can stream snapshots verbatim. During a
+// multilevel run's detection pass, Progress.Level names the coarse
+// hierarchy level the seeds are growing on.
 type Progress = core.Progress
+
+// LevelStats is one level's share of a multilevel run (Result.Levels):
+// size, seeds run, candidates and boundary-refinement work per level.
+type LevelStats = core.LevelStats
 
 // ProgressFunc receives Progress snapshots via Options.Progress.
 type ProgressFunc = core.ProgressFunc
@@ -130,7 +136,30 @@ func ParseMetric(s string) (Metric, error) { return core.ParseMetric(s) }
 func ParseOrdering(s string) (Ordering, error) { return core.ParseOrdering(s) }
 
 // NewFinder constructs a reusable detection engine over nl.
+//
+// The engine retains a bounded pool of per-worker scratch between runs
+// (Finder.SetPoolCap / Finder.TrimPool manage it; Finder.MemoryEstimate
+// reports it), and Options.Levels > 1 switches runs onto the
+// multilevel coarsen → detect → project + refine pipeline.
 func NewFinder(nl *Netlist) (*Finder, error) { return core.NewFinder(nl) }
+
+// Multilevel substrate: the coarsening hierarchy the Levels>1 pipeline
+// runs on, exposed for callers that want to inspect or reuse coarse
+// views of a netlist directly.
+type (
+	// Hierarchy is a pyramid of coarsened netlists with fine↔coarse
+	// projection maps; level 0 is the original netlist.
+	Hierarchy = netlist.Hierarchy
+	// CoarsenOptions configures BuildHierarchy.
+	CoarsenOptions = netlist.CoarsenOptions
+)
+
+// BuildHierarchy coarsens nl by repeated heavy-edge matching into at
+// most o.Levels levels (the original included), stopping early at
+// o.MinCells cells or when matching stops making progress.
+func BuildHierarchy(nl *Netlist, o CoarsenOptions) (*Hierarchy, error) {
+	return netlist.BuildHierarchy(nl, o)
+}
 
 // Find runs the three-phase TangledLogicFinder over nl. It is a
 // one-shot convenience over NewFinder + Finder.Find.
