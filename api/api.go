@@ -30,12 +30,18 @@ const (
 	// gates inside the detected GTLs as chains of simple gates (the
 	// re-synthesis mitigation).
 	KindDecompose Kind = "decompose"
+	// KindFindIncremental runs detection over a delta-derived netlist
+	// by reusing the recorded state of a previous run on its parent
+	// digest wherever the delta provably cannot have changed the
+	// computation. The result is identical to KindFind with the same
+	// options — only the work differs (see JobResult.Incremental).
+	KindFindIncremental Kind = "find_incremental"
 )
 
 // Valid reports whether k names a known job kind.
 func (k Kind) Valid() bool {
 	switch k {
-	case KindFind, KindCluster, KindDecompose:
+	case KindFind, KindCluster, KindDecompose, KindFindIncremental:
 		return true
 	}
 	return false
@@ -73,6 +79,29 @@ type NetlistInfo struct {
 	// memory to respect the registry's pin budget; the metadata stays
 	// so clients learn they must re-upload.
 	Loaded bool `json:"loaded"`
+	// Parent is the digest this netlist was derived from by a delta
+	// (empty for direct uploads). Lineage is what routes incremental
+	// jobs to the parent's recorded state.
+	Parent string `json:"parent,omitempty"`
+}
+
+// DeltaResult is the response of POST /v1/netlists/{digest}/deltas:
+// the child registry entry plus the edit summary. The child digest is
+// the content address (SHA-256 of the canonical .tfb serialization)
+// of the patched netlist, so identical post-edit netlists land on one
+// entry no matter how they were produced.
+type DeltaResult struct {
+	Parent string `json:"parent"`
+	// Netlist is the child entry; Netlist.Digest addresses it in
+	// follow-up jobs.
+	Netlist NetlistInfo `json:"netlist"`
+	// DirtyCells is the size of the edit's dirty set — the cells
+	// incremental detection must treat as changed.
+	DirtyCells   int `json:"dirty_cells"`
+	CellsAdded   int `json:"cells_added"`
+	CellsRemoved int `json:"cells_removed"`
+	NetsAdded    int `json:"nets_added"`
+	NetsRemoved  int `json:"nets_removed"`
 }
 
 // JobRequest submits work over a registered netlist.
@@ -130,8 +159,12 @@ type JobResult struct {
 	Rent       float64                 `json:"rent"`
 	EngineMS   float64                 `json:"engine_ms"` // engine compute time
 	Levels     []tanglefind.LevelStats `json:"levels,omitempty"`
-	Cluster    *ClusterInfo            `json:"cluster,omitempty"`
-	Decompose  *DecomposeInfo          `json:"decompose,omitempty"`
+	// Incremental is the reuse breakdown of a find_incremental run:
+	// reused_groups/reseeded_cells and friends. Present only for
+	// incremental jobs.
+	Incremental *tanglefind.IncrStats `json:"incremental,omitempty"`
+	Cluster     *ClusterInfo          `json:"cluster,omitempty"`
+	Decompose   *DecomposeInfo        `json:"decompose,omitempty"`
 }
 
 // JobStatus is a job's externally visible state.
@@ -177,6 +210,15 @@ type JobStats struct {
 	// hierarchy levels they actually used ("1" = flat), so operators
 	// can see how much traffic rides the multilevel pipeline.
 	RunsByLevels map[string]int64 `json:"runs_by_levels,omitempty"`
+	// IncrementalRuns counts completed find_incremental engine runs;
+	// IncrementalFallbacks counts those that degraded to a full run
+	// (no usable parent state or an oversized dirty region).
+	IncrementalRuns      int64 `json:"incremental_runs,omitempty"`
+	IncrementalFallbacks int64 `json:"incremental_fallbacks,omitempty"`
+	// IncrStateBytes estimates the memory retained by recorded
+	// incremental seed states (the -incr-states LRU) — footprint
+	// bitsets plus stored growth curves.
+	IncrStateBytes int64 `json:"incr_state_bytes,omitempty"`
 }
 
 // StoreStats describes the netlist registry's memory state.

@@ -329,6 +329,47 @@ func BenchmarkMultilevel_FlatVsMultilevel(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Incremental detection — full re-detection of an ECO-patched netlist
+// vs FindIncremental reusing the baseline run's recorded seed state,
+// on the Table 1 case 3 workload. Two edit classes: a localized
+// background-site rewire (the common ECO; nearly every seed replays)
+// and a rewire inside the planted tangle itself (the worst case: the
+// tangle's own refined seeds must re-run). The CI bench-smoke shard
+// executes this once per PR; gtlexp -exp incremental -dump .
+// regenerates the committed BENCH_incremental.json record.
+// ---------------------------------------------------------------------
+
+func BenchmarkIncremental_DeltaVsFull(b *testing.B) {
+	b.ReportAllocs()
+	// Larger than benchCfg on purpose: seed-reuse physics (footprint
+	// fraction vs dirty-region size) only shows at a realistic
+	// block-to-netlist ratio; 0.04 scale turns Z into half the design.
+	cfg := experiments.Config{Scale: 0.25, Seeds: 64, Seed: 1}
+	var siteSpeedup, blockSpeedup, reused float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Incremental(context.Background(), cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Match {
+				b.Fatalf("%s: incremental diverged from full re-detection", r.Name)
+			}
+			switch r.Name {
+			case "case3_site_edit":
+				siteSpeedup = r.Speedup
+				reused = float64(r.ReusedSeeds)
+			case "case3_block_edit":
+				blockSpeedup = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(siteSpeedup, "site-speedup-x")
+	b.ReportMetric(blockSpeedup, "block-speedup-x")
+	b.ReportMetric(reused, "site-seeds-reused")
+}
+
+// ---------------------------------------------------------------------
 // Engine reuse — the allocation win of the pooled Finder. Each pair
 // runs the identical workload twice per iteration: the Cold variant
 // through the one-shot compatibility wrapper (fresh worker state both

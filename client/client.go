@@ -71,6 +71,26 @@ func (c *Client) Netlist(ctx context.Context, digest string) (api.NetlistInfo, e
 	return info, err
 }
 
+// ApplyDelta applies an ECO delta to the registered parent netlist;
+// the server registers the patched netlist under its own content
+// digest and returns the child entry plus the edit summary. Submit a
+// find_incremental job on the child digest to detect incrementally.
+func (c *Client) ApplyDelta(ctx context.Context, parent string, d *tanglefind.Delta) (api.DeltaResult, error) {
+	body, err := json.Marshal(d)
+	if err != nil {
+		return api.DeltaResult{}, err
+	}
+	return c.ApplyDeltaJSON(ctx, parent, body)
+}
+
+// ApplyDeltaJSON is ApplyDelta for an already-serialized delta
+// document (e.g. a patch file).
+func (c *Client) ApplyDeltaJSON(ctx context.Context, parent string, deltaJSON []byte) (api.DeltaResult, error) {
+	var res api.DeltaResult
+	err := c.do(ctx, http.MethodPost, "/v1/netlists/"+parent+"/deltas", "application/json", bytes.NewReader(deltaJSON), &res)
+	return res, err
+}
+
 // Submit sends a job request.
 func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
 	body, err := json.Marshal(req)
@@ -85,6 +105,22 @@ func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus,
 // SubmitFind submits a find job; a nil opt means the paper defaults.
 func (c *Client) SubmitFind(ctx context.Context, digest string, opt *tanglefind.Options) (api.JobStatus, error) {
 	req := api.JobRequest{Kind: api.KindFind, Digest: digest}
+	if opt != nil {
+		raw, err := json.Marshal(opt)
+		if err != nil {
+			return api.JobStatus{}, err
+		}
+		req.Options = raw
+	}
+	return c.Submit(ctx, req)
+}
+
+// SubmitFindIncremental submits an incremental find job on a
+// delta-derived digest; a nil opt means the paper defaults. The
+// options must match the parent run's for state reuse (the job still
+// succeeds otherwise — it just falls back to a full run).
+func (c *Client) SubmitFindIncremental(ctx context.Context, digest string, opt *tanglefind.Options) (api.JobStatus, error) {
+	req := api.JobRequest{Kind: api.KindFindIncremental, Digest: digest}
 	if opt != nil {
 		raw, err := json.Marshal(opt)
 		if err != nil {

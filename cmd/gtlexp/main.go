@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		scale  = flag.String("scale", "small", "workload scale: small, medium, full, or a numeric factor like 0.25")
-		exps   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel")
+		exps   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental")
 		seeds  = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 		outdir = flag.String("outdir", "", "directory for figure image files (optional)")
@@ -135,6 +135,20 @@ func main() {
 			// trajectories can be compared across commits.
 			path := filepath.Join(*dump, "BENCH_multilevel.json")
 			if err := experiments.WriteMultilevelRecord(path, cfg, results); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if run("incremental") {
+		results, err := experiments.Incremental(ctx, cfg, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *dump != "" {
+			path := filepath.Join(*dump, "BENCH_incremental.json")
+			if err := experiments.WriteIncrementalRecord(path, cfg, results); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n\n", path)

@@ -7,6 +7,8 @@
 //	gtlfind -in design.tfb               # binary netlist (autodetected)
 //	gtlfind -aux design.aux              # ISPD Bookshelf input
 //	gtlfind -in design.tfnet -members    # also dump member cells
+//	gtlfind -in design.tfb -delta eco.json               # detect on the patched netlist
+//	gtlfind -in design.tfb -delta eco.json -incremental  # reuse the base run's seed state
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"tanglefind/internal/cliutil"
 	"tanglefind/internal/core"
+	"tanglefind/internal/netlist"
 	"tanglefind/internal/report"
 )
 
@@ -39,6 +42,9 @@ func main() {
 		levels   = flag.Int("levels", 1, "multilevel pipeline depth: coarsen levels-1 times, detect on the coarsest, project + refine down (1 = flat)")
 		minCC    = flag.Int("min-coarse-cells", 0, "stop coarsening below this many cells (0 = default floor)")
 		radius   = flag.Int("refine-radius", 2, "boundary-refinement sweeps per level after projection (0 = project only)")
+		deltaP   = flag.String("delta", "", "JSON delta patch file (ECO edit) applied to the input netlist before detection")
+		incr     = flag.Bool("incremental", false, "with -delta: run the base netlist first (recording seed state), then detect the patched netlist incrementally and report the reuse breakdown")
+		dirtyRad = flag.Int("dirty-radius", 0, "with -incremental: BFS hops added around the delta's dirty cells before reuse checks (0 = exact read-set analysis)")
 	)
 	flag.Parse()
 	if (*inPath == "") == (*auxPath == "") {
@@ -49,6 +55,19 @@ func main() {
 	nl, err := cliutil.LoadNetlist(*inPath, *auxPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *incr && *deltaP == "" {
+		fatal(errors.New("-incremental requires -delta"))
+	}
+	var patched *netlist.Netlist
+	var effect *netlist.DeltaEffect
+	if *deltaP != "" {
+		if patched, effect, err = applyDeltaFile(*deltaP, nl); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("delta: +%d/-%d cells, +%d/-%d nets, %d touched nets, %d dirty cells\n",
+			effect.CellsAdded, effect.CellsRemoved, effect.NetsAdded, effect.NetsRemoved,
+			effect.TouchedNets, len(effect.Dirty))
 	}
 	opt := core.DefaultOptions()
 	opt.Seeds = *seeds
@@ -66,14 +85,27 @@ func main() {
 	if opt.Ordering, err = core.ParseOrdering(*ordering); err != nil {
 		fatal(err)
 	}
-	if opt.MaxOrderLen >= nl.NumCells() {
-		opt.MaxOrderLen = nl.NumCells() / 2
+	opt.DirtyRadius = *dirtyRad
+	// The netlist the reported detection runs over: the patched one
+	// when a delta is given, the input otherwise.
+	target := nl
+	if patched != nil {
+		target = patched
+	}
+	minCells := target.NumCells()
+	if *incr && nl.NumCells() < minCells {
+		// The base and patched runs must share one effective ordering
+		// cap or the recorded state is unusable.
+		minCells = nl.NumCells()
+	}
+	if opt.MaxOrderLen >= minCells {
+		opt.MaxOrderLen = minCells / 2
 		if opt.MaxOrderLen < 2 {
-			fatal(fmt.Errorf("netlist too small (%d cells)", nl.NumCells()))
+			fatal(fmt.Errorf("netlist too small (%d cells)", minCells))
 		}
 	}
 
-	st := nl.Stats()
+	st := target.Stats()
 	fmt.Printf("netlist: %d cells, %d nets, %d pins (A_G = %.2f)\n",
 		st.Cells, st.Nets, st.Pins, st.AvgPins)
 
@@ -91,11 +123,56 @@ func main() {
 			}
 		}
 	}
-	finder, err := core.NewFinder(nl)
-	if err != nil {
-		fatal(err)
+	var res *core.Result
+	// reportNL is the netlist the reported result belongs to — the
+	// patched target, except when an interrupted -incremental baseline
+	// surfaces the base run's partial results instead.
+	reportNL := target
+	if *incr {
+		// Baseline run over the pre-edit netlist records per-seed
+		// state; the patched netlist is then detected incrementally —
+		// the ECO loop a serving deployment runs per edit.
+		baseOpt := opt
+		baseOpt.RecordIncremental = true
+		baseFinder, ferr := core.NewFinder(nl)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		baseStart := time.Now()
+		prev, ferr := baseFinder.Find(ctx, baseOpt)
+		switch {
+		case ferr != nil && (prev == nil || !errors.Is(ferr, ctx.Err())):
+			fatal(ferr)
+		case ferr != nil:
+			// Interrupted during the baseline: surface its partial
+			// results through the standard interrupted path below.
+			res, err = prev, ferr
+			reportNL = nl
+		default:
+			fmt.Printf("base run: %d GTLs in %s (state recorded)\n",
+				len(prev.GTLs), time.Since(baseStart).Round(time.Millisecond))
+			incrFinder, ferr := core.NewFinder(target)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			res, err = incrFinder.FindIncremental(ctx, baseOpt, prev, effect.Dirty)
+			if err == nil && res.Incremental != nil {
+				ist := res.Incremental
+				if ist.FullFallback {
+					fmt.Printf("incremental: full fallback (%s)\n", ist.FallbackReason)
+				} else {
+					fmt.Printf("incremental: %d seeds replayed, %d rerun, %d/%d groups reused, %d cells reseeded\n",
+						ist.ReusedSeeds, ist.RerunSeeds, ist.ReusedGroups, len(res.GTLs), ist.ReseededCells)
+				}
+			}
+		}
+	} else {
+		finder, ferr := core.NewFinder(target)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		res, err = finder.Find(ctx, opt)
 	}
-	res, err := finder.Find(ctx, opt)
 	interrupted := false
 	if err != nil {
 		if res == nil || !errors.Is(err, ctx.Err()) {
@@ -120,7 +197,7 @@ func main() {
 		"#", "Size", "Cut", "A_C", "nGTL-S", "GTL-SD", "Seed")
 	for i, g := range res.GTLs {
 		tbl.Row(i+1, g.Size(), g.Cut,
-			float64(g.Pins)/float64(g.Size()), g.NGTLS, g.GTLSD, nl.CellName(g.Seed))
+			float64(g.Pins)/float64(g.Size()), g.NGTLS, g.GTLSD, reportNL.CellName(g.Seed))
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		fatal(err)
@@ -129,7 +206,7 @@ func main() {
 		for i, g := range res.GTLs {
 			fmt.Printf("\nGTL %d members:\n", i+1)
 			for _, c := range g.Members {
-				fmt.Printf("  %s\n", nl.CellName(c))
+				fmt.Printf("  %s\n", reportNL.CellName(c))
 			}
 		}
 	}
@@ -138,6 +215,20 @@ func main() {
 		// must be able to tell a truncated run from a complete one.
 		os.Exit(130)
 	}
+}
+
+// applyDeltaFile loads a JSON delta patch from path and applies it to
+// nl, returning the patched netlist and the edit's effect.
+func applyDeltaFile(path string, nl *netlist.Netlist) (*netlist.Netlist, *netlist.DeltaEffect, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := netlist.ParseDelta(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Apply(nl)
 }
 
 func fatal(err error) {

@@ -35,3 +35,38 @@ func TestLoadTfnet(t *testing.T) {
 		t.Error("expected error for missing file")
 	}
 }
+
+// TestApplyDeltaFile exercises the -delta path: a patch file is
+// parsed, applied, and its effect reported; bad patches error.
+func TestApplyDeltaFile(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	patch := filepath.Join(dir, "eco.json")
+	if err := os.WriteFile(patch, []byte(`{"set_nets":[{"net":0,"cells":[1,7]}],"add_cells":[{"name":"buf"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	patched, eff, err := applyDeltaFile(patch, rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.NumCells() != 301 || eff.CellsAdded != 1 || len(eff.Dirty) == 0 {
+		t.Fatalf("patched = %d cells, effect = %+v", patched.NumCells(), eff)
+	}
+	if err := patched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"remove_cells":[9999]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := applyDeltaFile(bad, rg.Netlist); err == nil {
+		t.Error("out-of-range patch accepted")
+	}
+	if _, _, err := applyDeltaFile(filepath.Join(dir, "missing.json"), rg.Netlist); err == nil {
+		t.Error("missing patch file accepted")
+	}
+}

@@ -39,6 +39,7 @@ type config struct {
 	queueDepth   int
 	cachePins    int64
 	cacheResults int
+	incrStates   int
 	grace        time.Duration
 
 	// ready, when set, receives the bound address once the listener is
@@ -53,6 +54,7 @@ func main() {
 	flag.IntVar(&cfg.queueDepth, "queue", 64, "job queue depth; beyond it submissions get 429")
 	flag.Int64Var(&cfg.cachePins, "cache-pins", 64_000_000, "netlist registry pin budget before LRU eviction (0 = unlimited)")
 	flag.IntVar(&cfg.cacheResults, "cache-results", 128, "result cache entries")
+	flag.IntVar(&cfg.incrStates, "incr-states", 8, "retained incremental seed states for find_incremental jobs (each O(seeds x ordering length) bytes)")
 	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain deadline")
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		Workers:      cfg.workers,
 		QueueDepth:   cfg.queueDepth,
 		CacheResults: cfg.cacheResults,
+		IncrStates:   cfg.incrStates,
 	})
 	srv := server.New(st, mgr)
 

@@ -78,7 +78,7 @@ type workerState struct {
 // capacities of its buffers.
 func (ws *workerState) memoryFootprint() int64 {
 	g := ws.gr
-	b := int64(cap(g.gain))*8 + int64(cap(g.tie))*4 + int64(cap(g.inFront)) + int64(cap(g.touched))*4
+	b := int64(cap(g.gain))*8 + int64(cap(g.tie))*4 + int64(cap(g.inFront)) + int64(cap(g.touched))*4 + int64(cap(g.examined))*4
 	b += g.heap.MemoryFootprint()
 	b += g.tracker.MemoryFootprint()
 	b += int64(cap(g.ord.Members))*4 + int64(cap(g.ord.Cuts))*4 + int64(cap(g.ord.Pins))*8
@@ -221,6 +221,9 @@ type seedPlan struct {
 // starved by an unlucky sequence, which matters for deterministic
 // reproduction (i.i.d. leaves a structure covering fraction f a
 // (1-f)^m chance of receiving no seed at all).
+// The schedule depends only on (RandSeed, Seeds, |V|) — FindIncremental
+// relies on that determinism, guarding reuse with a per-index seed-cell
+// comparison against the recorded run.
 func (f *Finder) plan(opt *Options) seedPlan {
 	master := ds.NewRNG(opt.RandSeed)
 	ids := make([]netlist.CellID, opt.Seeds)
@@ -272,7 +275,8 @@ type shardOut struct {
 type ShardResult struct {
 	Lo, Hi  int
 	Elapsed time.Duration
-	outs    []shardOut // executed owner seeds, ascending by idx
+	outs    []shardOut    // executed owner seeds, ascending by idx
+	recs    []*seedRecord // positional with outs; only under RecordIncremental via Find
 }
 
 // SeedsRun returns how many unique seeds this shard executed.
@@ -291,7 +295,7 @@ func (f *Finder) FindShard(ctx context.Context, opt Options, lo, hi int) (*Shard
 		return nil, err
 	}
 	if opt.Levels > 1 {
-		return nil, fmt.Errorf("core: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", opt.Levels)
+		return nil, fmt.Errorf("%w: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", ErrUnsupportedOptions, opt.Levels)
 	}
 	if lo < 0 || hi > opt.Seeds || lo >= hi {
 		return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d seeds", lo, hi, opt.Seeds)
@@ -299,12 +303,13 @@ func (f *Finder) FindShard(ctx context.Context, opt Options, lo, hi int) (*Shard
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return f.findShard(ctx, &opt, f.plan(&opt), lo, hi)
+	return f.findShard(ctx, &opt, f.plan(&opt), lo, hi, false)
 }
 
 // findShard is the validated core of FindShard, taking a precomputed
-// plan so Find does not derive the schedule twice per run.
-func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo, hi int) (*ShardResult, error) {
+// plan so Find does not derive the schedule twice per run. With record
+// set it captures per-seed incremental state alongside the outcomes.
+func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo, hi int, record bool) (*ShardResult, error) {
 	start := time.Now()
 
 	// Only first occurrences run; duplicates inherit the owner's result.
@@ -316,7 +321,62 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 	}
 
 	outs := make([]shardOut, len(run))
-	completed := make([]bool, len(run))
+	var recs []*seedRecord
+	if record {
+		recs = make([]*seedRecord, len(run))
+	}
+	completed := f.runSeedPool(ctx, opt, len(run), func(ws *workerState, k int) bool {
+		i := run[k]
+		// Per-seed RNG derived from (RandSeed, i): identical streams
+		// no matter which worker runs the job.
+		rng := seedRNG(opt.RandSeed, i)
+		var rec *seedRecord
+		if record {
+			rec = &seedRecord{}
+			recs[k] = rec
+		}
+		o := runSeed(f.nl, ws.gr, ws.ev, rng, plan.ids[i], opt, f.aG, rec)
+		outs[k] = shardOut{idx: i, trace: o.trace, cand: o.candidate, score: o.score, rent: o.rent}
+		return o.candidate != nil
+	})
+
+	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start)}
+	if err := ctx.Err(); err != nil {
+		for k := range outs {
+			if completed[k] {
+				sr.outs = append(sr.outs, outs[k])
+				if record {
+					sr.recs = append(sr.recs, recs[k])
+				}
+			}
+		}
+		// Cancellation that lands after the last seed already finished
+		// did not cost any work: the shard is complete, report success.
+		if len(sr.outs) == len(run) {
+			return sr, nil
+		}
+		return sr, fmt.Errorf("core: run cancelled after %d/%d seeds: %w", len(sr.outs), len(run), err)
+	}
+	sr.outs = outs
+	sr.recs = recs
+	return sr, nil
+}
+
+// seedRNG derives seed index i's deterministic RNG stream from the
+// run's master seed: identical no matter which worker runs the job,
+// and reproducible by incremental replay.
+func seedRNG(randSeed uint64, i int) *ds.RNG {
+	return ds.NewRNG(randSeed ^ (0x9e37_79b9_7f4a_7c15 * uint64(i+1)))
+}
+
+// runSeedPool executes fn(ws, k) for every k in [0, n) on a bounded
+// worker pool with per-worker pooled scratch, Options.Progress
+// reporting after each completion, and cooperative cancellation — the
+// shared scaffolding of findShard and FindIncremental. fn reports
+// whether index k produced a candidate (for the progress counter);
+// the returned flags mark which indexes completed before cancellation.
+func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(ws *workerState, k int) bool) []bool {
+	completed := make([]bool, n)
 	var seedsDone, candsFound atomic.Int64
 	var progMu sync.Mutex
 	report := func() {
@@ -326,15 +386,15 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 		progMu.Lock()
 		opt.Progress(Progress{
 			SeedsDone:  int(seedsDone.Load()),
-			SeedsTotal: len(run),
+			SeedsTotal: n,
 			Candidates: int(candsFound.Load()),
 		})
 		progMu.Unlock()
 	}
 
 	nWorkers := opt.workers()
-	if nWorkers > len(run) {
-		nWorkers = len(run)
+	if nWorkers > n {
+		nWorkers = n
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -348,23 +408,17 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 				if ctx.Err() != nil {
 					return
 				}
-				i := run[k]
-				// Per-seed RNG derived from (RandSeed, i): identical
-				// streams no matter which worker runs the job.
-				rng := ds.NewRNG(opt.RandSeed ^ (0x9e37_79b9_7f4a_7c15 * uint64(i+1)))
-				o := runSeed(f.nl, ws.gr, ws.ev, rng, plan.ids[i], opt, f.aG)
-				outs[k] = shardOut{idx: i, trace: o.trace, cand: o.candidate, score: o.score, rent: o.rent}
-				completed[k] = true
-				seedsDone.Add(1)
-				if o.candidate != nil {
+				if fn(ws, k) {
 					candsFound.Add(1)
 				}
+				completed[k] = true
+				seedsDone.Add(1)
 				report()
 			}
 		}()
 	}
 feed:
-	for k := range run {
+	for k := 0; k < n; k++ {
 		select {
 		case jobs <- k:
 		case <-ctx.Done():
@@ -373,23 +427,7 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-
-	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start)}
-	if err := ctx.Err(); err != nil {
-		for k := range outs {
-			if completed[k] {
-				sr.outs = append(sr.outs, outs[k])
-			}
-		}
-		// Cancellation that lands after the last seed already finished
-		// did not cost any work: the shard is complete, report success.
-		if len(sr.outs) == len(run) {
-			return sr, nil
-		}
-		return sr, fmt.Errorf("core: run cancelled after %d/%d seeds: %w", len(sr.outs), len(run), err)
-	}
-	sr.outs = outs
-	return sr, nil
+	return completed
 }
 
 // Merge combines complete shards covering [0, Options.Seeds)
@@ -402,7 +440,7 @@ func (f *Finder) Merge(opt Options, shards ...*ShardResult) (*Result, error) {
 		return nil, err
 	}
 	if opt.Levels > 1 {
-		return nil, fmt.Errorf("core: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", opt.Levels)
+		return nil, fmt.Errorf("%w: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", ErrUnsupportedOptions, opt.Levels)
 	}
 	ordered := make([]*ShardResult, len(shards))
 	copy(ordered, shards)
@@ -465,15 +503,20 @@ func (f *Finder) Find(ctx context.Context, opt Options) (*Result, error) {
 }
 
 // findFlat is the validated single-level pipeline Find has always run.
+// Under Options.RecordIncremental a completed run carries the per-seed
+// incremental state on the Result.
 func (f *Finder) findFlat(ctx context.Context, opt *Options) (*Result, error) {
 	start := time.Now()
 	plan := f.plan(opt)
-	sr, err := f.findShard(ctx, opt, plan, 0, opt.Seeds)
+	sr, err := f.findShard(ctx, opt, plan, 0, opt.Seeds, opt.RecordIncremental)
 	if err != nil && sr == nil {
 		return nil, err
 	}
 	res := f.assemble(opt, plan, sr.outs)
 	res.Elapsed = time.Since(start)
+	if err == nil && opt.RecordIncremental {
+		res.IncrState = f.buildIncrState(opt, sr.outs, sr.recs)
+	}
 	return res, err
 }
 

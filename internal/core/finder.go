@@ -46,6 +46,35 @@ type Result struct {
 	// Levels is the per-level breakdown of a multilevel run (nil for
 	// flat runs): coarsest first, finishing at the original netlist.
 	Levels []LevelStats
+	// Incremental is the reuse breakdown of a FindIncremental run
+	// (nil for plain runs).
+	Incremental *IncrStats
+	// IncrState is the recorded per-seed structural state of a flat
+	// run made with Options.RecordIncremental; FindIncremental
+	// consumes it as the previous run. It is in-memory only (never
+	// serialized) and can be sizable — O(Seeds × MaxOrderLen).
+	IncrState *IncrementalState
+}
+
+// IncrStats is the work breakdown of one FindIncremental run. It is
+// JSON-tagged so serving layers can return it on the wire verbatim.
+type IncrStats struct {
+	// DirtyCells is the size of the delta's dirty set as handed in.
+	DirtyCells int `json:"dirty_cells"`
+	// ReseededCells is the size of the dirty region after DirtyRadius
+	// expansion — the cells whose neighborhoods were re-detected.
+	ReseededCells int `json:"reseeded_cells"`
+	// ReusedSeeds counts seeds answered by replaying recorded state.
+	ReusedSeeds int `json:"reused_seeds"`
+	// RerunSeeds counts seeds that re-ran the growth pipeline.
+	RerunSeeds int `json:"rerun_seeds"`
+	// ReusedGroups counts reported GTLs whose candidate came from a
+	// replayed seed.
+	ReusedGroups int `json:"reused_groups"`
+	// FullFallback marks a run that abandoned reuse entirely;
+	// FallbackReason says why.
+	FullFallback   bool   `json:"full_fallback,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
 // Find runs the TangledLogicFinder over nl with the given options and
@@ -80,11 +109,26 @@ type seedOut struct {
 	rent      float64
 }
 
-// runSeed executes Phases I–III (refinement, not pruning) for one seed.
-func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, seed netlist.CellID, opt *Options, aG float64) (out seedOut) {
+// runSeed executes Phases I–III (refinement, not pruning) for one
+// seed. When rec is non-nil it also captures the seed's structural
+// state — orderings, score-curve inputs and the exact read footprint —
+// for later incremental replay; capture never changes the outcome.
+func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, seed netlist.CellID, opt *Options, aG float64, rec *seedRecord) (out seedOut) {
 	ord := gr.grow(seed, opt.MaxOrderLen)
 	curve := gr.scoreCurve(ord, opt.Metric, aG, opt.KeepCurves)
+	if rec != nil {
+		rec.seed = seed
+		rec.foot = ds.NewBitset(nl.NumCells())
+		rec.markFootprint(gr)
+		rec.aG = aG
+		rec.ord = copyOrdRecord(ord, curve.Rent)
+	}
 	ex := extract(curve, opt)
+	if rec != nil {
+		rec.extracted = ex.ok
+		rec.size = ex.size
+		rec.score = ex.score
+	}
 	out.trace = SeedTrace{Seed: seed, OrderLen: ord.Len()}
 	if opt.KeepCurves {
 		out.trace.Curve = curve
@@ -103,7 +147,7 @@ func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, 
 		out.rent = ex.rent
 		return out
 	}
-	refined, score := refine(gr, ev, rng, base, ex, opt, aG)
+	refined, score := refine(gr, ev, rng, base, ex, opt, aG, rec)
 	out.candidate = refined
 	out.score = score
 	out.rent = ex.rent
@@ -114,19 +158,35 @@ func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, 
 // RefineSeeds random interior cells, then search the closure of the
 // resulting family under pairwise union, intersection and difference
 // for the best-scoring set (the paper's "genetic" recombination).
-func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex extraction, opt *Options, aG float64) (*group.Set, float64) {
+func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex extraction, opt *Options, aG float64, rec *seedRecord) (*group.Set, float64) {
 	family := []group.Set{base}
 	for r := 0; r < opt.RefineSeeds && base.Size() > 0; r++ {
 		s := base.Members[rng.Intn(base.Size())]
 		ord := gr.grow(s, opt.MaxOrderLen)
 		curve := gr.scoreCurve(ord, opt.Metric, aG, false)
 		ex2 := extract(curve, opt)
+		if rec != nil {
+			rec.markFootprint(gr)
+			rec.refine = append(rec.refine, refineRecord{
+				seed: s, ord: copyOrdRecord(ord, curve.Rent),
+				extracted: ex2.ok, size: ex2.size,
+			})
+		}
 		if !ex2.ok {
 			continue
 		}
 		family = append(family, ev.Eval(ord.Prefix(ex2.size)))
 	}
-	// Pairwise recombination (paper steps III.6–III.12).
+	return recombine(ev, family, ex, opt, aG)
+}
+
+// recombine is the shared tail of Phase III (paper steps III.6–III.12)
+// over an assembled family whose first entry is the base candidate:
+// pairwise union/intersection/difference closure, best score wins.
+// Both the live pipeline (refine) and incremental replay feed it, so
+// replayed seeds recombine exactly as a full run would.
+func recombine(ev *group.Evaluator, family []group.Set, ex extraction, opt *Options, aG float64) (*group.Set, float64) {
+	base := family[0]
 	var combos [][]netlist.CellID
 	for i := 0; i < len(family); i++ {
 		for j := i + 1; j < len(family); j++ {

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/netlist"
+)
+
+// incrWorkload builds a Table-1-style planted-block workload and the
+// options a recorded baseline run uses.
+func incrWorkload(t testing.TB, cells, block int, seed uint64) (*generate.RandomGraph, Options) {
+	t.Helper()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  cells,
+		Blocks: []generate.BlockSpec{{Size: block}},
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Seeds = 24
+	opt.MaxOrderLen = 3 * block / 2
+	opt.RecordIncremental = true
+	return rg, opt
+}
+
+// sameResult asserts two results are equal up to float tolerance —
+// the differential oracle the incremental engine is specified by.
+func sameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	const tol = 1e-9
+	if len(want.GTLs) != len(got.GTLs) {
+		t.Fatalf("GTL count %d vs %d", len(want.GTLs), len(got.GTLs))
+	}
+	for i := range want.GTLs {
+		a, b := &want.GTLs[i], &got.GTLs[i]
+		if a.Size() != b.Size() || a.Cut != b.Cut || a.Pins != b.Pins || a.Seed != b.Seed {
+			t.Fatalf("GTL %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Members {
+			if a.Members[j] != b.Members[j] {
+				t.Fatalf("GTL %d member %d: %d vs %d", i, j, a.Members[j], b.Members[j])
+			}
+		}
+		if math.Abs(a.Score-b.Score) > tol || math.Abs(a.NGTLS-b.NGTLS) > tol || math.Abs(a.GTLSD-b.GTLSD) > tol {
+			t.Fatalf("GTL %d scores differ: %g/%g/%g vs %g/%g/%g", i, a.Score, a.NGTLS, a.GTLSD, b.Score, b.NGTLS, b.GTLSD)
+		}
+	}
+	if want.Candidates != got.Candidates {
+		t.Fatalf("candidates %d vs %d", want.Candidates, got.Candidates)
+	}
+	if len(want.Seeds) != len(got.Seeds) {
+		t.Fatalf("seed traces %d vs %d", len(want.Seeds), len(got.Seeds))
+	}
+	for i := range want.Seeds {
+		a, b := &want.Seeds[i], &got.Seeds[i]
+		if a.Seed != b.Seed || a.OrderLen != b.OrderLen || a.Extracted != b.Extracted || a.Size != b.Size {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.Score-b.Score) > tol {
+			t.Fatalf("trace %d score %g vs %g", i, a.Score, b.Score)
+		}
+	}
+	if math.Abs(want.Rent-got.Rent) > tol {
+		t.Fatalf("rent %g vs %g", want.Rent, got.Rent)
+	}
+}
+
+// TestFindIncrementalMatchesFull is the core-level differential check:
+// after a background rewire, FindIncremental on the patched netlist
+// must equal a from-scratch Find, while actually reusing seeds.
+func TestFindIncrementalMatchesFull(t *testing.T) {
+	rg, opt := incrWorkload(t, 6000, 400, 3)
+	ctx := context.Background()
+
+	f0, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := f0.Find(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.IncrState == nil {
+		t.Fatal("RecordIncremental run carries no state")
+	}
+	if prev.IncrState.MemoryEstimate() <= 0 {
+		t.Error("state memory estimate not positive")
+	}
+
+	// Rewire one background net far from the planted block (block
+	// cells occupy the front of the id space in generated graphs; use
+	// high ids and verify they are background).
+	inBlock := make(map[netlist.CellID]bool)
+	for _, c := range rg.Blocks[0] {
+		inBlock[c] = true
+	}
+	n := rg.Netlist.NumCells()
+	var a, b netlist.CellID = -1, -1
+	for c := n - 1; c >= 0 && (a < 0 || b < 0); c-- {
+		if !inBlock[netlist.CellID(c)] {
+			if a < 0 {
+				a = netlist.CellID(c)
+			} else {
+				b = netlist.CellID(c)
+			}
+		}
+	}
+	var editNet netlist.NetID = -1
+	for e := 0; e < rg.Netlist.NumNets(); e++ {
+		pins := rg.Netlist.NetPins(netlist.NetID(e))
+		ok := len(pins) >= 2
+		for _, c := range pins {
+			if inBlock[c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			editNet = netlist.NetID(e)
+			break
+		}
+	}
+	if editNet < 0 {
+		t.Fatal("no background net found")
+	}
+	d := &netlist.Delta{SetNets: []netlist.NetEdit{{Net: editNet, Cells: []netlist.CellID{a, b}}}}
+	patched, eff, err := d.Apply(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fFull, err := NewFinder(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optFull := opt
+	optFull.RecordIncremental = false
+	full, err := fFull.Find(ctx, optFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fIncr, err := NewFinder(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := fIncr.FindIncremental(ctx, opt, prev, eff.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, full, incr)
+	if incr.Incremental == nil || incr.Incremental.FullFallback {
+		t.Fatalf("incremental stats = %+v", incr.Incremental)
+	}
+	if incr.Incremental.ReusedSeeds+incr.Incremental.RerunSeeds != 24 {
+		t.Errorf("seed accounting: %+v", incr.Incremental)
+	}
+	if incr.IncrState == nil {
+		t.Error("incremental run with RecordIncremental lost its state")
+	}
+}
+
+// TestFindIncrementalChain chains three deltas, each incremental run
+// feeding the next, with a full-run oracle at every step.
+func TestFindIncrementalChain(t *testing.T) {
+	rg, opt := incrWorkload(t, 4000, 300, 7)
+	ctx := context.Background()
+	f0, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := f0.Find(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := rg.Netlist
+	for step := 0; step < 3; step++ {
+		// Rotate pins of one mid-range net.
+		e := netlist.NetID((step*13 + 5) % nl.NumNets())
+		pins := append([]netlist.CellID(nil), nl.NetPins(e)...)
+		cells := []netlist.CellID{netlist.CellID((step*101 + 7) % nl.NumCells()), netlist.CellID((step*211 + 19) % nl.NumCells())}
+		cells = append(cells, pins...)
+		d := &netlist.Delta{SetNets: []netlist.NetEdit{{Net: e, Cells: cells[:2+len(pins)/2]}}}
+		patched, eff, err := d.Apply(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fFull, _ := NewFinder(patched)
+		optFull := opt
+		optFull.RecordIncremental = false
+		full, err := fFull.Find(ctx, optFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fIncr, _ := NewFinder(patched)
+		incr, err := fIncr.FindIncremental(ctx, opt, prev, eff.Dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, full, incr)
+		nl, prev = patched, incr
+	}
+}
+
+func TestFindIncrementalFallbacks(t *testing.T) {
+	rg, opt := incrWorkload(t, 3000, 200, 11)
+	ctx := context.Background()
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := f.Find(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No state.
+	res, err := f.FindIncremental(ctx, opt, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental == nil || !res.Incremental.FullFallback {
+		t.Fatalf("nil prev should fall back: %+v", res.Incremental)
+	}
+
+	// Changed result-affecting options.
+	opt2 := opt
+	opt2.Seeds = 25
+	res, err = f.FindIncremental(ctx, opt2, prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental.FullFallback {
+		t.Fatal("changed Seeds should fall back")
+	}
+
+	// Dirty fraction past the threshold.
+	optSmall := opt
+	optSmall.IncrementalFallback = 0.001
+	dirty := make([]netlist.CellID, 100)
+	for i := range dirty {
+		dirty[i] = netlist.CellID(i * 17 % rg.Netlist.NumCells())
+	}
+	res, err = f.FindIncremental(ctx, optSmall, prev, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental.FullFallback {
+		t.Fatal("oversized dirty region should fall back")
+	}
+	// Fallback results still equal a full run (the run IS a full run,
+	// modulo the stats annotation).
+	optFull := opt
+	optFull.RecordIncremental = false
+	full, err := f.Find(ctx, optFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Incremental = nil
+	full.Incremental = nil
+	sameResult(t, full, res)
+}
+
+func TestUnsupportedOptionsTyped(t *testing.T) {
+	rg, opt := incrWorkload(t, 3000, 200, 13)
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := opt
+	ml.Levels = 3
+	if _, err := f.FindShard(context.Background(), ml, 0, 1); !errors.Is(err, ErrUnsupportedOptions) {
+		t.Errorf("FindShard multilevel error = %v, want ErrUnsupportedOptions", err)
+	}
+	if _, err := f.Merge(ml); !errors.Is(err, ErrUnsupportedOptions) {
+		t.Errorf("Merge multilevel error = %v, want ErrUnsupportedOptions", err)
+	}
+	if _, err := f.FindIncremental(context.Background(), ml, nil, nil); !errors.Is(err, ErrUnsupportedOptions) {
+		t.Errorf("FindIncremental multilevel error = %v, want ErrUnsupportedOptions", err)
+	}
+}
+
+// TestRecordingDoesNotChangeResults locks the capture path's
+// transparency: a recorded run's visible output is bit-identical to an
+// unrecorded one.
+func TestRecordingDoesNotChangeResults(t *testing.T) {
+	rg, opt := incrWorkload(t, 3000, 200, 17)
+	ctx := context.Background()
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Find(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := opt
+	plain.RecordIncremental = false
+	bare, err := f.Find(ctx, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.IncrState != nil {
+		t.Error("unrecorded run carries state")
+	}
+	sameResult(t, bare, rec)
+}
+
+func TestIncrementalKeyStability(t *testing.T) {
+	a := DefaultOptions()
+	b := DefaultOptions()
+	b.Workers = 7
+	b.KeepCurves = true
+	b.RecordIncremental = true
+	b.DirtyRadius = 9
+	b.IncrementalFallback = 0.9
+	if a.IncrementalKey() != b.IncrementalKey() {
+		t.Error("scheduling-only fields changed the incremental key")
+	}
+	c := DefaultOptions()
+	c.RandSeed = 999
+	if a.IncrementalKey() == c.IncrementalKey() {
+		t.Error("RandSeed did not change the incremental key")
+	}
+}

@@ -41,7 +41,15 @@ type grower struct {
 	tie     []int32   // last verified cut-delta per frontier cell
 	inFront []bool
 	touched []netlist.CellID
-	opt     *Options
+	// examined records the cells whose own pin runs popBest read (the
+	// DeltaCut re-verification) during the current growth. Together
+	// with the ordering members it is the growth's exact read set
+	// under OrderWeighted — unexamined frontier cells contribute only
+	// gains, which are functions of member-incident nets — and that
+	// read set is what incremental detection stores as the seed's
+	// footprint. May hold duplicates; consumers dedupe.
+	examined []netlist.CellID
+	opt      *Options
 
 	ord   OrderingStats // reusable Phase I output (aliased by grow's return)
 	curve Curve         // reusable Phase II score buffer (see scoreCurve)
@@ -66,6 +74,7 @@ func (g *grower) reset() {
 		g.inFront[c] = false
 	}
 	g.touched = g.touched[:0]
+	g.examined = g.examined[:0]
 }
 
 // grow runs Phase I from seed, producing an ordering of at most maxLen
@@ -117,6 +126,7 @@ func (g *grower) popBest() (netlist.CellID, bool) {
 		if g.opt.Ordering == OrderBFS {
 			return v, true // tie is the discovery index, always valid
 		}
+		g.examined = append(g.examined, v)
 		fresh := int32(g.tracker.DeltaCut(v))
 		if fresh != tie {
 			// The cut delta drifted since this entry was pushed;

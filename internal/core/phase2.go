@@ -45,7 +45,14 @@ func ScoreCurve(o *OrderingStats, m Metric, aG float64) *Curve {
 // scoreCurveInto fills c (reusing its Scores capacity) with metric m
 // over every prefix of the ordering.
 func scoreCurveInto(c *Curve, o *OrderingStats, m Metric, aG float64) {
-	p := averageRent(o)
+	scoreCurveWithRent(c, o, averageRent(o), m, aG)
+}
+
+// scoreCurveWithRent is scoreCurveInto with the Rent exponent supplied
+// by the caller — incremental replay re-scores recorded orderings whose
+// (structural) rent it already stored, under a new A(G), through this
+// exact loop, so replayed curves are bit-identical by construction.
+func scoreCurveWithRent(c *Curve, o *OrderingStats, p float64, m Metric, aG float64) {
 	if cap(c.Scores) < o.Len() {
 		c.Scores = make([]float64, o.Len())
 	}

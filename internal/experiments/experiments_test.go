@@ -289,3 +289,46 @@ func TestMultilevelShapeHolds(t *testing.T) {
 		t.Errorf("record mismatch: %+v", rec)
 	}
 }
+
+func TestIncrementalShapeHolds(t *testing.T) {
+	tiny := Config{Scale: 0.08, Seeds: 24, Seed: 1}
+	var buf bytes.Buffer
+	results, err := Incremental(context.Background(), tiny, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IncrementalCases) {
+		t.Fatalf("%d results for %d cases", len(results), len(IncrementalCases))
+	}
+	for _, r := range results {
+		if !r.Match {
+			t.Errorf("%s: incremental diverged from full re-detection", r.Name)
+		}
+		if r.ReusedSeeds+r.RerunSeeds != r.Seeds {
+			t.Errorf("%s: seed accounting %d+%d != %d", r.Name, r.ReusedSeeds, r.RerunSeeds, r.Seeds)
+		}
+		if r.DirtyCells == 0 || r.FullMS <= 0 || r.IncrMS <= 0 {
+			t.Errorf("%s: degenerate row: %+v", r.Name, r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Incremental vs full") {
+		t.Error("table title missing from rendered output")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_incremental.json")
+	if err := WriteIncrementalRecord(path, tiny, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec IncrementalRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if len(rec.Results) != len(results) || rec.Scale != tiny.Scale {
+		t.Errorf("record mismatch: %+v", rec)
+	}
+}

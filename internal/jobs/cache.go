@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"tanglefind"
 	"tanglefind/api"
 )
 
@@ -57,4 +58,66 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// incrCache is a small LRU from (digest, incremental options key) to
+// the engine Result that recorded incremental state for that netlist.
+// It is separate from resultCache because entries are heavy —
+// O(Seeds × MaxOrderLen) of recorded orderings and footprints — so
+// the bound is much tighter, and because values are engine results
+// (with state attached), not wire results.
+type incrCache struct {
+	mu    sync.Mutex
+	max   int
+	byKey map[string]*list.Element
+	order *list.List
+}
+
+type incrEnt struct {
+	key string
+	res *tanglefind.Result
+}
+
+func newIncrCache(max int) *incrCache {
+	return &incrCache{max: max, byKey: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *incrCache) get(key string) (*tanglefind.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*incrEnt).res, true
+}
+
+func (c *incrCache) put(key string, res *tanglefind.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*incrEnt).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&incrEnt{key: key, res: res})
+	for c.order.Len() > c.max {
+		el := c.order.Back()
+		delete(c.byKey, el.Value.(*incrEnt).key)
+		c.order.Remove(el)
+	}
+}
+
+// memoryEstimate sums the retained state bytes of every cached entry.
+func (c *incrCache) memoryEstimate() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b int64
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if st := el.Value.(*incrEnt).res.IncrState; st != nil {
+			b += st.MemoryEstimate()
+		}
+	}
+	return b
 }

@@ -51,6 +51,10 @@ type Config struct {
 	QueueDepth int
 	// CacheResults bounds the result cache entry count (default 128).
 	CacheResults int
+	// IncrStates bounds how many recorded incremental states (one per
+	// digest+options, each O(Seeds × MaxOrderLen) bytes) are retained
+	// for find_incremental jobs (default 8).
+	IncrStates int
 	// MaxJobs bounds retained job records; the oldest terminal records
 	// are retired past this (default 1024).
 	MaxJobs int
@@ -66,6 +70,9 @@ func (c *Config) fill() {
 	if c.CacheResults <= 0 {
 		c.CacheResults = 128
 	}
+	if c.IncrStates <= 0 {
+		c.IncrStates = 8
+	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
@@ -80,6 +87,7 @@ func (c *Config) fill() {
 type Manager struct {
 	cfg   Config
 	cache *resultCache
+	incr  *incrCache
 	wg    sync.WaitGroup
 
 	mu      sync.Mutex
@@ -89,13 +97,15 @@ type Manager struct {
 	order   []string // submission order, for listing and retirement
 	closed  bool
 
-	nextID     atomic.Int64
-	submitted  atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
-	cancelled  atomic.Int64
-	cacheHits  atomic.Int64
-	engineRuns atomic.Int64
+	nextID        atomic.Int64
+	submitted     atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	cancelled     atomic.Int64
+	cacheHits     atomic.Int64
+	engineRuns    atomic.Int64
+	incrRuns      atomic.Int64
+	incrFallbacks atomic.Int64
 
 	levelMu     sync.Mutex
 	runsByLevel map[int]int64 // engine runs keyed by hierarchy levels used (1 = flat)
@@ -107,6 +117,7 @@ func New(cfg Config) *Manager {
 	m := &Manager{
 		cfg:         cfg,
 		cache:       newResultCache(cfg.CacheResults),
+		incr:        newIncrCache(cfg.IncrStates),
 		jobs:        make(map[string]*Job),
 		runsByLevel: make(map[int]int64),
 	}
@@ -129,8 +140,13 @@ type Job struct {
 	timeout  time.Duration
 	cacheKey string
 	finder   *tanglefind.Finder
-	ctx      context.Context
-	cancel   context.CancelFunc
+	// Incremental jobs resolve their lineage at submit time; the
+	// parent's recorded state is looked up at run time (it may still
+	// be computing when the job is queued).
+	parent string
+	dirty  []tanglefind.CellID
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	state    api.State
@@ -160,6 +176,21 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 	opt, err := tanglefind.ParseOptions(req.Options)
 	if err != nil {
 		return api.JobStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var parent string
+	var dirty []tanglefind.CellID
+	if req.Kind == api.KindFindIncremental {
+		if opt.Levels > 1 {
+			return api.JobStatus{}, fmt.Errorf("%w: incremental jobs are flat-only (levels=%d)", tanglefind.ErrUnsupportedOptions, opt.Levels)
+		}
+		lin, ok := m.cfg.Store.Lineage(req.Digest)
+		if !ok {
+			return api.JobStatus{}, fmt.Errorf("%w: digest %s has no delta lineage (POST a delta first, or use kind \"find\")", ErrBadRequest, req.Digest)
+		}
+		parent, dirty = lin.Parent, lin.Dirty
+		// Record state on the child run too, so chains of deltas keep
+		// reusing work without a priming full run per step.
+		opt.RecordIncremental = true
 	}
 	// Mirror the CLI clamp: an ordering may not swallow the whole
 	// netlist, or Phase II has no exterior curve to contrast against.
@@ -192,6 +223,8 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 		timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
 		cacheKey: cacheKey(req.Kind, req.Digest, maxPins, opt),
 		finder:   finder,
+		parent:   parent,
+		dirty:    dirty,
 		ctx:      ctx,
 		cancel:   cancel,
 		state:    api.StateQueued,
@@ -206,7 +239,15 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 		return api.JobStatus{}, ErrClosed
 	}
 
-	if res, ok := m.cache.get(j.cacheKey); ok {
+	// A recorded run's purpose includes (re)priming the incremental
+	// state cache; if its state has been evicted from the bounded LRU,
+	// the cached wire result alone cannot do that — skip the shortcut
+	// and run the engine again.
+	statePrimed := false
+	if j.opt.RecordIncremental {
+		_, statePrimed = m.incr.get(incrKey(j.digest, j.opt))
+	}
+	if res, ok := m.cache.get(j.cacheKey); ok && (!j.opt.RecordIncremental || statePrimed) {
 		// Identical digest+kind+options already computed: serve the
 		// cached result without consuming a queue slot or worker.
 		m.submitted.Add(1)
@@ -333,13 +374,16 @@ func (m *Manager) Subscribe(id string) (<-chan api.Event, func(), error) {
 // Stats reports cumulative counters and current queue occupancy.
 func (m *Manager) Stats() api.JobStats {
 	st := api.JobStats{
-		Submitted:  m.submitted.Load(),
-		Completed:  m.completed.Load(),
-		Failed:     m.failed.Load(),
-		Cancelled:  m.cancelled.Load(),
-		CacheHits:  m.cacheHits.Load(),
-		EngineRuns: m.engineRuns.Load(),
-		CachedSets: m.cache.len(),
+		Submitted:            m.submitted.Load(),
+		Completed:            m.completed.Load(),
+		Failed:               m.failed.Load(),
+		Cancelled:            m.cancelled.Load(),
+		CacheHits:            m.cacheHits.Load(),
+		EngineRuns:           m.engineRuns.Load(),
+		IncrementalRuns:      m.incrRuns.Load(),
+		IncrementalFallbacks: m.incrFallbacks.Load(),
+		CachedSets:           m.cache.len(),
+		IncrStateBytes:       m.incr.memoryEstimate(),
 	}
 	m.levelMu.Lock()
 	if len(m.runsByLevel) > 0 {
@@ -434,7 +478,30 @@ func (m *Manager) run(j *Job) {
 	opt := j.opt
 	opt.Progress = j.setProgress
 	m.engineRuns.Add(1)
-	res, err := j.finder.Find(ctx, opt)
+	var res *tanglefind.Result
+	var err error
+	if j.kind == api.KindFindIncremental {
+		// The parent's recorded state is optional: absent (never run,
+		// evicted from the bounded state cache, or recorded under
+		// different options) the engine degrades to a full run and
+		// reports the fallback in the result breakdown.
+		var prev *tanglefind.Result
+		if p, ok := m.incr.get(incrKey(j.parent, j.opt)); ok {
+			prev = p
+		}
+		m.incrRuns.Add(1)
+		res, err = j.finder.FindIncremental(ctx, opt, prev, j.dirty)
+		if res != nil && res.Incremental != nil && res.Incremental.FullFallback {
+			m.incrFallbacks.Add(1)
+		}
+	} else {
+		res, err = j.finder.Find(ctx, opt)
+	}
+	if err == nil && res != nil && res.IncrState != nil {
+		// Retain the recorded state (keyed by digest + result-affecting
+		// options) so deltas derived from this digest run incrementally.
+		m.incr.put(incrKey(j.digest, j.opt), res)
+	}
 	if res != nil {
 		// Count by the levels the run actually used: a Levels=4 request
 		// over a small netlist may coarsen less than asked (or not at
@@ -476,7 +543,7 @@ func (m *Manager) run(j *Job) {
 // applyMitigation attaches the cluster/decompose summary for the
 // non-find kinds, operating on the groups the finder detected.
 func (j *Job) applyMitigation(res *tanglefind.Result, out *api.JobResult) error {
-	if j.kind == api.KindFind {
+	if j.kind == api.KindFind || j.kind == api.KindFindIncremental {
 		return nil
 	}
 	groups := make([][]tanglefind.CellID, len(res.GTLs))
@@ -515,12 +582,13 @@ func (j *Job) applyMitigation(res *tanglefind.Result, out *api.JobResult) error 
 // returned.
 func findResult(res *tanglefind.Result) *api.JobResult {
 	out := &api.JobResult{
-		GTLs:       make([]api.GTLInfo, 0, len(res.GTLs)),
-		Candidates: res.Candidates,
-		SeedsRun:   len(res.Seeds),
-		Rent:       res.Rent,
-		EngineMS:   float64(res.Elapsed) / float64(time.Millisecond),
-		Levels:     res.Levels,
+		GTLs:        make([]api.GTLInfo, 0, len(res.GTLs)),
+		Candidates:  res.Candidates,
+		SeedsRun:    len(res.Seeds),
+		Rent:        res.Rent,
+		EngineMS:    float64(res.Elapsed) / float64(time.Millisecond),
+		Levels:      res.Levels,
+		Incremental: res.Incremental,
 	}
 	for i := range res.GTLs {
 		g := &res.GTLs[i]
@@ -552,6 +620,15 @@ func cacheKey(kind api.Kind, digest string, maxPins int, opt tanglefind.Options)
 		return fmt.Sprintf("%s|%s|%d|unmarshalable", kind, digest, maxPins)
 	}
 	return fmt.Sprintf("%s|%s|%d|%s", kind, digest, maxPins, data)
+}
+
+// incrKey addresses recorded incremental state: one slot per digest
+// and result-affecting option set. A find job recorded with
+// record_incremental and a later find_incremental job on a derived
+// digest land on the same key family, which is exactly the chain the
+// state exists for.
+func incrKey(digest string, opt tanglefind.Options) string {
+	return digest + "|" + opt.IncrementalKey()
 }
 
 // ---- Job state machine ----

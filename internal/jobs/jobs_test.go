@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tanglefind"
 	"tanglefind/api"
 	"tanglefind/internal/generate"
 	"tanglefind/internal/store"
@@ -534,4 +535,248 @@ func TestOldClientPayload(t *testing.T) {
 	if m.Stats().RunsByLevels["1"] != 1 {
 		t.Errorf("old-client run not counted as flat: %+v", m.Stats().RunsByLevels)
 	}
+}
+
+// applyTestDelta registers a pin-preserving reconnect delta against
+// the digest's netlist and returns the child digest.
+func applyTestDelta(t *testing.T, s *store.Store, digest string) string {
+	t.Helper()
+	nl, _, err := s.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit a net living entirely in the top of the cell-id space —
+	// background territory in generated workloads (planted blocks
+	// occupy the low ids), so the edit stays far from the tangle.
+	var target int32 = -1
+	var pins []int32
+	for e := nl.NumNets() - 1; e >= 0; e-- {
+		ps := nl.NetPins(int32(e))
+		ok := len(ps) >= 2
+		for _, c := range ps {
+			if int(c) < nl.NumCells()/2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			target = int32(e)
+			for _, c := range ps {
+				pins = append(pins, c)
+			}
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no background net found")
+	}
+	edit := map[string]any{"set_nets": []map[string]any{{
+		"net": target, "cells": []int32{pins[0], pins[0] - 1},
+	}}}
+	doc, err := json.Marshal(edit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ApplyDelta(digest, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Netlist.Digest
+}
+
+// TestIncrementalJobReusesParentState drives the serving-layer flow:
+// a recorded find on the parent, a delta, then a find_incremental on
+// the child that reuses state — its result equal (in shape) to a
+// from-scratch find on the child.
+func TestIncrementalJobReusesParentState(t *testing.T) {
+	s, digest := registered(t, 9000, 400, 61)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	opts, err := json.Marshal(map[string]any{
+		"seeds": 16, "max_order_len": 700, "record_incremental": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := wait(t, m, base.ID); st.State != api.StateDone {
+		t.Fatalf("base run: %+v", st)
+	}
+
+	child := applyTestDelta(t, s, digest)
+
+	incr, err := m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := wait(t, m, incr.ID)
+	if st.State != api.StateDone || st.Result == nil {
+		t.Fatalf("incremental job: %+v", st)
+	}
+	br := st.Result.Incremental
+	if br == nil {
+		t.Fatal("incremental job result carries no breakdown")
+	}
+	if br.FullFallback {
+		t.Fatalf("incremental job fell back: %+v", br)
+	}
+	if br.ReusedSeeds == 0 {
+		t.Fatalf("no seeds reused: %+v", br)
+	}
+
+	// Oracle at the serving layer: a plain find on the child agrees.
+	full, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: child, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := wait(t, m, full.ID)
+	if fs.State != api.StateDone {
+		t.Fatalf("full child run: %+v", fs)
+	}
+	if len(fs.Result.GTLs) != len(st.Result.GTLs) || fs.Result.Candidates != st.Result.Candidates {
+		t.Fatalf("incremental diverged from full: %d/%d GTLs, %d/%d candidates",
+			len(st.Result.GTLs), len(fs.Result.GTLs), st.Result.Candidates, fs.Result.Candidates)
+	}
+
+	stats := m.Stats()
+	if stats.IncrementalRuns != 1 || stats.IncrementalFallbacks != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// A second delta on the child chains off the incremental run's
+	// own recorded state.
+	grand := applyTestDelta(t, s, child)
+	incr2, err := m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: grand, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := wait(t, m, incr2.ID)
+	if st2.State != api.StateDone || st2.Result.Incremental == nil || st2.Result.Incremental.FullFallback {
+		t.Fatalf("chained incremental job: %+v", st2.Result)
+	}
+}
+
+// TestIncrementalJobFallsBackWithoutState proves the degraded path: a
+// find_incremental without a recorded parent run still completes, as
+// a full run, and reports why.
+func TestIncrementalJobFallsBackWithoutState(t *testing.T) {
+	s, digest := registered(t, 4000, 300, 62)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	child := applyTestDelta(t, s, digest)
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: smallOpts(t, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := wait(t, m, st.ID)
+	if got.State != api.StateDone || got.Result == nil || got.Result.Incremental == nil {
+		t.Fatalf("fallback job: %+v", got)
+	}
+	if !got.Result.Incremental.FullFallback {
+		t.Fatal("expected a full fallback")
+	}
+	if m.Stats().IncrementalFallbacks != 1 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}
+
+// TestIncrementalSubmitErrors locks the typed submission failures:
+// multilevel + incremental is ErrUnsupportedOptions (422 at the HTTP
+// layer), a digest without lineage is a bad request.
+func TestIncrementalSubmitErrors(t *testing.T) {
+	s, digest := registered(t, 4000, 0, 63)
+	m := New(Config{Store: s, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	_, err := m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: digest, Options: smallOpts(t, 8)})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Errorf("no-lineage submit error = %v, want ErrBadRequest", err)
+	}
+
+	child := applyTestDelta(t, s, digest)
+	ml, err := json.Marshal(map[string]any{"seeds": 8, "max_order_len": 1200, "levels": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: ml})
+	if !errors.Is(err, tanglefind.ErrUnsupportedOptions) {
+		t.Errorf("multilevel incremental submit error = %v, want ErrUnsupportedOptions", err)
+	}
+}
+
+// TestCacheHitDoesNotStarveStatePriming: when the incremental state
+// LRU has evicted a digest's recorded state, re-submitting the
+// identical record_incremental find must run the engine again (the
+// cached wire result alone cannot re-prime the state).
+func TestCacheHitDoesNotStarveStatePriming(t *testing.T) {
+	s, digest := registered(t, 9000, 400, 64)
+	other, err := s.Ingest(payloadBytes(t, 4000, 65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Store: s, Workers: 1, IncrStates: 1})
+	defer m.Shutdown(context.Background())
+
+	opts, err := json.Marshal(map[string]any{
+		"seeds": 12, "max_order_len": 700, "record_incremental": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, m, base.ID)
+	// Evict digest's state from the 1-entry LRU with another recording.
+	evictor, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: other.Digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, m, evictor.ID)
+
+	runs := m.Stats().EngineRuns
+	again, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := wait(t, m, again.ID)
+	if st.Cached {
+		t.Fatal("re-priming submit was served from the result cache")
+	}
+	if m.Stats().EngineRuns != runs+1 {
+		t.Fatalf("engine runs %d -> %d; re-priming did not run", runs, m.Stats().EngineRuns)
+	}
+	// The re-primed state makes the child's incremental job reuse work.
+	child := applyTestDelta(t, s, digest)
+	incr, err := m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := wait(t, m, incr.ID)
+	if got.State != api.StateDone || got.Result.Incremental == nil || got.Result.Incremental.FullFallback {
+		t.Fatalf("incremental after re-prime: %+v", got.Result)
+	}
+	if m.Stats().IncrStateBytes <= 0 {
+		t.Errorf("IncrStateBytes = %d, want > 0", m.Stats().IncrStateBytes)
+	}
+}
+
+// payloadBytes serializes a small block-free netlist as .tfb bytes.
+func payloadBytes(t *testing.T, cells int, seed uint64) []byte {
+	t.Helper()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: cells, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rg.Netlist.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

@@ -1,0 +1,249 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// chainNetlist builds the shared fixture: 8 cells in a chain plus one
+// 4-pin net, with names and one non-unit area.
+func chainNetlist(t testing.TB) *Netlist {
+	t.Helper()
+	var b Builder
+	for i := 0; i < 8; i++ {
+		b.AddCell("u" + string(rune('a'+i)))
+	}
+	b.SetCellArea(3, 2.5)
+	for i := 0; i < 7; i++ {
+		b.AddNet("w", CellID(i), CellID(i+1))
+	}
+	b.AddNet("bus", 0, 2, 4, 6)
+	return b.MustBuild()
+}
+
+func mustApply(t *testing.T, nl *Netlist, d *Delta) (*Netlist, *DeltaEffect) {
+	t.Helper()
+	child, eff, err := d.Apply(nl)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := child.Validate(); err != nil {
+		t.Fatalf("apply produced invalid netlist: %v", err)
+	}
+	return child, eff
+}
+
+func TestDeltaApplyReconnect(t *testing.T) {
+	nl := chainNetlist(t)
+	d := &Delta{SetNets: []NetEdit{{Net: 0, Cells: []CellID{0, 5, 5, 3}}}}
+	child, eff := mustApply(t, nl, d)
+	got := child.NetPins(0)
+	want := []CellID{0, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("edited net pins = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edited net pins = %v, want %v", got, want)
+		}
+	}
+	// Dirty: old pins {0,1} ∪ new pins {0,3,5}.
+	wantDirty := []CellID{0, 1, 3, 5}
+	if len(eff.Dirty) != len(wantDirty) {
+		t.Fatalf("dirty = %v, want %v", eff.Dirty, wantDirty)
+	}
+	for i := range wantDirty {
+		if eff.Dirty[i] != wantDirty[i] {
+			t.Fatalf("dirty = %v, want %v", eff.Dirty, wantDirty)
+		}
+	}
+	if eff.TouchedNets != 1 {
+		t.Errorf("touched nets = %d, want 1", eff.TouchedNets)
+	}
+	// Untouched structure intact, parent unmodified.
+	if child.NetSize(7) != 4 || nl.NetSize(0) != 2 {
+		t.Error("untouched runs or parent were modified")
+	}
+}
+
+func TestDeltaRemoveCellTombstones(t *testing.T) {
+	nl := chainNetlist(t)
+	child, eff := mustApply(t, nl, &Delta{RemoveCells: []CellID{4, 4}})
+	if child.NumCells() != 8 {
+		t.Fatalf("mid-range removal changed cell count to %d", child.NumCells())
+	}
+	if child.CellDegree(4) != 0 {
+		t.Errorf("removed cell degree = %d, want 0", child.CellDegree(4))
+	}
+	if child.CellName(4) != "ue" {
+		t.Errorf("tombstone lost its name: %q", child.CellName(4))
+	}
+	if eff.CellsRemoved != 1 || eff.CellsTruncated != 0 {
+		t.Errorf("effect = %+v", eff)
+	}
+	// Nets that pinned cell 4 lost exactly that pin: w3 (3-4), w4
+	// (4-5), bus (0,2,4,6).
+	if child.NetSize(3) != 1 || child.NetSize(4) != 1 || child.NetSize(7) != 3 {
+		t.Errorf("incident nets = %d,%d,%d pins", child.NetSize(3), child.NetSize(4), child.NetSize(7))
+	}
+}
+
+func TestDeltaTrailingRemovalTruncates(t *testing.T) {
+	nl := chainNetlist(t)
+	child, eff := mustApply(t, nl, &Delta{RemoveCells: []CellID{7, 6}})
+	if child.NumCells() != 6 {
+		t.Fatalf("trailing removal kept %d cells, want 6", child.NumCells())
+	}
+	if eff.CellsTruncated != 2 {
+		t.Errorf("truncated = %d, want 2", eff.CellsTruncated)
+	}
+	// Net 8 (bus) referenced cell 6, which is gone from its run.
+	if child.NetSize(7) != 3 {
+		t.Errorf("bus size = %d, want 3", child.NetSize(7))
+	}
+}
+
+func TestDeltaAddCellsAndNets(t *testing.T) {
+	nl := chainNetlist(t)
+	d := &Delta{
+		AddCells: []NewCell{{Name: "buf0"}, {Name: "buf1", Area: 3}},
+		AddNets:  []NewNet{{Name: "nn", Cells: []CellID{8, 9, 2}}},
+	}
+	child, eff := mustApply(t, nl, d)
+	if child.NumCells() != 10 || child.NumNets() != 9 {
+		t.Fatalf("child shape = %d cells %d nets", child.NumCells(), child.NumNets())
+	}
+	if child.CellName(9) != "buf1" || child.CellArea(9) != 3 || child.CellArea(8) != 1 {
+		t.Errorf("added cell metadata wrong: %q %g %g", child.CellName(9), child.CellArea(9), child.CellArea(8))
+	}
+	if child.NetName(8) != "nn" || child.NetSize(8) != 3 {
+		t.Errorf("added net wrong: %q size %d", child.NetName(8), child.NetSize(8))
+	}
+	if eff.CellsAdded != 2 || eff.NetsAdded != 1 {
+		t.Errorf("effect = %+v", eff)
+	}
+	// Added cells and the touched net's cells are dirty.
+	dirty := map[CellID]bool{}
+	for _, c := range eff.Dirty {
+		dirty[c] = true
+	}
+	for _, c := range []CellID{2, 8, 9} {
+		if !dirty[c] {
+			t.Errorf("cell %d missing from dirty set %v", c, eff.Dirty)
+		}
+	}
+}
+
+func TestDeltaSplitMerge(t *testing.T) {
+	nl := chainNetlist(t)
+	d := &Delta{}
+	id, err := d.SplitNet(nl, 7, []CellID{4, 6}, "bus_hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 8 {
+		t.Fatalf("split net id = %d, want 8", id)
+	}
+	child, _ := mustApply(t, nl, d)
+	if child.NetSize(7) != 2 || child.NetSize(8) != 2 {
+		t.Fatalf("split sizes = %d,%d", child.NetSize(7), child.NetSize(8))
+	}
+
+	m := &Delta{}
+	if err := m.MergeNets(child, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	merged, eff := mustApply(t, child, m)
+	// Net 8 was trailing and removed, so the merge truncates it.
+	if merged.NumNets() != 8 || eff.NetsTruncated != 1 {
+		t.Fatalf("merge: %d nets, truncated %d", merged.NumNets(), eff.NetsTruncated)
+	}
+	if merged.NetSize(7) != 4 {
+		t.Fatalf("merged bus size = %d, want 4", merged.NetSize(7))
+	}
+}
+
+func TestDeltaValidationErrors(t *testing.T) {
+	nl := chainNetlist(t)
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"remove unknown cell", Delta{RemoveCells: []CellID{99}}},
+		{"remove negative net", Delta{RemoveNets: []NetID{-1}}},
+		{"edit unknown net", Delta{SetNets: []NetEdit{{Net: 42}}}},
+		{"edit removed net", Delta{RemoveNets: []NetID{1}, SetNets: []NetEdit{{Net: 1}}}},
+		{"double edit", Delta{SetNets: []NetEdit{{Net: 1}, {Net: 1}}}},
+		{"edit pins removed cell", Delta{RemoveCells: []CellID{2}, SetNets: []NetEdit{{Net: 0, Cells: []CellID{0, 2}}}}},
+		{"added net pins unknown cell", Delta{AddNets: []NewNet{{Cells: []CellID{77}}}}},
+		{"negative area", Delta{AddCells: []NewCell{{Area: -1}}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := tc.d.Apply(nl); err == nil {
+			t.Errorf("%s: apply accepted an invalid delta", tc.name)
+		}
+	}
+}
+
+// TestDeltaInverseRoundTrip applies a delta touching every operation
+// kind, then its inverse, and demands the original netlist back
+// bit-identically — structure, names, areas and serialized bytes.
+func TestDeltaInverseRoundTrip(t *testing.T) {
+	nl := chainNetlist(t)
+	deltas := []*Delta{
+		{SetNets: []NetEdit{{Net: 2, Cells: []CellID{0, 7}}}},
+		{RemoveCells: []CellID{3}},
+		{RemoveCells: []CellID{7}}, // truncates
+		{AddCells: []NewCell{{Name: "x", Area: 2}}, AddNets: []NewNet{{Name: "nx", Cells: []CellID{8, 0}}}},
+		{RemoveNets: []NetID{7}}, // trailing net: truncates
+		{RemoveNets: []NetID{2}}, // mid-range net: tombstones
+		{
+			RemoveCells: []CellID{1},
+			SetNets:     []NetEdit{{Net: 5, Cells: []CellID{0, 2, 4}}},
+			RemoveNets:  []NetID{4},
+		},
+	}
+	for i, d := range deltas {
+		child, _, err := d.Apply(nl)
+		if err != nil {
+			t.Fatalf("delta %d: apply: %v", i, err)
+		}
+		inv, err := d.Inverse(nl)
+		if err != nil {
+			t.Fatalf("delta %d: inverse: %v", i, err)
+		}
+		back, _, err := inv.Apply(child)
+		if err != nil {
+			t.Fatalf("delta %d: inverse apply: %v", i, err)
+		}
+		if err := nl.SameStructure(back); err != nil {
+			t.Fatalf("delta %d: round trip diverged: %v", i, err)
+		}
+		var a, b bytes.Buffer
+		if err := nl.WriteBinary(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.WriteBinary(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("delta %d: serialized round trip differs (%d vs %d bytes)", i, a.Len(), b.Len())
+		}
+	}
+}
+
+func TestParseDelta(t *testing.T) {
+	d, err := ParseDelta([]byte(`{"set_nets":[{"net":1,"cells":[0,2]}],"remove_cells":[5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SetNets) != 1 || len(d.RemoveCells) != 1 {
+		t.Fatalf("parsed = %+v", d)
+	}
+	if _, err := ParseDelta([]byte(`{"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseDelta([]byte(`{} trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package deltatest
+
+// differentialSequences is the randomized edit-sequence budget of the
+// oracle harness: the full 200+ the incremental engine is specified
+// by.
+const differentialSequences = 204

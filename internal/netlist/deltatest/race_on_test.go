@@ -1,0 +1,9 @@
+//go:build race
+
+package deltatest
+
+// Under the race detector every engine run is ~10x slower; a reduced
+// sequence budget keeps the race shard honest (every generator kind
+// still fires) without dominating CI. The full 204 run in the normal
+// shard.
+const differentialSequences = 36

@@ -150,6 +150,76 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzDeltaApply feeds arbitrary delta documents at a fixed parent
+// netlist. The invariants: ParseDelta/Apply never panic, an accepted
+// delta always yields a netlist passing Validate, and apply followed
+// by inverse-apply reproduces the parent bit-identically — both the
+// CSR structure (SameStructure) and the canonical .tfb serialization
+// the content-addressed store keys on.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte(`{"set_nets":[{"net":0,"cells":[0,5,3]}]}`))
+	f.Add([]byte(`{"remove_cells":[19,4],"remove_nets":[18]}`))
+	f.Add([]byte(`{"add_cells":[{"name":"b","area":2}],"add_nets":[{"cells":[20,0]}]}`))
+	f.Add([]byte(`{"add_cells":[{}],"remove_cells":[0],"set_nets":[{"net":3,"cells":[20,7]}],"add_nets":[{"cells":[1,2]}],"remove_nets":[9]}`))
+	f.Add([]byte(`{"set_nets":[{"net":1,"cells":[]}]}`))
+	f.Add([]byte(`{}`))
+
+	base, err := ReadBinary(bytes.NewReader(binarySeed(f)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var parentBytes bytes.Buffer
+	if err := base.WriteBinary(&parentBytes); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("delta apply panicked on %q: %v", truncate(doc), p)
+			}
+		}()
+		d, err := ParseDelta(doc)
+		if err != nil {
+			return
+		}
+		child, eff, err := d.Apply(base)
+		if err != nil {
+			// Rejected deltas must agree with Validate.
+			if vErr := d.Validate(base); vErr == nil {
+				t.Fatalf("apply rejected (%v) a delta Validate accepts: %q", err, truncate(doc))
+			}
+			return
+		}
+		if vErr := child.Validate(); vErr != nil {
+			t.Fatalf("apply produced invalid netlist from %q: %v", truncate(doc), vErr)
+		}
+		for _, c := range eff.Dirty {
+			if c < 0 || int(c) >= child.NumCells() {
+				t.Fatalf("dirty cell %d out of child range %d", c, child.NumCells())
+			}
+		}
+		inv, err := d.Inverse(base)
+		if err != nil {
+			t.Fatalf("inverse failed on an applicable delta %q: %v", truncate(doc), err)
+		}
+		back, _, err := inv.Apply(child)
+		if err != nil {
+			t.Fatalf("inverse apply failed for %q: %v", truncate(doc), err)
+		}
+		if err := base.SameStructure(back); err != nil {
+			t.Fatalf("round trip diverged for %q: %v", truncate(doc), err)
+		}
+		var buf bytes.Buffer
+		if err := back.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(parentBytes.Bytes(), buf.Bytes()) {
+			t.Fatalf("serialized round trip differs for %q", truncate(doc))
+		}
+	})
+}
+
 // FuzzCoarsen feeds arbitrary bytes through the .tfb reader and, when
 // a valid netlist comes out, coarsens it and checks every hierarchy
 // invariant: BuildHierarchy must never panic, every coarse level must

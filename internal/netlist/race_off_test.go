@@ -1,0 +1,7 @@
+//go:build !race
+
+package netlist
+
+// raceEnabled reports whether the race detector instruments this test
+// binary (it disables sync.Pool caching and skews allocation counts).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package netlist
+
+const raceEnabled = true

@@ -191,6 +191,11 @@ func TestViewTraversalDoesNotAllocate(t *testing.T) {
 }
 
 func TestSubsetQueriesDoNotAllocatePerCall(t *testing.T) {
+	if raceEnabled {
+		// The race detector defeats sync.Pool caching, so the scratch
+		// reuse this test pins cannot hold under -race.
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
 	nl := viewFixture(t)
 	members := []CellID{1, 2, 3}
 	// Box the Membership once: converting a slice to an interface

@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"tanglefind"
 	"tanglefind/api"
 	"tanglefind/client"
 	"tanglefind/internal/generate"
@@ -334,5 +336,239 @@ func TestEvictedDigestIsGone(t *testing.T) {
 	got, err := c.Netlist(ctx, first.Digest)
 	if err != nil || got.Loaded {
 		t.Errorf("tombstone = %+v, %v", got, err)
+	}
+}
+
+// backgroundEditDoc builds a pin-preserving JSON delta editing a net
+// whose pins all live in the top half of the id space (background
+// territory: generated workloads plant blocks at the low ids).
+func backgroundEdit(t *testing.T, nl *tanglefind.Netlist, salt int32) *tanglefind.Delta {
+	t.Helper()
+	for e := nl.NumNets() - 1 - int(salt); e >= 0; e-- {
+		pins := nl.NetPins(tanglefind.NetID(e))
+		ok := len(pins) >= 2
+		for _, c := range pins {
+			if int(c) < nl.NumCells()/2 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		return &tanglefind.Delta{SetNets: []tanglefind.NetEdit{{
+			Net:   tanglefind.NetID(e),
+			Cells: []tanglefind.CellID{pins[0], pins[0] - 1 - tanglefind.CellID(salt%7)},
+		}}}
+	}
+	t.Fatal("no background net found")
+	return nil
+}
+
+func backgroundEditDoc(t *testing.T, nl *tanglefind.Netlist, salt int32) []byte {
+	t.Helper()
+	doc, err := json.Marshal(backgroundEdit(t, nl, salt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestDeltaAndIncrementalFlow drives the ECO loop over HTTP: upload,
+// recorded find, POST a delta, find_incremental on the child — the
+// incremental result must reuse seeds and agree with a full run.
+func TestDeltaAndIncrementalFlow(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+
+	payload := tfbPayload(t, 9000, 400, 61)
+	parent, err := c.UploadNetlist(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := tanglefind.ReadNetlist(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := options(t, map[string]any{"seeds": 16, "max_order_len": 700, "record_incremental": true})
+
+	base, err := c.Submit(ctx, api.JobRequest{Kind: api.KindFind, Digest: parent.Digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(ctx, base.ID, 5*time.Millisecond); err != nil || st.State != api.StateDone {
+		t.Fatalf("base run: %+v, %v", st, err)
+	}
+
+	dres, err := c.ApplyDelta(ctx, parent.Digest, backgroundEdit(t, nl, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Parent != parent.Digest || dres.Netlist.Digest == parent.Digest || dres.DirtyCells == 0 {
+		t.Fatalf("delta result: %+v", dres)
+	}
+	if dres.Netlist.Parent != parent.Digest {
+		t.Fatalf("child lineage missing: %+v", dres.Netlist)
+	}
+
+	// The typed convenience submitter must land on the same state the
+	// raw-options base run recorded (options canonicalize equally).
+	incrOpt := tanglefind.DefaultOptions()
+	incrOpt.Seeds = 16
+	incrOpt.MaxOrderLen = 700
+	incrOpt.RecordIncremental = true
+	incr, err := c.SubmitFindIncremental(ctx, dres.Netlist.Digest, &incrOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ist, err := c.Wait(ctx, incr.ID, 5*time.Millisecond)
+	if err != nil || ist.State != api.StateDone || ist.Result == nil {
+		t.Fatalf("incremental job: %+v, %v", ist, err)
+	}
+	if ist.Result.Incremental == nil || ist.Result.Incremental.FullFallback || ist.Result.Incremental.ReusedSeeds == 0 {
+		t.Fatalf("no reuse over HTTP: %+v", ist.Result.Incremental)
+	}
+
+	full, err := c.Submit(ctx, api.JobRequest{Kind: api.KindFind, Digest: dres.Netlist.Digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fst, err := c.Wait(ctx, full.ID, 5*time.Millisecond)
+	if err != nil || fst.State != api.StateDone {
+		t.Fatalf("full child run: %+v, %v", fst, err)
+	}
+	if len(fst.Result.GTLs) != len(ist.Result.GTLs) || fst.Result.Candidates != ist.Result.Candidates {
+		t.Fatalf("incremental diverged over HTTP: %d/%d GTLs", len(ist.Result.GTLs), len(fst.Result.GTLs))
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.IncrementalRuns != 1 {
+		t.Errorf("incremental runs = %d", stats.Jobs.IncrementalRuns)
+	}
+}
+
+// TestDeltaHTTPErrors locks the delta/incremental failure statuses:
+// 404 unknown parent, 400 malformed delta, 422 for option
+// combinations the engine rejects as unsupported (not 500).
+func TestDeltaHTTPErrors(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+
+	wantStatus := func(err error, code int) {
+		t.Helper()
+		var ae *client.APIError
+		if err == nil || !errors.As(err, &ae) || ae.StatusCode != code {
+			t.Errorf("error = %v, want HTTP %d", err, code)
+		}
+	}
+
+	_, err := c.ApplyDeltaJSON(ctx, "missing-digest", []byte(`{}`))
+	wantStatus(err, http.StatusNotFound)
+
+	payload := tfbPayload(t, 4000, 300, 62)
+	parent, err := c.UploadNetlist(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ApplyDeltaJSON(ctx, parent.Digest, []byte(`{"nope":true}`))
+	wantStatus(err, http.StatusBadRequest)
+	_, err = c.ApplyDeltaJSON(ctx, parent.Digest, []byte(`{"remove_cells":[123456789]}`))
+	wantStatus(err, http.StatusBadRequest)
+
+	// find_incremental without lineage: 400.
+	_, err = c.Submit(ctx, api.JobRequest{Kind: api.KindFindIncremental, Digest: parent.Digest})
+	wantStatus(err, http.StatusBadRequest)
+
+	nl, err := tanglefind.ReadNetlist(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := c.ApplyDeltaJSON(ctx, parent.Digest, backgroundEditDoc(t, nl, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental + multilevel is typed ErrUnsupportedOptions → 422.
+	_, err = c.Submit(ctx, api.JobRequest{
+		Kind:    api.KindFindIncremental,
+		Digest:  dres.Netlist.Digest,
+		Options: options(t, map[string]any{"levels": 3}),
+	})
+	wantStatus(err, http.StatusUnprocessableEntity)
+}
+
+// TestConcurrentDeltaIngestAndIncrementalJobs is the race-detector
+// target for the delta pipeline: many goroutines apply distinct (and
+// sometimes identical) deltas against one parent digest while
+// submitting incremental jobs on the children and polling stats. Run
+// with -race (the CI race shard does).
+func TestConcurrentDeltaIngestAndIncrementalJobs(t *testing.T) {
+	st := store.New(0)
+	mgr := jobs.New(jobs.Config{Store: st, Workers: 2, QueueDepth: 64})
+	hs := httptest.NewServer(New(st, mgr).Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		mgr.Shutdown(context.Background())
+	})
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	payload := tfbPayload(t, 9000, 400, 63)
+	parent, err := c.UploadNetlist(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := tanglefind.ReadNetlist(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := options(t, map[string]any{"seeds": 12, "max_order_len": 600, "record_incremental": true})
+	base, err := c.Submit(ctx, api.JobRequest{Kind: api.KindFind, Digest: parent.Digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Wait(ctx, base.ID, 5*time.Millisecond); err != nil || got.State != api.StateDone {
+		t.Fatalf("base: %+v, %v", got, err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				// Half the goroutines collide on identical deltas, so
+				// concurrent registration of one child digest races too.
+				salt := int32(w%4*3 + i)
+				dres, err := c.ApplyDeltaJSON(ctx, parent.Digest, backgroundEditDoc(t, nl, salt))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: delta: %w", w, err)
+					return
+				}
+				jst, err := c.Submit(ctx, api.JobRequest{Kind: api.KindFindIncremental, Digest: dres.Netlist.Digest, Options: opts})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: submit: %w", w, err)
+					return
+				}
+				got, err := c.Wait(ctx, jst.ID, 5*time.Millisecond)
+				if err != nil || got.State != api.StateDone || got.Result == nil || got.Result.Incremental == nil {
+					errs <- fmt.Errorf("worker %d: job %s: %+v, %v", w, jst.ID, got, err)
+					return
+				}
+				if _, err := c.Stats(ctx); err != nil {
+					errs <- fmt.Errorf("worker %d: stats: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -3,10 +3,11 @@
 //
 // Routes (all JSON unless noted):
 //
-//	POST   /v1/netlists            upload a raw .tfnet/.tfb payload → NetlistInfo
-//	GET    /v1/netlists            list registry entries
-//	GET    /v1/netlists/{digest}   one entry's metadata
-//	POST   /v1/jobs                submit a JobRequest → JobStatus
+//	POST   /v1/netlists                    upload a raw .tfnet/.tfb payload → NetlistInfo
+//	GET    /v1/netlists                    list registry entries
+//	GET    /v1/netlists/{digest}           one entry's metadata
+//	POST   /v1/netlists/{digest}/deltas    apply a JSON delta → DeltaResult (child entry)
+//	POST   /v1/jobs                        submit a JobRequest → JobStatus
 //	GET    /v1/jobs                list retained jobs, newest first
 //	GET    /v1/jobs/{id}           one job's status (+result when done)
 //	DELETE /v1/jobs/{id}           cancel a job
@@ -25,6 +26,7 @@ import (
 	"io"
 	"net/http"
 
+	"tanglefind"
 	"tanglefind/api"
 	"tanglefind/internal/jobs"
 	"tanglefind/internal/store"
@@ -49,6 +51,7 @@ func New(st *store.Store, mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("POST /v1/netlists", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/netlists", s.handleNetlists)
 	s.mux.HandleFunc("GET /v1/netlists/{digest}", s.handleNetlist)
+	s.mux.HandleFunc("POST /v1/netlists/{digest}/deltas", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -103,6 +106,36 @@ func (s *Server) handleNetlist(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleDelta applies a JSON delta document against the parent digest
+// in the path, registering the patched netlist under its own content
+// address. 404/410 report a missing/evicted parent; a malformed or
+// inapplicable delta is 400.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("delta exceeds %d bytes", mbe.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read delta: %w", err))
+		}
+		return
+	}
+	res, err := s.store.ApplyDelta(r.PathValue("digest"), body)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, store.ErrEvicted):
+			writeError(w, http.StatusGone, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -132,6 +165,11 @@ func submitStatusCode(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, jobs.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, tanglefind.ErrUnsupportedOptions):
+		// The request parsed fine but asks for a combination the
+		// engine does not implement (e.g. incremental + multilevel):
+		// a semantic client fault, not a server failure — 422.
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusBadRequest
 	}

@@ -49,6 +49,18 @@ type entry struct {
 	nl     *netlist.Netlist
 	finder *tanglefind.Finder // built on first Engine call
 	elem   *list.Element      // nil once evicted
+	// lineage survives eviction (it is metadata, like info): an
+	// incremental job on a reloaded child can still find its parent.
+	lineage *Lineage
+}
+
+// Lineage records how a delta-derived netlist relates to its parent:
+// the parent digest and the dirty cell set of the edit, in the child
+// id space. Incremental jobs use it to locate the parent's recorded
+// state and to bound re-detection.
+type Lineage struct {
+	Parent string
+	Dirty  []netlist.CellID
 }
 
 // New creates a registry that evicts least-recently-used netlists once
@@ -111,17 +123,130 @@ func (s *Store) Ingest(data []byte) (api.NetlistInfo, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.entries[digest]; ok && e.nl != nil {
-		// Lost a reload race; the winner's copy is equivalent.
-		s.touch(e)
+	if e, ok := s.entries[digest]; ok {
+		if e.nl != nil {
+			// Lost a reload race; the winner's copy is equivalent.
+			s.touch(e)
+			return e.info, nil
+		}
+		// Evicted tombstone: reload in place so metadata that is not
+		// derivable from the bytes — delta lineage, Parent — survives
+		// the eviction/re-upload cycle.
+		s.loadLocked(e, nl)
 		return e.info, nil
 	}
-	e := &entry{info: info, nl: nl}
+	e := &entry{info: info}
 	s.entries[digest] = e
-	e.elem = s.lru.PushFront(e)
-	s.pins += int64(st.Pins)
-	s.evict()
+	s.loadLocked(e, nl)
 	return e.info, nil
+}
+
+// ApplyDelta patches the parent netlist with a JSON delta document
+// and registers the child under its own content address — the SHA-256
+// of the patched netlist's canonical .tfb serialization, so identical
+// post-edit netlists unify regardless of the edit path. The child
+// entry records its lineage (parent digest + dirty cells); nothing is
+// invalidated, because content addressing means the parent's caches
+// and engines stay exactly as valid as they were.
+//
+// Re-applying a delta that lands on a known digest is idempotent (and
+// reloads the netlist if it had been evicted); the first recorded
+// lineage wins.
+func (s *Store) ApplyDelta(parent string, deltaJSON []byte) (api.DeltaResult, error) {
+	d, err := netlist.ParseDelta(deltaJSON)
+	if err != nil {
+		return api.DeltaResult{}, err
+	}
+	parentNL, _, err := s.Get(parent)
+	if err != nil {
+		return api.DeltaResult{}, err
+	}
+	// Patch and serialize outside the lock; edits must not block
+	// readers. The parent netlist is immutable, so concurrent deltas
+	// against one parent are safe.
+	child, eff, err := d.Apply(parentNL)
+	if err != nil {
+		return api.DeltaResult{}, err
+	}
+	if child.NumCells() == 0 {
+		return api.DeltaResult{}, fmt.Errorf("store: delta leaves an empty netlist")
+	}
+	var buf bytes.Buffer
+	if err := child.WriteBinary(&buf); err != nil {
+		return api.DeltaResult{}, err
+	}
+	digest := Digest(buf.Bytes())
+	if digest == parent {
+		// Identity edit on a canonically-serialized parent: the child
+		// IS the parent. Report it without touching lineage — a digest
+		// must never become its own delta ancestor.
+		_, info, gerr := s.Get(parent)
+		if gerr != nil {
+			return api.DeltaResult{}, gerr
+		}
+		return api.DeltaResult{Parent: parent, Netlist: info, DirtyCells: len(eff.Dirty)}, nil
+	}
+	st := child.Stats()
+	info := api.NetlistInfo{
+		Digest:  digest,
+		Format:  "tfb",
+		Bytes:   int64(buf.Len()),
+		Cells:   st.Cells,
+		Nets:    st.Nets,
+		Pins:    st.Pins,
+		AvgPins: st.AvgPins,
+		Loaded:  true,
+		Parent:  parent,
+	}
+	lineage := &Lineage{Parent: parent, Dirty: eff.Dirty}
+
+	res := api.DeltaResult{
+		Parent:       parent,
+		DirtyCells:   len(eff.Dirty),
+		CellsAdded:   eff.CellsAdded,
+		CellsRemoved: eff.CellsRemoved,
+		NetsAdded:    eff.NetsAdded,
+		NetsRemoved:  eff.NetsRemoved,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[digest]; ok {
+		if e.lineage == nil {
+			e.lineage = lineage
+			// An entry that predates its lineage (the child bytes were
+			// uploaded directly first) gets the parent backfilled so
+			// the wire metadata and Lineage never contradict.
+			if e.info.Parent == "" {
+				e.info.Parent = parent
+			}
+		}
+		if e.nl == nil {
+			// Known digest, evicted payload: reload it in place.
+			s.loadLocked(e, child)
+		} else {
+			s.touch(e)
+		}
+		res.Netlist = e.info
+		return res, nil
+	}
+	e := &entry{info: info, lineage: lineage}
+	s.entries[digest] = e
+	s.loadLocked(e, child)
+	res.Netlist = e.info
+	return res, nil
+}
+
+// Lineage returns a digest's delta lineage (parent + dirty cells), if
+// it was produced by ApplyDelta. It survives eviction.
+func (s *Store) Lineage(digest string) (*Lineage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[digest]
+	if !ok || e.lineage == nil {
+		return nil, false
+	}
+	return e.lineage, true
 }
 
 // Get returns the loaded netlist for digest, refreshing its LRU
@@ -231,6 +356,17 @@ func (s *Store) TrimEngines() {
 	for _, f := range finders {
 		f.TrimPool()
 	}
+}
+
+// loadLocked makes e resident: attaches the parsed netlist, marks the
+// metadata loaded, fronts the LRU and charges the pin budget (evicting
+// as needed). Callers hold s.mu.
+func (s *Store) loadLocked(e *entry, nl *netlist.Netlist) {
+	e.nl = nl
+	e.info.Loaded = true
+	e.elem = s.lru.PushFront(e)
+	s.pins += int64(e.info.Pins)
+	s.evict()
 }
 
 // loaded resolves digest to a live entry; callers hold s.mu.

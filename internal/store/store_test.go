@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -213,5 +214,208 @@ func TestDigestStable(t *testing.T) {
 		0xb0, 0x03, 0x61, 0xa3, 0x96, 0x17, 0x7a, 0x9c,
 		0xb4, 0x10, 0xff, 0x61, 0xf2, 0x00, 0x15, 0xad}) {
 		t.Errorf("Digest(abc) = %s", d)
+	}
+}
+
+// deltaDoc builds a small reconnect delta against the registered
+// netlist: rewire net 0 onto cells {0, 5}.
+func deltaDoc() []byte {
+	return []byte(`{"set_nets":[{"net":0,"cells":[0,5]}]}`)
+}
+
+func TestApplyDeltaRegistersChild(t *testing.T) {
+	s := New(0)
+	parent, err := s.Ingest(payload(t, 4000, 71, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ApplyDelta(parent.Digest, deltaDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parent != parent.Digest || res.Netlist.Parent != parent.Digest {
+		t.Fatalf("lineage not recorded: %+v", res)
+	}
+	if res.Netlist.Digest == parent.Digest {
+		t.Fatal("child digest equals parent")
+	}
+	if res.DirtyCells == 0 {
+		t.Fatal("no dirty cells reported")
+	}
+	lin, ok := s.Lineage(res.Netlist.Digest)
+	if !ok || lin.Parent != parent.Digest || len(lin.Dirty) != res.DirtyCells {
+		t.Fatalf("Lineage = %+v, %v", lin, ok)
+	}
+	if _, ok := s.Lineage(parent.Digest); ok {
+		t.Fatal("parent has lineage")
+	}
+	// The child is a live, loadable entry.
+	nl, info, err := s.Get(res.Netlist.Digest)
+	if err != nil || !info.Loaded {
+		t.Fatalf("child not loaded: %v", err)
+	}
+	if nl.NetSize(0) != 2 {
+		t.Fatalf("edit not applied: net 0 has %d pins", nl.NetSize(0))
+	}
+
+	// Idempotent: same delta lands on the same digest, one entry.
+	res2, err := s.ApplyDelta(parent.Digest, deltaDoc())
+	if err != nil || res2.Netlist.Digest != res.Netlist.Digest {
+		t.Fatalf("re-apply: %+v, %v", res2, err)
+	}
+	if n := len(s.List()); n != 2 {
+		t.Fatalf("registry holds %d entries, want 2", n)
+	}
+
+	// Content addressing: uploading the child's canonical bytes lands
+	// on the same digest.
+	var buf bytes.Buffer
+	if err := nl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	up, err := s.Ingest(buf.Bytes())
+	if err != nil || up.Digest != res.Netlist.Digest {
+		t.Fatalf("content address mismatch: %+v, %v", up, err)
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	s := New(0)
+	if _, err := s.ApplyDelta("nope", deltaDoc()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing parent: %v", err)
+	}
+	parent, err := s.Ingest(payload(t, 2000, 72, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyDelta(parent.Digest, []byte(`{"bogus":1}`)); err == nil {
+		t.Error("malformed delta accepted")
+	}
+	if _, err := s.ApplyDelta(parent.Digest, []byte(`{"remove_cells":[99999999]}`)); err == nil {
+		t.Error("out-of-range delta accepted")
+	}
+}
+
+// TestLineageSurvivesEvictAndReupload: evicting a delta child and
+// re-uploading its bytes must keep its lineage and Parent — the
+// metadata is not derivable from the payload.
+func TestLineageSurvivesEvictAndReupload(t *testing.T) {
+	s := New(0)
+	parent, err := s.Ingest(payload(t, 3000, 73, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ApplyDelta(parent.Digest, deltaDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := res.Netlist.Digest
+	nl, _, err := s.Get(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var childBytes bytes.Buffer
+	if err := nl.WriteBinary(&childBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch the parent so the child is least recently used, then force
+	// it out with a tiny budget (eviction spares the MRU entry).
+	if _, _, err := s.Get(parent.Digest); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.pinBudget = 1
+	s.evict()
+	s.mu.Unlock()
+	if _, _, err := s.Get(child); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("child not evicted: %v", err)
+	}
+	if lin, ok := s.Lineage(child); !ok || lin.Parent != parent.Digest {
+		t.Fatalf("lineage lost at eviction: %+v, %v", lin, ok)
+	}
+
+	s.mu.Lock()
+	s.pinBudget = 0
+	s.mu.Unlock()
+	info, err := s.Ingest(childBytes.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != child || !info.Loaded {
+		t.Fatalf("re-upload landed elsewhere: %+v", info)
+	}
+	if info.Parent != parent.Digest {
+		t.Errorf("re-upload dropped Parent: %+v", info)
+	}
+	if lin, ok := s.Lineage(child); !ok || lin.Parent != parent.Digest {
+		t.Fatalf("lineage lost on re-upload: %+v, %v", lin, ok)
+	}
+}
+
+// TestIdentityDeltaDoesNotSelfLineage: a no-op delta on a canonically
+// serialized parent lands on the parent's own digest and must not make
+// the digest its own ancestor.
+func TestIdentityDeltaDoesNotSelfLineage(t *testing.T) {
+	s := New(0)
+	parent, err := s.Ingest(payload(t, 2000, 74, true)) // canonical .tfb bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ApplyDelta(parent.Digest, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.Digest != parent.Digest || res.Netlist.Parent != "" {
+		t.Fatalf("identity delta result: %+v", res)
+	}
+	if _, ok := s.Lineage(parent.Digest); ok {
+		t.Fatal("identity delta attached self-lineage")
+	}
+}
+
+// TestLineageBackfillsParentOnConvergence: uploading the child bytes
+// first and then reaching the same digest via a delta must leave the
+// wire metadata (Parent) and Lineage agreeing.
+func TestLineageBackfillsParentOnConvergence(t *testing.T) {
+	s := New(0)
+	parent, err := s.Ingest(payload(t, 3000, 75, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute the child bytes out-of-band and upload them directly.
+	nl, _, err := s.Get(parent.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.ParseDelta(deltaDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, _, err := d.Apply(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := child.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	up, err := s.Ingest(buf.Bytes())
+	if err != nil || up.Parent != "" {
+		t.Fatalf("direct upload: %+v, %v", up, err)
+	}
+	// The delta converges on the uploaded digest and backfills Parent.
+	res, err := s.ApplyDelta(parent.Digest, deltaDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.Digest != up.Digest || res.Netlist.Parent != parent.Digest {
+		t.Fatalf("converged delta result: %+v", res)
+	}
+	if info, ok := s.Info(up.Digest); !ok || info.Parent != parent.Digest {
+		t.Fatalf("registry metadata not backfilled: %+v", info)
+	}
+	if lin, ok := s.Lineage(up.Digest); !ok || lin.Parent != parent.Digest {
+		t.Fatalf("lineage missing: %+v, %v", lin, ok)
 	}
 }

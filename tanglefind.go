@@ -38,6 +38,7 @@ package tanglefind
 
 import (
 	"context"
+	"io"
 
 	"tanglefind/internal/core"
 	"tanglefind/internal/generate"
@@ -96,6 +97,45 @@ type Finder = core.Finder
 // ShardResult holds the raw outcomes of one seed-range chunk of a run;
 // see Finder.FindShard and Finder.Merge.
 type ShardResult = core.ShardResult
+
+// ErrUnsupportedOptions is returned for option combinations an engine
+// entry point does not implement (sharded or incremental runs with
+// Levels > 1). Serving layers map it to HTTP 422.
+var ErrUnsupportedOptions = core.ErrUnsupportedOptions
+
+// Incremental detection: netlists evolve by deltas (ECO edits), and
+// Finder.FindIncremental reuses a previous run's recorded seed state
+// wherever an edit provably cannot have changed the computation.
+type (
+	// Delta is an ECO-style edit batch: add/remove cells, reconnect
+	// nets, append/remove nets, with SplitNet/MergeNets helpers.
+	// Applying a delta never renumbers surviving ids.
+	Delta = netlist.Delta
+	// NewCell describes one appended cell in a Delta.
+	NewCell = netlist.NewCell
+	// NewNet describes one appended net in a Delta.
+	NewNet = netlist.NewNet
+	// NetEdit replaces one net's pin set in a Delta.
+	NetEdit = netlist.NetEdit
+	// DeltaEffect summarizes an applied delta, including the dirty
+	// cell set incremental detection guards reuse against.
+	DeltaEffect = netlist.DeltaEffect
+	// IncrStats is the reuse breakdown of a FindIncremental run.
+	IncrStats = core.IncrStats
+	// IncrementalState is the recorded per-seed state a
+	// RecordIncremental run attaches to its Result.
+	IncrementalState = core.IncrementalState
+)
+
+// ParseDelta decodes a JSON delta document (unknown fields rejected).
+func ParseDelta(data []byte) (*Delta, error) { return netlist.ParseDelta(data) }
+
+// ReadNetlist parses a netlist from r, autodetecting the format
+// (.tfb binary or .tfnet text) by content.
+func ReadNetlist(r io.Reader) (*Netlist, error) { return netlist.ReadAuto(r) }
+
+// ReadNetlistFile loads a netlist from path, autodetecting the format.
+func ReadNetlistFile(path string) (*Netlist, error) { return netlist.ReadFile(path) }
 
 // SeedTrace records what one Phase I/II seed produced: ordering
 // length, whether a candidate was extracted, and its size/score.
