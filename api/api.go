@@ -36,12 +36,17 @@ const (
 	// computation. The result is identical to KindFind with the same
 	// options — only the work differs (see JobResult.Incremental).
 	KindFindIncremental Kind = "find_incremental"
+	// KindLint runs the structural lint rule engine and reports the
+	// findings. Results are cached by digest + rule configuration; a
+	// delta-derived digest is linted incrementally against its parent's
+	// report when one is available.
+	KindLint Kind = "lint"
 )
 
 // Valid reports whether k names a known job kind.
 func (k Kind) Valid() bool {
 	switch k {
-	case KindFind, KindCluster, KindDecompose, KindFindIncremental:
+	case KindFind, KindCluster, KindDecompose, KindFindIncremental, KindLint:
 		return true
 	}
 	return false
@@ -118,6 +123,11 @@ type JobRequest struct {
 	// TimeoutMS bounds the job's compute time (not queue wait); 0
 	// means no deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Lint is the rule configuration of a lint job (rule
+	// enable/disable lists and thresholds); absent means every rule at
+	// default thresholds. Decoded with tanglefind.ParseLintConfig, so
+	// unknown fields are rejected. Ignored by other kinds.
+	Lint json.RawMessage `json:"lint,omitempty"`
 }
 
 // GTLInfo is one detected group of tangled logic on the wire.
@@ -165,6 +175,10 @@ type JobResult struct {
 	Incremental *tanglefind.IncrStats `json:"incremental,omitempty"`
 	Cluster     *ClusterInfo          `json:"cluster,omitempty"`
 	Decompose   *DecomposeInfo        `json:"decompose,omitempty"`
+	// Lint is a lint job's full report: sorted fingerprinted findings,
+	// per-rule stats and any skipped rules. Present only for lint jobs
+	// (which leave every finder field zero).
+	Lint *tanglefind.LintReport `json:"lint,omitempty"`
 }
 
 // JobStatus is a job's externally visible state.
@@ -219,6 +233,11 @@ type JobStats struct {
 	// incremental seed states (the -incr-states LRU) — footprint
 	// bitsets plus stored growth curves.
 	IncrStateBytes int64 `json:"incr_state_bytes,omitempty"`
+	// LintRuns counts completed lint engine runs; LintIncremental
+	// counts the subset answered incrementally from a parent report
+	// (cache hits appear under CacheHits, not here).
+	LintRuns        int64 `json:"lint_runs,omitempty"`
+	LintIncremental int64 `json:"lint_incremental,omitempty"`
 }
 
 // StoreStats describes the netlist registry's memory state.

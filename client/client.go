@@ -131,6 +131,22 @@ func (c *Client) SubmitFindIncremental(ctx context.Context, digest string, opt *
 	return c.Submit(ctx, req)
 }
 
+// SubmitLint submits a structural lint job; a nil cfg means every
+// rule at default thresholds. Lint results are cached server-side by
+// digest + rule configuration, and digests derived by a delta are
+// linted incrementally against their parent's report when possible.
+func (c *Client) SubmitLint(ctx context.Context, digest string, cfg *tanglefind.LintConfig) (api.JobStatus, error) {
+	req := api.JobRequest{Kind: api.KindLint, Digest: digest}
+	if cfg != nil {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return api.JobStatus{}, err
+		}
+		req.Lint = raw
+	}
+	return c.Submit(ctx, req)
+}
+
 // Job fetches a job's status (result included once done).
 func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
 	var st api.JobStatus

@@ -20,17 +20,16 @@ import (
 	"strings"
 	"time"
 
+	"tanglefind"
 	"tanglefind/internal/cliutil"
-	"tanglefind/internal/core"
 	"tanglefind/internal/experiments"
 	"tanglefind/internal/generate"
-	"tanglefind/internal/netlist"
 )
 
 func main() {
 	var (
 		scale  = flag.String("scale", "small", "workload scale: small, medium, full, or a numeric factor like 0.25")
-		exps   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental")
+		exps   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental,lint")
 		seeds  = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 		outdir = flag.String("outdir", "", "directory for figure image files (optional)")
@@ -85,13 +84,13 @@ func main() {
 		fmt.Println()
 	}
 	if run("fig2") {
-		if _, err := experiments.Figure23(ctx, core.MetricNGTLS, cfg, os.Stdout); err != nil {
+		if _, err := experiments.Figure23(ctx, tanglefind.MetricNGTLS, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 	if run("fig3") {
-		if _, err := experiments.Figure23(ctx, core.MetricGTLSD, cfg, os.Stdout); err != nil {
+		if _, err := experiments.Figure23(ctx, tanglefind.MetricGTLSD, cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
@@ -154,6 +153,12 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	if run("lint") {
+		if _, err := experiments.Lint(ctx, cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -189,7 +194,7 @@ func dumpWorkloads(dir string, cfg experiments.Config, run func(string) bool) er
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	save := func(name string, nl *netlist.Netlist) error {
+	save := func(name string, nl *tanglefind.Netlist) error {
 		path := filepath.Join(dir, name+".tfb")
 		if err := nl.WriteFile(path); err != nil {
 			return err

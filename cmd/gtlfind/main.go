@@ -18,9 +18,8 @@ import (
 	"os"
 	"time"
 
+	"tanglefind"
 	"tanglefind/internal/cliutil"
-	"tanglefind/internal/core"
-	"tanglefind/internal/netlist"
 	"tanglefind/internal/report"
 )
 
@@ -59,8 +58,8 @@ func main() {
 	if *incr && *deltaP == "" {
 		fatal(errors.New("-incremental requires -delta"))
 	}
-	var patched *netlist.Netlist
-	var effect *netlist.DeltaEffect
+	var patched *tanglefind.Netlist
+	var effect *tanglefind.DeltaEffect
 	if *deltaP != "" {
 		if patched, effect, err = applyDeltaFile(*deltaP, nl); err != nil {
 			fatal(err)
@@ -69,7 +68,7 @@ func main() {
 			effect.CellsAdded, effect.CellsRemoved, effect.NetsAdded, effect.NetsRemoved,
 			effect.TouchedNets, len(effect.Dirty))
 	}
-	opt := core.DefaultOptions()
+	opt := tanglefind.DefaultOptions()
 	opt.Seeds = *seeds
 	opt.MaxOrderLen = *z
 	opt.AcceptThreshold = *thresh
@@ -79,10 +78,10 @@ func main() {
 	opt.Levels = *levels
 	opt.MinCoarseCells = *minCC
 	opt.RefineRadius = *radius
-	if opt.Metric, err = core.ParseMetric(*metric); err != nil {
+	if opt.Metric, err = tanglefind.ParseMetric(*metric); err != nil {
 		fatal(err)
 	}
-	if opt.Ordering, err = core.ParseOrdering(*ordering); err != nil {
+	if opt.Ordering, err = tanglefind.ParseOrdering(*ordering); err != nil {
 		fatal(err)
 	}
 	opt.DirtyRadius = *dirtyRad
@@ -116,14 +115,14 @@ func main() {
 	ctx, cancel := cliutil.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if *progress {
-		opt.Progress = func(p core.Progress) {
+		opt.Progress = func(p tanglefind.Progress) {
 			fmt.Fprintf(os.Stderr, "\rgtlfind: seeds %d/%d, candidates %d", p.SeedsDone, p.SeedsTotal, p.Candidates)
 			if p.SeedsDone == p.SeedsTotal {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
-	var res *core.Result
+	var res *tanglefind.Result
 	// reportNL is the netlist the reported result belongs to — the
 	// patched target, except when an interrupted -incremental baseline
 	// surfaces the base run's partial results instead.
@@ -134,7 +133,7 @@ func main() {
 		// the ECO loop a serving deployment runs per edit.
 		baseOpt := opt
 		baseOpt.RecordIncremental = true
-		baseFinder, ferr := core.NewFinder(nl)
+		baseFinder, ferr := tanglefind.NewFinder(nl)
 		if ferr != nil {
 			fatal(ferr)
 		}
@@ -151,7 +150,7 @@ func main() {
 		default:
 			fmt.Printf("base run: %d GTLs in %s (state recorded)\n",
 				len(prev.GTLs), time.Since(baseStart).Round(time.Millisecond))
-			incrFinder, ferr := core.NewFinder(target)
+			incrFinder, ferr := tanglefind.NewFinder(target)
 			if ferr != nil {
 				fatal(ferr)
 			}
@@ -167,7 +166,7 @@ func main() {
 			}
 		}
 	} else {
-		finder, ferr := core.NewFinder(target)
+		finder, ferr := tanglefind.NewFinder(target)
 		if ferr != nil {
 			fatal(ferr)
 		}
@@ -219,12 +218,12 @@ func main() {
 
 // applyDeltaFile loads a JSON delta patch from path and applies it to
 // nl, returning the patched netlist and the edit's effect.
-func applyDeltaFile(path string, nl *netlist.Netlist) (*netlist.Netlist, *netlist.DeltaEffect, error) {
+func applyDeltaFile(path string, nl *tanglefind.Netlist) (*tanglefind.Netlist, *tanglefind.DeltaEffect, error) {
 	doc, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	d, err := netlist.ParseDelta(doc)
+	d, err := tanglefind.ParseDelta(doc)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,175 @@
+// Command gtllint runs the structural lint rules over a netlist file
+// and prints the findings.
+//
+// Usage:
+//
+//	gtllint -in design.tfb                       # text report
+//	gtllint -in design.tfnet -json               # full report as JSON
+//	gtllint -in design.tfb -fingerprints         # one fingerprint per line (for diffing)
+//	gtllint -in design.tfb -fail-on warning      # exit 1 on warnings or errors
+//	gtllint -in design.tfb -enable comb-loop     # run a subset of rules
+//	gtllint -in design.tfb -delta eco.json       # lint the patched netlist incrementally
+//	gtllint -rules                               # print the rule catalog
+//
+// Exit status: 0 when no finding reaches the -fail-on severity
+// (default error), 1 when one does, 2 on usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tanglefind"
+	"tanglefind/internal/cliutil"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input netlist in .tfnet or .tfb format (autodetected)")
+		auxPath   = flag.String("aux", "", "input netlist as an ISPD Bookshelf .aux file")
+		jsonOut   = flag.Bool("json", false, "emit the full report as JSON")
+		fpOut     = flag.Bool("fingerprints", false, "emit one finding fingerprint per line (stable across runs; for suppression files and CI diffs)")
+		failOn    = flag.String("fail-on", "error", "lowest severity that fails the run: info, warning or error")
+		enable    = flag.String("enable", "", "comma-separated rule ids to run (empty = all)")
+		disable   = flag.String("disable", "", "comma-separated rule ids to skip")
+		maxFanout = flag.Int("max-fanout", 0, "high-fanout-net threshold in pins (0 = default 64)")
+		minChain  = flag.Int("min-chain", 0, "shortest buffer chain reported (0 = default 3)")
+		listRules = flag.Bool("rules", false, "print the rule catalog and exit")
+		deltaP    = flag.String("delta", "", "JSON delta patch file (ECO edit): lint the patched netlist incrementally against the base report")
+	)
+	flag.Parse()
+
+	if *listRules {
+		printCatalog()
+		return
+	}
+	if (*inPath == "") == (*auxPath == "") {
+		fmt.Fprintln(os.Stderr, "gtllint: provide exactly one of -in or -aux")
+		flag.Usage()
+		os.Exit(2)
+	}
+	failSev, err := tanglefind.ParseLintSeverity(*failOn)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := tanglefind.LintConfig{
+		Enable:    splitList(*enable),
+		Disable:   splitList(*disable),
+		MaxFanout: *maxFanout,
+		MinChain:  *minChain,
+	}
+	for _, id := range append(splitList(*enable), splitList(*disable)...) {
+		if !knownRule(id) {
+			fatal(fmt.Errorf("unknown rule %q (see gtllint -rules)", id))
+		}
+	}
+
+	nl, err := cliutil.LoadNetlist(*inPath, *auxPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var rep *tanglefind.LintReport
+	if *deltaP == "" {
+		rep = tanglefind.Lint(nl, cfg)
+	} else {
+		doc, err := os.ReadFile(*deltaP)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := tanglefind.ParseDelta(doc)
+		if err != nil {
+			fatal(err)
+		}
+		child, eff, err := d.Apply(nl)
+		if err != nil {
+			fatal(err)
+		}
+		base := tanglefind.Lint(nl, cfg)
+		rep = tanglefind.LintDelta(base, nl, child, eff.Dirty, cfg)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	case *fpOut:
+		fps := make([]string, 0, len(rep.Findings))
+		for _, f := range rep.Findings {
+			fps = append(fps, f.Fingerprint+" "+f.Rule)
+		}
+		sort.Strings(fps)
+		for _, fp := range fps {
+			fmt.Println(fp)
+		}
+	default:
+		printText(rep)
+	}
+
+	if max, ok := rep.MaxSeverity(); ok && max >= failSev {
+		os.Exit(1)
+	}
+}
+
+func printText(rep *tanglefind.LintReport) {
+	for _, f := range rep.Findings {
+		fmt.Printf("%-7s %-16s %s  %s\n", f.Severity, f.Rule, f.Fingerprint, f.Msg)
+	}
+	n := rep.CountBySeverity()
+	fmt.Printf("%d error(s), %d warning(s), %d info finding(s)",
+		n[tanglefind.LintError], n[tanglefind.LintWarning], n[tanglefind.LintInfo])
+	if rep.Incremental {
+		fmt.Printf(" [incremental: %d cells rechecked]", rep.RecheckedCells)
+	}
+	fmt.Println()
+	for _, s := range rep.Skipped {
+		fmt.Printf("skipped %s: %s\n", s.Rule, s.Reason)
+	}
+}
+
+func printCatalog() {
+	fmt.Println("rule catalog (id  severity  needs-direction  description):")
+	for _, r := range tanglefind.LintRules() {
+		dir := "-"
+		if r.NeedsDirection() {
+			dir = "directed"
+		}
+		fmt.Printf("  %-17s %-8s %-9s %s\n", r.ID(), r.Severity(), dir, r.Doc())
+	}
+}
+
+func knownRule(id string) bool {
+	for _, r := range tanglefind.LintRules() {
+		if r.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fatal exits 2: usage/input failures must stay distinguishable from
+// exit 1, which means "lint findings at or above -fail-on".
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gtllint: %v\n", err)
+	os.Exit(2)
+}

@@ -16,9 +16,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"tanglefind"
 	"tanglefind/internal/cliutil"
-	"tanglefind/internal/core"
-	"tanglefind/internal/netlist"
 	"tanglefind/internal/place"
 	"tanglefind/internal/route"
 	"tanglefind/internal/viz"
@@ -67,15 +66,15 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		return err
 	}
 
-	var groups [][]netlist.CellID
+	var groups [][]tanglefind.CellID
 	if cfg.find {
-		opt := core.DefaultOptions()
+		opt := tanglefind.DefaultOptions()
 		opt.Seeds = cfg.seeds
 		opt.RandSeed = cfg.seed
 		if opt.MaxOrderLen >= nl.NumCells() {
 			opt.MaxOrderLen = nl.NumCells() / 2
 		}
-		finder, err := core.NewFinder(nl)
+		finder, err := tanglefind.NewFinder(nl)
 		if err != nil {
 			return err
 		}

@@ -17,7 +17,6 @@ import (
 	"log"
 
 	"tanglefind"
-	"tanglefind/internal/core"
 	"tanglefind/internal/ds"
 	"tanglefind/internal/generate"
 )
@@ -93,8 +92,8 @@ func main() {
 	// Show the Figure 2-style score curve from a seed inside the ROM.
 	fmt.Println("\nnGTL-S along an ordering grown from inside the dissolved ROM:")
 	rom := truth[len(truth)-1].cells
-	ord := core.GrowOrdering(nl, rom[0], 6000, core.DefaultOptions())
-	curve := core.ScoreCurve(ord, core.MetricNGTLS, nl.AvgPins())
+	ord := tanglefind.GrowOrdering(nl, rom[0], 6000, tanglefind.DefaultOptions())
+	curve := tanglefind.ScoreCurve(ord, tanglefind.MetricNGTLS, nl.AvgPins())
 	for k := 250; k <= ord.Len(); k += 250 {
 		bar := int(curve.Scores[k-1] * 40)
 		if bar > 60 {

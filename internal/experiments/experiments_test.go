@@ -332,3 +332,47 @@ func TestIncrementalShapeHolds(t *testing.T) {
 		t.Errorf("record mismatch: %+v", rec)
 	}
 }
+
+func TestLintShapeHolds(t *testing.T) {
+	tiny := Config{Scale: 0.02, Seeds: 8, Seed: 1}
+	var buf bytes.Buffer
+	results, err := Lint(context.Background(), tiny, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 workload rows, got %d", len(results))
+	}
+	byName := map[string]*LintResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+		if r.Cells == 0 || r.Nets == 0 {
+			t.Errorf("%s: degenerate workload: %+v", r.Name, r)
+		}
+	}
+	mill := byName["ring_mill"]
+	if mill == nil || !mill.Directed {
+		t.Fatal("ring_mill row missing or undirected")
+	}
+	// The planted rings must be found; the flip-flop-broken outer
+	// cycle must not be (it would show as one giant extra finding).
+	if mill.Errors != tiny.scaled(1024) {
+		t.Errorf("ring_mill: %d comb-loop errors, want %d planted rings",
+			mill.Errors, tiny.scaled(1024))
+	}
+	host := byName["hier_host"]
+	if host == nil || host.Directed {
+		t.Fatal("hier_host row missing or unexpectedly directed")
+	}
+	// Undirected workloads must skip direction-dependent rules, not
+	// fail or fabricate findings from them.
+	if host.Skipped == 0 {
+		t.Error("hier_host: no direction-dependent rules recorded as skipped")
+	}
+	if host.Errors != 0 {
+		t.Errorf("hier_host: %d errors on a clean Rent-rule circuit", host.Errors)
+	}
+	if !strings.Contains(buf.String(), "Structural lint") {
+		t.Error("table title missing from rendered output")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"tanglefind/internal/generate"
+	"tanglefind/internal/lint"
+	"tanglefind/internal/netlist"
+	"tanglefind/internal/report"
+)
+
+// ---------------------------------------------------------------------
+// Structural lint at scale — the repo's static-analysis evaluation.
+// Three workload classes: a clean Rent-rule host circuit (the honest
+// false-positive check: realistic connectivity should lint quietly), a
+// random-graph detection workload (undirected, so direction-dependent
+// rules must skip themselves), and a large directed "ring mill" whose
+// planted combinational rings and sequential breaks exercise the
+// comb-loop rule's near-linear Tarjan pass at up to a million cells.
+// ---------------------------------------------------------------------
+
+// LintResult is one row of the lint experiment.
+type LintResult struct {
+	Name     string  `json:"name"`
+	Cells    int     `json:"cells"`
+	Nets     int     `json:"nets"`
+	Pins     int     `json:"pins"`
+	Directed bool    `json:"directed"`
+	Errors   int     `json:"errors"`
+	Warnings int     `json:"warnings"`
+	Infos    int     `json:"infos"`
+	Skipped  int     `json:"skipped_rules"`
+	TotalMS  float64 `json:"total_ms"`
+	LoopMS   float64 `json:"comb_loop_ms"` // the comb-loop rule's share
+}
+
+// ringMill builds a directed netlist of numCells cells: rings of eight
+// combinational gates (one planted loop each) for the first loops*8
+// cells, then one long chain that closes back on itself through a
+// flip-flop — a cycle in the hypergraph that the comb-loop rule must
+// NOT report, keeping the sequential-break logic honest at scale.
+func ringMill(numCells, loops int) (*netlist.Netlist, error) {
+	const ringLen = 8
+	if numCells < loops*ringLen+2 {
+		numCells = loops*ringLen + 2
+	}
+	var b netlist.Builder
+	cells := make([]netlist.CellID, numCells)
+	for i := range cells {
+		name := ""
+		switch {
+		case i == loops*ringLen:
+			name = "dff_break" // the chain's sequential break
+		case i%257 == 0:
+			name = "g" + strconv.Itoa(i)
+		}
+		cells[i] = b.AddCell(name)
+	}
+	wire := func(from, to netlist.CellID) {
+		b.AddDrivenNet("", []netlist.CellID{from}, to)
+	}
+	// One primary output keeps the design live: every ring taps into
+	// it and the chain ends at it, so the dangling-cell rule has a real
+	// fanout frontier to trace instead of declaring the whole netlist
+	// dead.
+	po := b.AddCell("po_out")
+	for r := 0; r < loops; r++ {
+		base := r * ringLen
+		for i := 0; i < ringLen; i++ {
+			wire(cells[base+i], cells[base+(i+1)%ringLen])
+		}
+		wire(cells[base], po)
+	}
+	for i := loops * ringLen; i < numCells-1; i++ {
+		wire(cells[i], cells[i+1])
+	}
+	// Close the chain: a structural cycle, broken by dff_break.
+	wire(cells[numCells-1], cells[loops*ringLen])
+	wire(cells[numCells-1], po)
+	return b.Build()
+}
+
+// lintWorkload names one netlist to lint.
+type lintWorkload struct {
+	name string
+	nl   *netlist.Netlist
+}
+
+// lintWorkloads builds the three workload classes at cfg's scale.
+func lintWorkloads(cfg Config) ([]lintWorkload, error) {
+	bld, _, err := generate.NewHierarchicalHost(generate.HierSpec{
+		Cells: cfg.scaled(200_000), Rent: 0.63, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	host, err := bld.Build()
+	if err != nil {
+		return nil, err
+	}
+	rg, _, err := Table1Workload(Table1Cases[2], cfg)
+	if err != nil {
+		return nil, err
+	}
+	mill, err := ringMill(cfg.scaled(1_000_000), cfg.scaled(1024))
+	if err != nil {
+		return nil, err
+	}
+	return []lintWorkload{
+		{"hier_host", host},
+		{"random_case3", rg.Netlist},
+		{"ring_mill", mill},
+	}, nil
+}
+
+// LintRun lints one workload and folds the report into a row.
+func LintRun(nl *netlist.Netlist, name string) *LintResult {
+	start := time.Now()
+	rep := lint.Lint(nl, lint.Config{})
+	out := &LintResult{
+		Name:     name,
+		Cells:    nl.NumCells(),
+		Nets:     nl.NumNets(),
+		Pins:     nl.NumPins(),
+		Directed: nl.Directed(),
+		Skipped:  len(rep.Skipped),
+		TotalMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	n := rep.CountBySeverity()
+	out.Errors, out.Warnings, out.Infos = n[lint.SevError], n[lint.SevWarning], n[lint.SevInfo]
+	for _, rs := range rep.Rules {
+		if rs.Rule == "comb-loop" {
+			out.LoopMS = float64(rs.Nanos) / float64(time.Millisecond)
+		}
+	}
+	return out
+}
+
+// Lint runs the lint experiment and renders the table. The ring-mill
+// row is the headline: at full scale it is the million-cell netlist
+// whose planted rings the comb-loop rule must find in seconds.
+func Lint(ctx context.Context, cfg Config, w io.Writer) ([]*LintResult, error) {
+	workloads, err := lintWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.New("Structural lint (all rules, default thresholds)",
+		"Workload", "|V|", "|E|", "Pins", "Directed", "Err", "Warn", "Info", "Skipped", "Total ms", "Loop ms")
+	var results []*LintResult
+	for _, wl := range workloads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r := LintRun(wl.nl, wl.name)
+		results = append(results, r)
+		loop := "-"
+		if wl.nl.Directed() {
+			loop = fmt.Sprintf("%.0f", r.LoopMS)
+		}
+		tbl.Row(r.Name, r.Cells, r.Nets, r.Pins, r.Directed,
+			r.Errors, r.Warnings, r.Infos, r.Skipped,
+			fmt.Sprintf("%.0f", r.TotalMS), loop)
+	}
+	if w != nil {
+		if err := tbl.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

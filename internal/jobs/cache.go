@@ -121,3 +121,49 @@ func (c *incrCache) memoryEstimate() int64 {
 	}
 	return b
 }
+
+// lintCache is a small LRU from lintKey (digest + canonical rule
+// config) to a finished lint report, retained so delta-derived digests
+// can lint incrementally against their parent's report.
+type lintCache struct {
+	mu    sync.Mutex
+	max   int
+	byKey map[string]*list.Element
+	order *list.List
+}
+
+type lintEnt struct {
+	key string
+	rep *tanglefind.LintReport
+}
+
+func newLintCache(max int) *lintCache {
+	return &lintCache{max: max, byKey: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *lintCache) get(key string) (*tanglefind.LintReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lintEnt).rep, true
+}
+
+func (c *lintCache) put(key string, rep *tanglefind.LintReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lintEnt).rep = rep
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lintEnt{key: key, rep: rep})
+	for c.order.Len() > c.max {
+		el := c.order.Back()
+		delete(c.byKey, el.Value.(*lintEnt).key)
+		c.order.Remove(el)
+	}
+}

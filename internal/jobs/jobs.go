@@ -55,6 +55,10 @@ type Config struct {
 	// digest+options, each O(Seeds × MaxOrderLen) bytes) are retained
 	// for find_incremental jobs (default 8).
 	IncrStates int
+	// LintStates bounds how many lint reports (one per digest+rule
+	// config) are retained so delta-derived digests lint incrementally
+	// against their parent's report (default 16).
+	LintStates int
 	// MaxJobs bounds retained job records; the oldest terminal records
 	// are retired past this (default 1024).
 	MaxJobs int
@@ -73,6 +77,9 @@ func (c *Config) fill() {
 	if c.IncrStates <= 0 {
 		c.IncrStates = 8
 	}
+	if c.LintStates <= 0 {
+		c.LintStates = 16
+	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
@@ -88,6 +95,7 @@ type Manager struct {
 	cfg   Config
 	cache *resultCache
 	incr  *incrCache
+	lints *lintCache
 	wg    sync.WaitGroup
 
 	mu      sync.Mutex
@@ -106,6 +114,8 @@ type Manager struct {
 	engineRuns    atomic.Int64
 	incrRuns      atomic.Int64
 	incrFallbacks atomic.Int64
+	lintRuns      atomic.Int64
+	lintIncr      atomic.Int64
 
 	levelMu     sync.Mutex
 	runsByLevel map[int]int64 // engine runs keyed by hierarchy levels used (1 = flat)
@@ -118,6 +128,7 @@ func New(cfg Config) *Manager {
 		cfg:         cfg,
 		cache:       newResultCache(cfg.CacheResults),
 		incr:        newIncrCache(cfg.IncrStates),
+		lints:       newLintCache(cfg.LintStates),
 		jobs:        make(map[string]*Job),
 		runsByLevel: make(map[int]int64),
 	}
@@ -145,8 +156,12 @@ type Job struct {
 	// be computing when the job is queued).
 	parent string
 	dirty  []tanglefind.CellID
-	ctx    context.Context
-	cancel context.CancelFunc
+	// Lint jobs carry their resolved netlist and rule configuration
+	// instead of finder state.
+	lintNl  *tanglefind.Netlist
+	lintCfg tanglefind.LintConfig
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	mu       sync.Mutex
 	state    api.State
@@ -167,7 +182,10 @@ type Job struct {
 // the job's state at return time.
 func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 	if !req.Kind.Valid() {
-		return api.JobStatus{}, fmt.Errorf("%w: unknown kind %q (want find, cluster or decompose)", ErrBadRequest, req.Kind)
+		return api.JobStatus{}, fmt.Errorf("%w: unknown kind %q (want find, cluster, decompose, find_incremental or lint)", ErrBadRequest, req.Kind)
+	}
+	if req.Kind == api.KindLint {
+		return m.submitLint(req)
 	}
 	finder, info, err := m.cfg.Store.Engine(req.Digest)
 	if err != nil {
@@ -231,7 +249,53 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 		created:  time.Now(),
 		subs:     make(map[int]chan api.Event),
 	}
+	return m.enqueue(j)
+}
 
+// submitLint validates a lint request and builds its job. Lint jobs
+// resolve the raw netlist (no finder engine) and key the result cache
+// on the canonical rule configuration; a digest with delta lineage
+// also records its parent so the run can lint incrementally.
+func (m *Manager) submitLint(req api.JobRequest) (api.JobStatus, error) {
+	nl, _, err := m.cfg.Store.Get(req.Digest)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	cfg, err := tanglefind.ParseLintConfig(req.Lint)
+	if err != nil {
+		return api.JobStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.TimeoutMS < 0 {
+		return api.JobStatus{}, fmt.Errorf("%w: timeout_ms must be non-negative", ErrBadRequest)
+	}
+	var parent string
+	var dirty []tanglefind.CellID
+	if lin, ok := m.cfg.Store.Lineage(req.Digest); ok {
+		parent, dirty = lin.Parent, lin.Dirty
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		kind:     req.Kind,
+		digest:   req.Digest,
+		timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		cacheKey: lintKey(req.Digest, cfg),
+		lintNl:   nl,
+		lintCfg:  cfg,
+		parent:   parent,
+		dirty:    dirty,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    api.StateQueued,
+		created:  time.Now(),
+		subs:     make(map[int]chan api.Event),
+	}
+	return m.enqueue(j)
+}
+
+// enqueue consults the result cache and either answers immediately
+// (state done, Cached true) or appends the job to the pending list.
+func (m *Manager) enqueue(j *Job) (api.JobStatus, error) {
+	cancel := j.cancel
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -382,6 +446,8 @@ func (m *Manager) Stats() api.JobStats {
 		EngineRuns:           m.engineRuns.Load(),
 		IncrementalRuns:      m.incrRuns.Load(),
 		IncrementalFallbacks: m.incrFallbacks.Load(),
+		LintRuns:             m.lintRuns.Load(),
+		LintIncremental:      m.lintIncr.Load(),
 		CachedSets:           m.cache.len(),
 		IncrStateBytes:       m.incr.memoryEstimate(),
 	}
@@ -469,6 +535,10 @@ func (m *Manager) run(j *Job) {
 	if !j.tryStart() {
 		return // lost the race with Cancel
 	}
+	if j.kind == api.KindLint {
+		m.runLint(j)
+		return
+	}
 	ctx, cancel := j.ctx, func() {}
 	if j.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, j.timeout)
@@ -538,6 +608,43 @@ func (m *Manager) run(j *Job) {
 	if j.finish(api.StateDone, out, "") {
 		m.completed.Add(1)
 	}
+}
+
+// runLint executes a lint job: incrementally against the parent's
+// retained report when the digest has delta lineage and both the
+// parent netlist and its report (under the same rule config) are still
+// available, from scratch otherwise. The finished report is retained
+// in the lint-state LRU so the next delta in the chain stays
+// incremental.
+func (m *Manager) runLint(j *Job) {
+	m.lintRuns.Add(1)
+	var rep *tanglefind.LintReport
+	if j.parent != "" {
+		if prev, ok := m.lints.get(lintKey(j.parent, j.lintCfg)); ok {
+			if parentNl, _, err := m.cfg.Store.Get(j.parent); err == nil {
+				rep = tanglefind.LintDelta(prev, parentNl, j.lintNl, j.dirty, j.lintCfg)
+				if rep.Incremental {
+					m.lintIncr.Add(1)
+				}
+			}
+		}
+	}
+	if rep == nil {
+		rep = tanglefind.Lint(j.lintNl, j.lintCfg)
+	}
+	m.lints.put(j.cacheKey, rep)
+	out := &api.JobResult{Lint: rep}
+	m.cache.put(j.cacheKey, out)
+	if j.finish(api.StateDone, out, "") {
+		m.completed.Add(1)
+	}
+}
+
+// lintKey is a lint job's compute identity: the digest plus the
+// canonical rule configuration, shared by the result cache and the
+// lint-state LRU.
+func lintKey(digest string, cfg tanglefind.LintConfig) string {
+	return "lint|" + digest + "|" + cfg.CacheKey()
 }
 
 // applyMitigation attaches the cluster/decompose summary for the

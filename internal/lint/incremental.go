@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"sort"
+
+	"tanglefind/internal/netlist"
+)
+
+// LintDelta re-lints a netlist after a delta, reusing a previous
+// report instead of re-walking the whole design for local rules.
+//
+// The contract mirrors full Lint exactly: for any (parent, child,
+// dirty) produced by Delta.Apply, LintDelta returns the same findings
+// as Lint(child, cfg) — this is locked by a differential test. The
+// split is:
+//
+//   - Local rules (whose findings depend only on the anchor's own
+//     pins) are re-checked on the dirty neighborhood only; previous
+//     findings anchored outside it are carried over verbatim.
+//   - Global rules (comb-loop, dangling-cell, buffer-chain) are re-run
+//     in full — a single edit can create or break a cycle arbitrarily
+//     far away, and the report does not pretend otherwise. Their
+//     previous findings are discarded, not merged.
+//
+// prev must be the report of Lint(parent, cfg) (or a LintDelta chain
+// rooted there) under the same config; if prev is nil or was produced
+// under a different config, LintDelta falls back to a full Lint.
+func LintDelta(prev *Report, parent, child *netlist.Netlist, dirty []netlist.CellID, cfg Config) *Report {
+	key := cfg.CacheKey()
+	if prev == nil || prev.ConfigKey != key {
+		rep := Lint(child, cfg)
+		rep.Incremental = false
+		return rep
+	}
+	norm := cfg.normalized()
+
+	// The affected scope: dirty cells plus every net incident to one in
+	// either id space. Parent pins matter because a net emptied by the
+	// delta is invisible from the child side of its former cells.
+	cellSet := make(map[netlist.CellID]bool, len(dirty))
+	netSet := make(map[netlist.NetID]bool)
+	for _, c := range dirty {
+		cellSet[c] = true
+		if int(c) < child.NumCells() {
+			for _, n := range child.CellPins(c) {
+				netSet[n] = true
+			}
+		}
+		if int(c) < parent.NumCells() {
+			for _, n := range parent.CellPins(c) {
+				if int(n) < child.NumNets() {
+					netSet[n] = true
+				}
+			}
+		}
+	}
+	scopeCells := make([]netlist.CellID, 0, len(cellSet))
+	for c := range cellSet {
+		if int(c) < child.NumCells() {
+			scopeCells = append(scopeCells, c)
+		}
+	}
+	scopeNets := make([]netlist.NetID, 0, len(netSet))
+	for n := range netSet {
+		scopeNets = append(scopeNets, n)
+	}
+	sort.Slice(scopeCells, func(i, j int) bool { return scopeCells[i] < scopeCells[j] })
+	sort.Slice(scopeNets, func(i, j int) bool { return scopeNets[i] < scopeNets[j] })
+
+	localRules := make(map[string]bool)
+	for _, r := range Rules() {
+		if r.Local() {
+			localRules[r.ID()] = true
+		}
+	}
+
+	rep := &Report{
+		ConfigKey:      key,
+		Incremental:    true,
+		RecheckedCells: len(scopeCells),
+	}
+
+	// Carry over local findings anchored outside the affected scope.
+	// Anything global, in scope, or referring to an id the child no
+	// longer has is dropped and recomputed below.
+	for _, f := range prev.Findings {
+		if !localRules[f.Rule] {
+			continue
+		}
+		if f.Net >= 0 {
+			if int(f.Net) >= child.NumNets() || netSet[f.Net] {
+				continue
+			}
+		}
+		if f.Cell >= 0 {
+			if int(f.Cell) >= child.NumCells() || cellSet[f.Cell] {
+				continue
+			}
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+
+	// Local rules on the dirty neighborhood only.
+	scoped := &Pass{nl: child, cfg: &norm, scopeCells: scopeCells, scopeNets: scopeNets}
+	local := true
+	runRules(scoped, Rules(), rep, &local)
+
+	// Global rules from scratch: a fresh unscoped pass.
+	full := &Pass{nl: child, cfg: &norm}
+	local = false
+	runRules(full, Rules(), rep, &local)
+
+	sortFindings(rep.Findings)
+	return rep
+}

@@ -18,6 +18,13 @@ type Builder struct {
 	cellArea  []float64
 	numCells  int
 
+	// Direction annotation: per-net driver lists, parallel to
+	// netCells. directed flips on the first MarkDrivers/AddDrivenNet
+	// call; a directed netlist may still contain nets with no drivers
+	// (undriven — a lint finding, not missing data).
+	netDrivers [][]CellID
+	directed   bool
+
 	// DropDegenerateNets discards nets with < 2 distinct cells at
 	// Build time. Single-pin nets can never be cut and only perturb
 	// the average pin count, so generators usually drop them.
@@ -59,7 +66,28 @@ func (b *Builder) AddNet(name string, cells ...CellID) NetID {
 	copy(cp, cells)
 	b.netCells = append(b.netCells, cp)
 	b.netNames = append(b.netNames, name)
+	b.netDrivers = append(b.netDrivers, nil)
 	return id
+}
+
+// AddDrivenNet registers a net whose pin set is drivers ∪ sinks and
+// records the drivers, marking the netlist directed. A cell listed in
+// both slices counts once as a pin and stays a driver.
+func (b *Builder) AddDrivenNet(name string, drivers []CellID, sinks ...CellID) NetID {
+	pins := make([]CellID, 0, len(drivers)+len(sinks))
+	pins = append(pins, drivers...)
+	pins = append(pins, sinks...)
+	id := b.AddNet(name, pins...)
+	b.MarkDrivers(id, drivers...)
+	return id
+}
+
+// MarkDrivers records the given cells as drivers of net n (appending
+// to any already marked) and marks the netlist directed. Every driver
+// must be one of the net's pins by Build time.
+func (b *Builder) MarkDrivers(n NetID, drivers ...CellID) {
+	b.directed = true
+	b.netDrivers[n] = append(b.netDrivers[n], drivers...)
 }
 
 // Build finalizes the netlist into its flat CSR form with two counting
@@ -71,7 +99,11 @@ func (b *Builder) Build() (*Netlist, error) {
 	// nets survive and the total pin count.
 	keep := make([][]CellID, 0, len(b.netCells))
 	names := make([]string, 0, len(b.netCells))
-	totalPins := 0
+	var drivers [][]CellID
+	if b.directed {
+		drivers = make([][]CellID, 0, len(b.netCells))
+	}
+	totalPins, totalDrv := 0, 0
 	for i, cells := range b.netCells {
 		uniq := dedupe(cells)
 		for _, c := range uniq {
@@ -81,6 +113,14 @@ func (b *Builder) Build() (*Netlist, error) {
 		}
 		if b.DropDegenerateNets && len(uniq) < 2 {
 			continue
+		}
+		if b.directed {
+			drv := dedupe(b.netDrivers[i])
+			if err := checkSubset(drv, uniq); err != nil {
+				return nil, fmt.Errorf("netlist: net %q: %w", b.netNames[i], err)
+			}
+			drivers = append(drivers, drv)
+			totalDrv += len(drv)
 		}
 		keep = append(keep, uniq)
 		names = append(names, b.netNames[i])
@@ -125,8 +165,33 @@ func (b *Builder) Build() (*Netlist, error) {
 			cursor[c]++
 		}
 	}
+	if b.directed {
+		drvOff := make([]int32, len(keep)+1)
+		drvCell := make([]CellID, totalDrv)
+		dat := int32(0)
+		for n, drv := range drivers {
+			drvOff[n] = dat
+			dat += int32(copy(drvCell[dat:], drv))
+		}
+		drvOff[len(keep)] = dat
+		nl.attachDrivers(drvOff, drvCell)
+	}
 	nl.initScratch()
 	return nl, nil
+}
+
+// checkSubset verifies sub ⊆ super for two ascending runs.
+func checkSubset(sub, super []CellID) error {
+	at := 0
+	for _, c := range sub {
+		for at < len(super) && super[at] < c {
+			at++
+		}
+		if at >= len(super) || super[at] != c {
+			return fmt.Errorf("driver %d is not one of the net's pins", c)
+		}
+	}
+	return nil
 }
 
 // MustBuild is Build but panics on error; for tests and generators

@@ -48,17 +48,24 @@ type NewCell struct {
 	Area float64 `json:"area,omitempty"`
 }
 
-// NewNet describes one appended net.
+// NewNet describes one appended net. Drivers (optional, only valid
+// against a directed parent) lists which of Cells drive the net; an
+// absent list appends an undriven net.
 type NewNet struct {
-	Name  string   `json:"name,omitempty"`
-	Cells []CellID `json:"cells"`
+	Name    string   `json:"name,omitempty"`
+	Cells   []CellID `json:"cells"`
+	Drivers []CellID `json:"drivers,omitempty"`
 }
 
 // NetEdit replaces the pin set of one existing net. Duplicate cells
 // are collapsed; the stored run is sorted ascending like every other.
+// Against a directed parent the edit is authoritative for direction
+// too: Drivers lists the resulting driver pins (subset of Cells), and
+// an absent list leaves the net undriven.
 type NetEdit struct {
-	Net   NetID    `json:"net"`
-	Cells []CellID `json:"cells"`
+	Net     NetID    `json:"net"`
+	Cells   []CellID `json:"cells"`
+	Drivers []CellID `json:"drivers,omitempty"`
 }
 
 // Empty reports whether the delta contains no operations.
@@ -152,17 +159,20 @@ type DeltaEffect struct {
 // tombstoning and truncation.
 type deltaPlan struct {
 	nCells, nNets   int
+	directed        bool       // parent carries a driver annotation
 	removedCell     *ds.Bitset // parent-id space
 	removedNet      *ds.Bitset
 	nRemovedCells   int
 	nRemovedNets    int
 	edited          map[NetID][]CellID // canonical (sorted, deduped) replacement runs
+	editedDrv       map[NetID][]CellID // canonical driver runs for edited nets
 	touchedNet      *ds.Bitset         // edited ∪ removed ∪ incident-to-removed-cell
 	newCellsRaw     int                // nCells + adds, before truncation
 	newNetsRaw      int
 	truncCellStart  int // first truncated cell id (== newCellsRaw when none)
 	truncNetStart   int
 	addNetCanonical [][]CellID // canonical pin runs for AddNets
+	addNetDrv       [][]CellID // canonical driver runs for AddNets
 }
 
 // plan validates d against nl and computes the canonical edit plan.
@@ -170,9 +180,11 @@ func (d *Delta) plan(nl *Netlist) (*deltaPlan, error) {
 	p := &deltaPlan{
 		nCells:      nl.NumCells(),
 		nNets:       nl.NumNets(),
+		directed:    nl.Directed(),
 		removedCell: ds.NewBitset(nl.NumCells()),
 		removedNet:  ds.NewBitset(nl.NumNets()),
 		edited:      make(map[NetID][]CellID, len(d.SetNets)),
+		editedDrv:   make(map[NetID][]CellID, len(d.SetNets)),
 		touchedNet:  ds.NewBitset(nl.NumNets()),
 	}
 	cellSpace := p.nCells + len(d.AddCells)
@@ -212,6 +224,25 @@ func (d *Delta) plan(nl *Netlist) (*deltaPlan, error) {
 		}
 		return out, nil
 	}
+	// checkDrivers canonicalizes an edit's driver list: deduped, a
+	// subset of the net's canonical pin run, and only meaningful
+	// against a directed parent (a delta cannot introduce direction
+	// information — that would make apply → inverse-apply lossy).
+	checkDrivers := func(what string, drivers, run []CellID) ([]CellID, error) {
+		if len(drivers) == 0 {
+			return nil, nil
+		}
+		if !p.directed {
+			return nil, fmt.Errorf("netlist: delta: %s specifies drivers but the parent netlist is undirected", what)
+		}
+		drv := make([]CellID, len(drivers))
+		copy(drv, drivers)
+		drv = dedupe(drv)
+		if err := checkSubset(drv, run); err != nil {
+			return nil, fmt.Errorf("netlist: delta: %s: %w", what, err)
+		}
+		return drv, nil
+	}
 	for _, e := range d.SetNets {
 		if e.Net < 0 || int(e.Net) >= p.nNets {
 			return nil, fmt.Errorf("netlist: delta: edit of unknown net %d (new nets take their pins from add_nets)", e.Net)
@@ -222,20 +253,33 @@ func (d *Delta) plan(nl *Netlist) (*deltaPlan, error) {
 		if _, dup := p.edited[e.Net]; dup {
 			return nil, fmt.Errorf("netlist: delta: net %d edited twice", e.Net)
 		}
-		run, err := checkPins(fmt.Sprintf("edit of net %d", e.Net), e.Cells)
+		what := fmt.Sprintf("edit of net %d", e.Net)
+		run, err := checkPins(what, e.Cells)
+		if err != nil {
+			return nil, err
+		}
+		drv, err := checkDrivers(what, e.Drivers, run)
 		if err != nil {
 			return nil, err
 		}
 		p.edited[e.Net] = run
+		p.editedDrv[e.Net] = drv
 		p.touchedNet.Add(int(e.Net))
 	}
 	p.addNetCanonical = make([][]CellID, len(d.AddNets))
+	p.addNetDrv = make([][]CellID, len(d.AddNets))
 	for i, an := range d.AddNets {
-		run, err := checkPins(fmt.Sprintf("added net %d", i), an.Cells)
+		what := fmt.Sprintf("added net %d", i)
+		run, err := checkPins(what, an.Cells)
+		if err != nil {
+			return nil, err
+		}
+		drv, err := checkDrivers(what, an.Drivers, run)
 		if err != nil {
 			return nil, err
 		}
 		p.addNetCanonical[i] = run
+		p.addNetDrv[i] = drv
 	}
 	// Nets incident to removed cells are implicitly edited.
 	if p.nRemovedCells > 0 {
@@ -347,6 +391,50 @@ func (d *Delta) Apply(nl *Netlist) (*Netlist, *DeltaEffect, error) {
 
 	child := fromNetCSR(newCells, netPinOff, netPinCell, netNames, cellNames, cellArea)
 
+	// Direction: a directed parent yields a directed child (and an
+	// undirected parent cannot gain drivers — plan rejects that).
+	// Untouched nets copy their driver runs verbatim; edited and added
+	// nets take the delta's (canonical) driver lists; nets incident to
+	// a removed cell drop the removed drivers.
+	if p.directed {
+		drvRun := func(n int) []CellID {
+			switch {
+			case n >= p.nNets:
+				return p.addNetDrv[n-p.nNets]
+			case p.removedNet.Has(n):
+				return nil
+			default:
+				if _, ok := p.edited[NetID(n)]; ok {
+					return p.editedDrv[NetID(n)]
+				}
+				old := nl.NetDrivers(NetID(n))
+				if !p.touchedNet.Has(n) {
+					return old
+				}
+				kept := make([]CellID, 0, len(old))
+				for _, c := range old {
+					if !p.removedCell.Has(int(c)) {
+						kept = append(kept, c)
+					}
+				}
+				return kept
+			}
+		}
+		totalDrv := 0
+		for n := 0; n < newNets; n++ {
+			totalDrv += len(drvRun(n))
+		}
+		drvOff := make([]int32, newNets+1)
+		drvCell := make([]CellID, totalDrv)
+		dat := int32(0)
+		for n := 0; n < newNets; n++ {
+			drvOff[n] = dat
+			dat += int32(copy(drvCell[dat:], drvRun(n)))
+		}
+		drvOff[newNets] = dat
+		child.attachDrivers(drvOff, drvCell)
+	}
+
 	// Dirty set: removed and added cells plus every cell on a touched
 	// net, before or after the edit — all clamped to the child space.
 	dirty := ds.NewBitset(newCells)
@@ -420,18 +508,22 @@ func (d *Delta) Inverse(parent *Netlist) (*Delta, error) {
 	}
 	for n := p.truncNetStart; n < p.nNets; n++ {
 		inv.AddNets = append(inv.AddNets, NewNet{
-			Name:  rawName(parent.netNames, n),
-			Cells: append([]CellID(nil), parent.NetPins(NetID(n))...),
+			Name:    rawName(parent.netNames, n),
+			Cells:   append([]CellID(nil), parent.NetPins(NetID(n))...),
+			Drivers: append([]CellID(nil), parent.NetDrivers(NetID(n))...),
 		})
 	}
-	// Restore every surviving touched net's parent pin set.
+	// Restore every surviving touched net's parent pin set (drivers
+	// included — NetDrivers is nil on undirected parents, so the field
+	// stays absent there).
 	p.touchedNet.ForEach(func(n int) {
 		if n >= p.truncNetStart {
 			return // truncated: restored via AddNets above
 		}
 		inv.SetNets = append(inv.SetNets, NetEdit{
-			Net:   NetID(n),
-			Cells: append([]CellID(nil), parent.NetPins(NetID(n))...),
+			Net:     NetID(n),
+			Cells:   append([]CellID(nil), parent.NetPins(NetID(n))...),
+			Drivers: append([]CellID(nil), parent.NetDrivers(NetID(n))...),
 		})
 	})
 	return inv, nil
@@ -528,6 +620,20 @@ func (nl *Netlist) SameStructure(o *Netlist) error {
 		}
 		if nl.NetName(NetID(n)) != o.NetName(NetID(n)) {
 			return fmt.Errorf("netlist: net %d name %q vs %q", n, nl.NetName(NetID(n)), o.NetName(NetID(n)))
+		}
+	}
+	if nl.Directed() != o.Directed() {
+		return fmt.Errorf("netlist: directed %v vs %v", nl.Directed(), o.Directed())
+	}
+	for n := 0; n < nl.NumNets(); n++ {
+		a, b := nl.NetDrivers(NetID(n)), o.NetDrivers(NetID(n))
+		if len(a) != len(b) {
+			return fmt.Errorf("netlist: net %d has %d drivers vs %d", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return fmt.Errorf("netlist: net %d driver %d: cell %d vs %d", n, i, a[i], b[i])
+			}
 		}
 	}
 	for c := 0; c < nl.NumCells(); c++ {

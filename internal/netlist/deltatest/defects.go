@@ -1,0 +1,248 @@
+package deltatest
+
+import (
+	"fmt"
+
+	"tanglefind/internal/netlist"
+)
+
+// Defect is a golden pair for one lint rule: Pos plants exactly one
+// instance of the rule's defect into an otherwise clean directed
+// netlist, Neg is the same construction with the defect repaired. A
+// rule is specified by these pairs — it must fire on Pos with the
+// given anchors and stay silent on Neg.
+//
+// This package only builds the netlists; internal/lint's tests
+// consume them (the dependency points that way to keep deltatest free
+// of lint imports).
+type Defect struct {
+	// Rule is the lint rule id the pair specifies.
+	Rule string
+	Pos  *netlist.Netlist
+	Neg  *netlist.Netlist
+	// WantAnchors are cell/net names that must appear among the
+	// positive findings' anchor names.
+	WantAnchors []string
+}
+
+// Defects returns one golden pair per builtin lint rule, under the
+// default lint thresholds (fanout 64, chain 3).
+func Defects() []Defect {
+	return []Defect{
+		multiDrivenDefect(),
+		undrivenDefect(),
+		floatingDefect(),
+		danglingDefect(),
+		combLoopDefect(),
+		constTiedDefect(),
+		bufferChainDefect(),
+		sizeOnlyDefect(),
+		highFanoutDefect(),
+	}
+}
+
+// DefectByRule returns the golden pair for one rule id, or nil.
+func DefectByRule(rule string) *Defect {
+	for _, d := range Defects() {
+		if d.Rule == rule {
+			return &d
+		}
+	}
+	return nil
+}
+
+func multiDrivenDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		u1 := b.AddCell("u_and1")
+		u2 := b.AddCell("u_and2")
+		po := b.AddCell("po_x")
+		b.AddDrivenNet("n_in1", []netlist.CellID{pi}, u1)
+		b.AddDrivenNet("n_in2", []netlist.CellID{pi}, u2)
+		if planted {
+			// Both gates fight over one net.
+			b.AddDrivenNet("n_bad", []netlist.CellID{u1, u2}, po)
+		} else {
+			b.AddDrivenNet("n_bad", []netlist.CellID{u1}, po)
+			b.AddDrivenNet("n_ok2", []netlist.CellID{u2}, po)
+		}
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "multi-driven-net", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"n_bad"},
+	}
+}
+
+func undrivenDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		u1 := b.AddCell("u_and1")
+		po := b.AddCell("po_x")
+		b.AddDrivenNet("n_in", []netlist.CellID{pi}, u1)
+		if planted {
+			// Both pins of n_bad are sinks; nothing drives it.
+			n := b.AddNet("n_bad", u1, po)
+			_ = n // directedness comes from the other nets
+			b.AddDrivenNet("n_keep", []netlist.CellID{u1}, po)
+		} else {
+			b.AddDrivenNet("n_bad", []netlist.CellID{u1}, po)
+		}
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "undriven-net", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"n_bad"},
+	}
+}
+
+func floatingDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		u1 := b.AddCell("u_and1")
+		po := b.AddCell("po_x")
+		b.AddDrivenNet("n_in", []netlist.CellID{pi}, u1)
+		b.AddDrivenNet("n_out", []netlist.CellID{u1}, po)
+		if planted {
+			// A driven net with nobody on the other end.
+			b.AddDrivenNet("n_float", []netlist.CellID{u1})
+		}
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "floating-net", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"n_float"},
+	}
+}
+
+func danglingDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		u1 := b.AddCell("u_and1")
+		po := b.AddCell("po_x")
+		dead := b.AddCell("u_dead")
+		b.AddDrivenNet("n_in", []netlist.CellID{pi}, u1, dead)
+		b.AddDrivenNet("n_out", []netlist.CellID{u1}, po)
+		if planted {
+			// u_dead drives a net no sink ever reads.
+			b.AddDrivenNet("n_dead", []netlist.CellID{dead})
+		} else {
+			b.AddDrivenNet("n_dead", []netlist.CellID{dead}, po)
+		}
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "dangling-cell", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"u_dead"},
+	}
+}
+
+func combLoopDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		l1 := b.AddCell("u_loop1")
+		l2 := b.AddCell("u_loop2")
+		po := b.AddCell("po_x")
+		b.AddDrivenNet("n_in", []netlist.CellID{pi}, l1)
+		b.AddDrivenNet("n_fwd", []netlist.CellID{l1}, l2, po)
+		if planted {
+			// l2 feeds straight back into l1: a combinational cycle.
+			b.AddDrivenNet("n_back", []netlist.CellID{l2}, l1)
+		} else {
+			// The same cycle broken by a flop.
+			brk := b.AddCell("dff_brk")
+			b.AddDrivenNet("n_back1", []netlist.CellID{l2}, brk)
+			b.AddDrivenNet("n_back2", []netlist.CellID{brk}, l1)
+		}
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "comb-loop", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"u_loop1"},
+	}
+}
+
+func constTiedDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		name := "pi_en"
+		if planted {
+			name = "tie_hi"
+		}
+		src := b.AddCell(name)
+		u1 := b.AddCell("u_and1")
+		po := b.AddCell("po_x")
+		b.AddDrivenNet("n_en", []netlist.CellID{src}, u1)
+		b.AddDrivenNet("n_out", []netlist.CellID{u1}, po)
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "const-tied", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"n_en"},
+	}
+}
+
+func bufferChainDefect() Defect {
+	build := func(chain int) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		prev := pi
+		for i := 0; i < chain; i++ {
+			buf := b.AddCell(fmt.Sprintf("u_buf%d", i+1))
+			b.AddDrivenNet(fmt.Sprintf("n_b%d", i), []netlist.CellID{prev}, buf)
+			prev = buf
+		}
+		po := b.AddCell("po_x")
+		b.AddDrivenNet("n_out", []netlist.CellID{prev}, po)
+		return b.MustBuild()
+	}
+	return Defect{
+		// Three repeaters in a row trip the default MinChain of 3; two
+		// do not.
+		Rule: "buffer-chain", Pos: build(3), Neg: build(2),
+		WantAnchors: []string{"u_buf1"},
+	}
+}
+
+func sizeOnlyDefect() Defect {
+	build := func(planted bool) *netlist.Netlist {
+		var b netlist.Builder
+		name := "u_pad"
+		if planted {
+			name = "u_size_only_pad"
+		}
+		pi := b.AddCell("pi_a")
+		pad := b.AddCell(name)
+		b.AddDrivenNet("n_in", []netlist.CellID{pi}, pad)
+		return b.MustBuild()
+	}
+	return Defect{
+		Rule: "size-only", Pos: build(true), Neg: build(false),
+		WantAnchors: []string{"u_size_only_pad"},
+	}
+}
+
+func highFanoutDefect() Defect {
+	build := func(sinks int) *netlist.Netlist {
+		var b netlist.Builder
+		pi := b.AddCell("pi_a")
+		src := b.AddCell("u_drv")
+		b.AddDrivenNet("n_in", []netlist.CellID{pi}, src)
+		fan := make([]netlist.CellID, sinks)
+		for i := range fan {
+			fan[i] = b.AddCell(fmt.Sprintf("po_f%d", i))
+		}
+		b.AddDrivenNet("n_big", []netlist.CellID{src}, fan...)
+		return b.MustBuild()
+	}
+	// Default MaxFanout is 64 pins: 63 sinks + 1 driver reaches it.
+	return Defect{
+		Rule: "high-fanout-net", Pos: build(63), Neg: build(10),
+		WantAnchors: []string{"n_big"},
+	}
+}

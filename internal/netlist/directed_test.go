@@ -1,0 +1,267 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// directedSample builds a small directed netlist:
+//
+//	in0 --w0--> g1 --w1--> g2 --w2--> out3
+//
+// with an extra multi-driven net w3 driven by both g1 and g2 onto
+// out4.
+func directedSample(t *testing.T) *Netlist {
+	t.Helper()
+	var b Builder
+	in0 := b.AddCell("in0")
+	g1 := b.AddCell("g1")
+	g2 := b.AddCell("g2")
+	out3 := b.AddCell("out3")
+	out4 := b.AddCell("out4")
+	b.AddDrivenNet("w0", []CellID{in0}, g1)
+	b.AddDrivenNet("w1", []CellID{g1}, g2)
+	b.AddDrivenNet("w2", []CellID{g2}, out3)
+	b.AddDrivenNet("w3", []CellID{g1, g2}, out4)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return nl
+}
+
+func TestDirectedBuild(t *testing.T) {
+	nl := directedSample(t)
+	if !nl.Directed() {
+		t.Fatal("netlist should be directed")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := nl.NetDrivers(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("net 0 drivers = %v, want [0]", got)
+	}
+	if got := nl.NetDrivers(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("net 3 drivers = %v, want [1 2]", got)
+	}
+	if nl.NumDriverPins() != 5 {
+		t.Fatalf("NumDriverPins = %d, want 5", nl.NumDriverPins())
+	}
+
+	var undirected Builder
+	undirected.AddCells(2)
+	undirected.AddNet("", 0, 1)
+	u := undirected.MustBuild()
+	if u.Directed() {
+		t.Fatal("plain AddNet netlist must stay undirected")
+	}
+	if u.NetDrivers(0) != nil {
+		t.Fatal("undirected NetDrivers must be nil")
+	}
+}
+
+func TestDirectedBuildRejectsNonPinDriver(t *testing.T) {
+	var b Builder
+	b.AddCells(3)
+	n := b.AddNet("w", 0, 1)
+	b.MarkDrivers(n, 2) // cell 2 is not on the net
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted a driver that is not a pin")
+	}
+}
+
+func TestDirectedBinaryRoundTrip(t *testing.T) {
+	nl := directedSample(t)
+	var buf bytes.Buffer
+	if err := nl.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	// Directed netlists must serialize as version 2.
+	if v := buf.Bytes()[4]; v != 2 {
+		t.Fatalf("directed .tfb version = %d, want 2", v)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if err := nl.SameStructure(got); err != nil {
+		t.Fatalf("binary round trip: %v", err)
+	}
+
+	// Undirected netlists keep emitting version 1 byte-identically.
+	var ub Builder
+	ub.AddCells(2)
+	ub.AddNet("w", 0, 1)
+	u := ub.MustBuild()
+	var ubuf bytes.Buffer
+	if err := u.WriteBinary(&ubuf); err != nil {
+		t.Fatalf("WriteBinary undirected: %v", err)
+	}
+	if v := ubuf.Bytes()[4]; v != 1 {
+		t.Fatalf("undirected .tfb version = %d, want 1", v)
+	}
+}
+
+func TestDirectedBinaryRejectsV1DriverFlag(t *testing.T) {
+	nl := directedSample(t)
+	var buf bytes.Buffer
+	if err := nl.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	data := buf.Bytes()
+	data[4] = 1 // claim version 1 while keeping the driver flag
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("ReadBinary accepted version 1 with the driver flag set")
+	}
+}
+
+func TestDirectedTextRoundTrip(t *testing.T) {
+	nl := directedSample(t)
+	var buf bytes.Buffer
+	if err := nl.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("directed .tfnet carries no driver markers:\n%s", buf.String())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Directed() {
+		t.Fatal("parsed netlist lost its direction annotation")
+	}
+	for n := 0; n < nl.NumNets(); n++ {
+		a, b := nl.NetDrivers(NetID(n)), got.NetDrivers(NetID(n))
+		if len(a) != len(b) {
+			t.Fatalf("net %d drivers %v vs %v", n, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("net %d drivers %v vs %v", n, a, b)
+			}
+		}
+	}
+}
+
+func TestDirectedDeltaApplyInverse(t *testing.T) {
+	parent := directedSample(t)
+	d := &Delta{
+		AddCells: []NewCell{{Name: "g5"}},
+		SetNets: []NetEdit{
+			// Rewire w1 to include the new cell as a second driver.
+			{Net: 1, Cells: []CellID{1, 2, 5}, Drivers: []CellID{1, 5}},
+		},
+		AddNets: []NewNet{{Name: "w4", Cells: []CellID{0, 5}, Drivers: []CellID{0}}},
+	}
+	child, eff, err := d.Apply(parent)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !child.Directed() {
+		t.Fatal("directed parent must yield a directed child")
+	}
+	if err := child.Validate(); err != nil {
+		t.Fatalf("child Validate: %v", err)
+	}
+	if got := child.NetDrivers(1); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("child net 1 drivers = %v, want [1 5]", got)
+	}
+	if got := child.NetDrivers(4); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("child net 4 drivers = %v, want [0]", got)
+	}
+	// Untouched nets keep their driver runs verbatim.
+	if got := child.NetDrivers(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("child net 3 drivers = %v, want [1 2]", got)
+	}
+	if len(eff.Dirty) == 0 {
+		t.Fatal("delta reported no dirty cells")
+	}
+	inv, err := d.Inverse(parent)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	back, _, err := inv.Apply(child)
+	if err != nil {
+		t.Fatalf("inverse Apply: %v", err)
+	}
+	if err := parent.SameStructure(back); err != nil {
+		t.Fatalf("apply → inverse-apply round trip: %v", err)
+	}
+}
+
+func TestDirectedDeltaEditWithoutDriversClearsThem(t *testing.T) {
+	parent := directedSample(t)
+	d := &Delta{SetNets: []NetEdit{{Net: 0, Cells: []CellID{0, 1}}}}
+	child, _, err := d.Apply(parent)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := child.NetDrivers(0); len(got) != 0 {
+		t.Fatalf("edit without drivers left %v, want none", got)
+	}
+}
+
+func TestDeltaRejectsDriversOnUndirectedParent(t *testing.T) {
+	var b Builder
+	b.AddCells(3)
+	b.AddNet("w", 0, 1)
+	parent := b.MustBuild()
+	d := &Delta{SetNets: []NetEdit{{Net: 0, Cells: []CellID{0, 1}, Drivers: []CellID{0}}}}
+	if err := d.Validate(parent); err == nil {
+		t.Fatal("delta with drivers accepted against an undirected parent")
+	}
+	d2 := &Delta{SetNets: []NetEdit{{Net: 0, Cells: []CellID{0, 1}, Drivers: []CellID{2}}}}
+	if err := d2.Validate(directedSample(t)); err == nil {
+		t.Fatal("delta accepted a driver outside the edited pin set")
+	}
+}
+
+func TestDirectedRemoveCellDropsDriverPins(t *testing.T) {
+	parent := directedSample(t)
+	d := &Delta{RemoveCells: []CellID{1}} // g1 drives w1 and co-drives w3
+	child, _, err := d.Apply(parent)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := child.Validate(); err != nil {
+		t.Fatalf("child Validate: %v", err)
+	}
+	if got := child.NetDrivers(1); len(got) != 0 {
+		t.Fatalf("w1 drivers after removing g1 = %v, want none", got)
+	}
+	if got := child.NetDrivers(3); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("w3 drivers after removing g1 = %v, want [2]", got)
+	}
+}
+
+// TestValidateAscendingDiagnostics locks in the enriched Validate
+// messages: a violating run is reported with its owner, the position
+// inside the run, and both offending ids.
+func TestValidateAscendingDiagnostics(t *testing.T) {
+	nl := directedSample(t)
+	// Corrupt net 1's pin run in place: swap its two pins.
+	run := nl.netPinCell[nl.netPinOff[1]:nl.netPinOff[1+1]]
+	run[0], run[1] = run[1], run[0]
+	err := nl.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an unsorted pin run")
+	}
+	for _, want := range []string{"net 1", "position 1", "cell 1", "after cell 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Validate error %q does not name %q", err, want)
+		}
+	}
+	run[0], run[1] = run[1], run[0] // restore
+
+	// Corrupt a driver run: point it at a non-pin cell.
+	nl.netDrvCell[nl.netDrvOff[0]] = 4
+	err = nl.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a driver that is not a pin")
+	}
+	if !strings.Contains(err.Error(), "driver") {
+		t.Fatalf("Validate error %q does not mention the driver run", err)
+	}
+}

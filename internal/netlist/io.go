@@ -16,21 +16,34 @@ import (
 //	net <name> <cellID> <cellID> ...
 //	...
 //
-// Lines starting with '#' are comments. Cell names and areas are not
-// serialized — the format exists so generated benchmarks can be saved
-// and re-loaded by the CLI tools; full-fidelity exchange uses the
-// Bookshelf reader/writer in internal/bookshelf or the .tfb binary
-// format in iobin.go (which also loads ~an order of magnitude faster).
+// Lines starting with '#' are comments. A cell id prefixed with '*'
+// marks a driver pin (the cell drives that net); any '*' marker makes
+// the parsed netlist directed (see the package comment). Cell names
+// and areas are not serialized — the format exists so generated
+// benchmarks can be saved and re-loaded by the CLI tools;
+// full-fidelity exchange uses the Bookshelf reader/writer in
+// internal/bookshelf or the .tfb binary format in iobin.go (which
+// also loads ~an order of magnitude faster).
 
-// Write serializes the netlist in .tfnet form.
+// Write serializes the netlist in .tfnet form. Driver pins of a
+// directed netlist carry the '*' marker.
 func (nl *Netlist) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "tfnet 1")
 	fmt.Fprintf(bw, "cells %d\n", nl.NumCells())
 	for n := 0; n < nl.NumNets(); n++ {
 		fmt.Fprintf(bw, "net %s", nl.NetName(NetID(n)))
+		drv := nl.NetDrivers(NetID(n))
+		at := 0
 		for _, c := range nl.NetPins(NetID(n)) {
-			fmt.Fprintf(bw, " %d", c)
+			for at < len(drv) && drv[at] < c {
+				at++
+			}
+			if at < len(drv) && drv[at] == c {
+				fmt.Fprintf(bw, " *%d", c)
+			} else {
+				fmt.Fprintf(bw, " %d", c)
+			}
 		}
 		fmt.Fprintln(bw)
 	}
@@ -80,14 +93,22 @@ func Read(r io.Reader) (*Netlist, error) {
 			return nil, fmt.Errorf("netlist: line %d: expected net line, got %q", line, t)
 		}
 		cells := make([]CellID, 0, len(fields)-2)
+		var drivers []CellID
 		for _, f := range fields[2:] {
-			id, err := strconv.Atoi(f)
+			raw, isDrv := strings.CutPrefix(f, "*")
+			id, err := strconv.Atoi(raw)
 			if err != nil {
 				return nil, fmt.Errorf("netlist: line %d: bad cell id %q", line, f)
 			}
 			cells = append(cells, CellID(id))
+			if isDrv {
+				drivers = append(drivers, CellID(id))
+			}
 		}
-		b.AddNet(fields[1], cells...)
+		id := b.AddNet(fields[1], cells...)
+		if drivers != nil {
+			b.MarkDrivers(id, drivers...)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("netlist: read: %w", err)

@@ -17,21 +17,32 @@ import (
 // tokenizing, no Builder dedupe. Layout (all integers little-endian):
 //
 //	magic     [4]byte  "TFBN"
-//	version   uint32   (currently 1)
-//	flags     uint32   bit0 net names, bit1 cell names, bit2 areas
+//	version   uint32   (1 or 2)
+//	flags     uint32   bit0 net names, bit1 cell names, bit2 areas,
+//	                   bit3 drivers (version 2 only)
 //	numCells  uint32
 //	numNets   uint32
 //	numPins   uint64
 //	netPinOff uint32 × (numNets+1)   CSR offsets into netPinCell
 //	netPinCell uint32 × numPins      per-net runs strictly ascending
+//	[drivers]    uint64 numDrvPins, then uint32 × (numNets+1) offsets
+//	             and uint32 × numDrvPins driver cells (flag bit3):
+//	             the per-net driver runs, each a sorted subset of the
+//	             net's pin run
 //	[net names]  per net: uvarint length + bytes   (flag bit0)
 //	[cell names] per cell: uvarint length + bytes  (flag bit1)
 //	[areas]      float64 bits uint64 × numCells    (flag bit2)
 //
 // Format versions:
 //
-//	.tfnet 1 — text, header "tfnet 1" (io.go)
+//	.tfnet 1 — text, header "tfnet 1" (io.go; `*`-prefixed pins mark drivers)
 //	.tfb   1 — binary CSR, magic "TFBN" version 1 (this file)
+//	.tfb   2 — version 1 plus the optional driver section (flag bit3)
+//
+// Undirected netlists always serialize as version 1, byte-identical
+// to what older writers produced, so existing content digests are
+// stable; only a directed netlist emits version 2, which old readers
+// reject loudly instead of silently dropping the annotation.
 //
 // The reader rejects any other version, validates ids and sortedness
 // while decoding (so a loaded netlist always passes Validate), and
@@ -41,13 +52,18 @@ import (
 
 var tfbMagic = [4]byte{'T', 'F', 'B', 'N'}
 
-// tfbVersion is the current binary format version.
-const tfbVersion = 1
+// tfbVersion is the baseline binary format version; tfbVersionDrivers
+// adds the optional driver section.
+const (
+	tfbVersion        = 1
+	tfbVersionDrivers = 2
+)
 
 const (
 	tfbFlagNetNames  = 1 << 0
 	tfbFlagCellNames = 1 << 1
 	tfbFlagAreas     = 1 << 2
+	tfbFlagDrivers   = 1 << 3
 )
 
 // maxStringLen bounds a single serialized name; anything longer is a
@@ -72,8 +88,13 @@ func (nl *Netlist) WriteBinary(w io.Writer) error {
 	if nl.cellArea != nil && !allUnitArea(nl.cellArea) {
 		flags |= tfbFlagAreas
 	}
+	version := uint32(tfbVersion)
+	if nl.Directed() {
+		flags |= tfbFlagDrivers
+		version = tfbVersionDrivers
+	}
 	bw.Write(tfbMagic[:])
-	writeU32(bw, tfbVersion)
+	writeU32(bw, version)
 	writeU32(bw, flags)
 	writeU32(bw, uint32(nl.NumCells()))
 	writeU32(bw, uint32(nl.NumNets()))
@@ -90,6 +111,18 @@ func (nl *Netlist) WriteBinary(w io.Writer) error {
 	}
 	for _, c := range nl.netPinCell {
 		writeU32(bw, uint32(c))
+	}
+	if flags&tfbFlagDrivers != 0 {
+		writeU64(bw, uint64(len(nl.netDrvCell)))
+		for _, off := range nl.netDrvOff {
+			writeU32(bw, uint32(off))
+		}
+		if len(nl.netDrvOff) == 0 {
+			writeU32(bw, 0) // zero-net directed netlist: implicit single 0
+		}
+		for _, c := range nl.netDrvCell {
+			writeU32(bw, uint32(c))
+		}
 	}
 	if flags&tfbFlagNetNames != 0 {
 		writeStrings(bw, nl.netNames, nl.NumNets())
@@ -116,10 +149,14 @@ func ReadBinary(r io.Reader) (*Netlist, error) {
 		return nil, fmt.Errorf("netlist: tfb: bad magic %q", hdr[0:4])
 	}
 	le := binary.LittleEndian
-	if v := le.Uint32(hdr[4:8]); v != tfbVersion {
-		return nil, fmt.Errorf("netlist: tfb: unsupported version %d (want %d)", v, tfbVersion)
+	version := le.Uint32(hdr[4:8])
+	if version != tfbVersion && version != tfbVersionDrivers {
+		return nil, fmt.Errorf("netlist: tfb: unsupported version %d (want %d or %d)", version, tfbVersion, tfbVersionDrivers)
 	}
 	flags := le.Uint32(hdr[8:12])
+	if version == tfbVersion && flags&tfbFlagDrivers != 0 {
+		return nil, fmt.Errorf("netlist: tfb: driver flag requires version %d", tfbVersionDrivers)
+	}
 	numCells := int(le.Uint32(hdr[12:16]))
 	numNets := int(le.Uint32(hdr[16:20]))
 	numPins64 := le.Uint64(hdr[20:28])
@@ -164,6 +201,53 @@ func ReadBinary(r io.Reader) (*Netlist, error) {
 			}
 		}
 	}
+	var drvOff []int32
+	var drvCell []CellID
+	if flags&tfbFlagDrivers != 0 {
+		var cnt [8]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, fmt.Errorf("netlist: tfb: driver count: %w", err)
+		}
+		numDrv64 := le.Uint64(cnt[:])
+		if numDrv64 > uint64(numPins) {
+			return nil, fmt.Errorf("netlist: tfb: %d driver pins exceed %d pins", numDrv64, numPins)
+		}
+		numDrv := int(numDrv64)
+		if drvOff, err = readU32sAsI32(br, numNets+1); err != nil {
+			return nil, fmt.Errorf("netlist: tfb: driver offsets: %w", err)
+		}
+		if drvOff[0] != 0 || int(drvOff[numNets]) != numDrv {
+			return nil, fmt.Errorf("netlist: tfb: driver offsets span [%d,%d], want [0,%d]", drvOff[0], drvOff[numNets], numDrv)
+		}
+		for i := 1; i <= numNets; i++ {
+			if drvOff[i] < drvOff[i-1] {
+				return nil, fmt.Errorf("netlist: tfb: driver offsets decrease at net %d", i-1)
+			}
+			if drvOff[i]-drvOff[i-1] > off[i]-off[i-1] {
+				return nil, fmt.Errorf("netlist: tfb: net %d has more drivers than pins", i-1)
+			}
+		}
+		drvCell, err = readU32sAsI32(br, numDrv)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: tfb: driver pins: %w", err)
+		}
+		for n := 0; n < numNets; n++ {
+			drv := drvCell[drvOff[n]:drvOff[n+1]]
+			run := pins[off[n]:off[n+1]]
+			at := 0
+			for i, c := range drv {
+				if i > 0 && drv[i-1] >= c {
+					return nil, fmt.Errorf("netlist: tfb: net %d driver run not strictly ascending", n)
+				}
+				for at < len(run) && run[at] < c {
+					at++
+				}
+				if at >= len(run) || run[at] != c {
+					return nil, fmt.Errorf("netlist: tfb: net %d driver %d is not one of its pins", n, c)
+				}
+			}
+		}
+	}
 	var netNames, cellNames []string
 	if flags&tfbFlagNetNames != 0 {
 		if netNames, err = readStrings(br, numNets); err != nil {
@@ -190,7 +274,11 @@ func ReadBinary(r io.Reader) (*Netlist, error) {
 			areas = append(areas, a)
 		}
 	}
-	return fromNetCSR(numCells, off, pins, netNames, cellNames, areas), nil
+	nl := fromNetCSR(numCells, off, pins, netNames, cellNames, areas)
+	if flags&tfbFlagDrivers != 0 {
+		nl.attachDrivers(drvOff, drvCell)
+	}
+	return nl, nil
 }
 
 // ReadAuto parses a netlist from r, autodetecting the format by

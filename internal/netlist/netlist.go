@@ -23,6 +23,21 @@
 // cell contributes at most one pin to a given net (the Builder dedupes
 // repeated connections), |e| is the number of cells on e, and the pin
 // count of a cell is the number of distinct nets incident to it.
+//
+// # Optional direction annotation
+//
+// A netlist may additionally carry a driver annotation: a third CSR
+// run set (netDrvOff/netDrvCell) listing, per net, the sorted subset
+// of its pins that drive the net. The detection engine never reads it
+// — tangle mining is purely topological — but the lint rules in
+// internal/lint need a directed view (multi-driven nets, undriven
+// nets, combinational loops), and synthesized-netlist sources know
+// their drivers. A nil driver CSR means "no direction information"
+// (Directed reports false); a directed netlist with an empty driver
+// run for some net means that net is genuinely undriven, which is a
+// lintable defect, not missing data. Derived structures that resample
+// the hypergraph (coarsening levels, induced views) drop the
+// annotation; lint runs at full resolution.
 package netlist
 
 import (
@@ -44,6 +59,12 @@ type Netlist struct {
 	cellPinNet []NetID  // flat pin array; per-cell runs strictly ascending
 	netPinOff  []int32  // len NumNets+1; net -> range in netPinCell
 	netPinCell []CellID // flat pin array; per-net runs strictly ascending
+
+	// Optional driver annotation (see the package comment): per net,
+	// the sorted subset of its pins that drive it. nil netDrvOff means
+	// the netlist carries no direction information at all.
+	netDrvOff  []int32
+	netDrvCell []CellID
 
 	cellNames []string  // optional; empty means synthesized names
 	netNames  []string  // optional
@@ -97,6 +118,33 @@ func (nl *Netlist) NetPins(n NetID) []CellID {
 	return nl.netPinCell[nl.netPinOff[n]:nl.netPinOff[n+1]]
 }
 
+// Directed reports whether the netlist carries a driver annotation.
+func (nl *Netlist) Directed() bool { return nl.netDrvOff != nil }
+
+// NetDrivers returns the cells driving net n as a subslice of the
+// driver CSR, strictly ascending; nil when the netlist is undirected.
+// An empty run on a directed netlist means the net is undriven. The
+// caller must not modify the slice.
+func (nl *Netlist) NetDrivers(n NetID) []CellID {
+	if nl.netDrvOff == nil {
+		return nil
+	}
+	return nl.netDrvCell[nl.netDrvOff[n]:nl.netDrvOff[n+1]]
+}
+
+// NumDriverPins returns the total driver pin count across all nets
+// (0 for undirected netlists).
+func (nl *Netlist) NumDriverPins() int { return len(nl.netDrvCell) }
+
+// attachDrivers installs a driver CSR, taking ownership of the
+// slices. Constructors call it after the pin CSR is in place; the
+// caller guarantees well-formed offsets and sorted runs that are
+// subsets of the corresponding pin runs (Validate checks all of it).
+func (nl *Netlist) attachDrivers(off []int32, cells []CellID) {
+	nl.netDrvOff = off
+	nl.netDrvCell = cells
+}
+
 // CellDegree returns the number of pins on cell c (distinct nets).
 func (nl *Netlist) CellDegree(c CellID) int {
 	return int(nl.cellPinOff[c+1] - nl.cellPinOff[c])
@@ -126,6 +174,7 @@ func (nl *Netlist) NetCSR() (offsets []int32, pins []CellID) {
 func (nl *Netlist) MemoryFootprint() int64 {
 	b := int64(len(nl.cellPinOff))*4 + int64(len(nl.cellPinNet))*4 +
 		int64(len(nl.netPinOff))*4 + int64(len(nl.netPinCell))*4 +
+		int64(len(nl.netDrvOff))*4 + int64(len(nl.netDrvCell))*4 +
 		int64(len(nl.cellArea))*8
 	for _, s := range nl.cellNames {
 		b += int64(len(s)) + 16
@@ -194,6 +243,8 @@ func (nl *Netlist) WithAreas(area []float64) (*Netlist, error) {
 		cellPinNet: nl.cellPinNet,
 		netPinOff:  nl.netPinOff,
 		netPinCell: nl.netPinCell,
+		netDrvOff:  nl.netDrvOff,
+		netDrvCell: nl.netDrvCell,
 		cellNames:  nl.cellNames,
 		netNames:   nl.netNames,
 		cellArea:   area,
@@ -244,10 +295,14 @@ func (nl *Netlist) Validate() error {
 		pins := nl.CellPins(CellID(c))
 		for i, n := range pins {
 			if n < 0 || int(n) >= numNets {
-				return fmt.Errorf("netlist: cell %d pins out-of-range net %d", c, n)
+				return fmt.Errorf("netlist: cell %d (%s) pins out-of-range net %d", c, nl.CellName(CellID(c)), n)
 			}
 			if i > 0 && pins[i-1] >= n {
-				return fmt.Errorf("netlist: cell %d pin run not strictly ascending at net %d", c, n)
+				// Name the offending run precisely: which cell, where in
+				// its run, and both ids in the violating pair — lint and
+				// delta debugging lean on these diagnostics.
+				return fmt.Errorf("netlist: cell %d (%s) pin run not strictly ascending: position %d lists net %d after net %d",
+					c, nl.CellName(CellID(c)), i, n, pins[i-1])
 			}
 		}
 	}
@@ -255,12 +310,16 @@ func (nl *Netlist) Validate() error {
 		pins := nl.NetPins(NetID(n))
 		for i, c := range pins {
 			if c < 0 || int(c) >= numCells {
-				return fmt.Errorf("netlist: net %d pins out-of-range cell %d", n, c)
+				return fmt.Errorf("netlist: net %d (%s) pins out-of-range cell %d", n, nl.NetName(NetID(n)), c)
 			}
 			if i > 0 && pins[i-1] >= c {
-				return fmt.Errorf("netlist: net %d pin run not strictly ascending at cell %d", n, c)
+				return fmt.Errorf("netlist: net %d (%s) pin run not strictly ascending: position %d lists cell %d after cell %d",
+					n, nl.NetName(NetID(n)), i, c, pins[i-1])
 			}
 		}
+	}
+	if err := nl.validateDrivers(); err != nil {
+		return err
 	}
 	// Symmetry by counting: walk nets in ascending id order and advance
 	// a read cursor per cell. Because each cell's pin run is ascending,
@@ -280,6 +339,42 @@ func (nl *Netlist) Validate() error {
 	for c := 0; c < numCells; c++ {
 		if int(cursor[c]) != nl.CellDegree(CellID(c)) {
 			return fmt.Errorf("netlist: cell %d lists %d nets but nets list it %d times", c, nl.CellDegree(CellID(c)), cursor[c])
+		}
+	}
+	return nil
+}
+
+// validateDrivers checks the optional driver CSR: well-formed
+// offsets, strictly ascending runs, and every driver present in the
+// corresponding pin run — O(pins) via a merge walk per net.
+func (nl *Netlist) validateDrivers() error {
+	if nl.netDrvOff == nil {
+		if len(nl.netDrvCell) != 0 {
+			return fmt.Errorf("netlist: driver offsets missing for %d driver pins", len(nl.netDrvCell))
+		}
+		return nil
+	}
+	if err := checkOffsets("driver", nl.netDrvOff, len(nl.netDrvCell)); err != nil {
+		return err
+	}
+	if len(nl.netDrvOff) != nl.NumNets()+1 {
+		return fmt.Errorf("netlist: driver offsets cover %d nets, want %d", len(nl.netDrvOff)-1, nl.NumNets())
+	}
+	for n := 0; n < nl.NumNets(); n++ {
+		drv := nl.NetDrivers(NetID(n))
+		pins := nl.NetPins(NetID(n))
+		at := 0
+		for i, c := range drv {
+			if i > 0 && drv[i-1] >= c {
+				return fmt.Errorf("netlist: net %d (%s) driver run not strictly ascending: position %d lists cell %d after cell %d",
+					n, nl.NetName(NetID(n)), i, c, drv[i-1])
+			}
+			for at < len(pins) && pins[at] < c {
+				at++
+			}
+			if at >= len(pins) || pins[at] != c {
+				return fmt.Errorf("netlist: net %d (%s) lists driver %d that is not one of its pins", n, nl.NetName(NetID(n)), c)
+			}
 		}
 	}
 	return nil

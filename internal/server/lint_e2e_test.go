@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"tanglefind"
+	"tanglefind/api"
+)
+
+// dirtyPayload serializes a small directed netlist with two planted
+// defects — a multi-driven net ("n_bad") and a floating net
+// ("n_float") — as .tfb bytes.
+func dirtyPayload(t *testing.T) []byte {
+	t.Helper()
+	var b tanglefind.Builder
+	pi := b.AddCell("pi_a")
+	u1 := b.AddCell("u_and1")
+	u2 := b.AddCell("u_and2")
+	po := b.AddCell("po_x")
+	b.AddDrivenNet("n_in1", []tanglefind.CellID{pi}, u1)
+	b.AddDrivenNet("n_in2", []tanglefind.CellID{pi}, u2)
+	b.AddDrivenNet("n_bad", []tanglefind.CellID{u1, u2}, po)
+	b.AddDrivenNet("n_float", []tanglefind.CellID{u1})
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func lintRules(rep *tanglefind.LintReport) map[string]int {
+	rules := map[string]int{}
+	for _, f := range rep.Findings {
+		rules[f.Rule]++
+	}
+	return rules
+}
+
+// TestLintEndToEnd drives the lint job kind through the whole stack:
+// upload → lint → cache hit on resubmission → delta → incremental
+// lint of the child, agreeing with the structural truth.
+func TestLintEndToEnd(t *testing.T) {
+	c, mgr := newTestServer(t)
+	ctx := context.Background()
+
+	info, err := c.UploadNetlist(ctx, dirtyPayload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First lint: runs the engine, reports the planted defects.
+	st, err := c.SubmitLint(ctx, info.Digest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone || st.Cached {
+		t.Fatalf("first lint: state=%s cached=%v", st.State, st.Cached)
+	}
+	if st.Result == nil || st.Result.Lint == nil {
+		t.Fatalf("lint job carries no lint report: %+v", st.Result)
+	}
+	rules := lintRules(st.Result.Lint)
+	if rules["multi-driven-net"] != 1 || rules["floating-net"] != 1 {
+		t.Fatalf("planted defects not reported: %v", rules)
+	}
+	baseline := st.Result.Lint.Findings
+
+	// Identical resubmission: answered from the result cache.
+	st2, err := c.SubmitLint(ctx, info.Digest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != api.StateDone || !st2.Cached {
+		t.Fatalf("resubmission: state=%s cached=%v", st2.State, st2.Cached)
+	}
+	if !reflect.DeepEqual(st2.Result.Lint.Findings, baseline) {
+		t.Fatal("cached lint report differs from the original")
+	}
+
+	// A different rule configuration is a different compute identity.
+	st3, err := c.SubmitLint(ctx, info.Digest, &tanglefind.LintConfig{
+		Disable: []string{"multi-driven-net"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached {
+		t.Fatal("different lint config served from cache")
+	}
+	st3, err = c.Wait(ctx, st3.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := lintRules(st3.Result.Lint); r["multi-driven-net"] != 0 {
+		t.Fatalf("disabled rule still reported: %v", r)
+	}
+
+	// Fix the contention via a delta (u_and2 keeps its pin as a sink)
+	// and lint the child: served incrementally off the parent report.
+	dres, err := c.ApplyDelta(ctx, info.Digest, &tanglefind.Delta{
+		SetNets: []tanglefind.NetEdit{{
+			Net:     2, // n_bad
+			Cells:   []tanglefind.CellID{1, 2, 3},
+			Drivers: []tanglefind.CellID{1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st4, err := c.SubmitLint(ctx, dres.Netlist.Digest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st4, err = c.Wait(ctx, st4.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.State != api.StateDone {
+		t.Fatalf("child lint: %s (%s)", st4.State, st4.Error)
+	}
+	rep := st4.Result.Lint
+	if !rep.Incremental {
+		t.Fatal("child lint did not run incrementally despite lineage + retained parent report")
+	}
+	if r := lintRules(rep); r["multi-driven-net"] != 0 || r["floating-net"] != 1 {
+		t.Fatalf("child report wrong: %v", r)
+	}
+
+	stats := mgr.Stats()
+	if stats.LintRuns != 3 || stats.LintIncremental != 1 {
+		t.Fatalf("lint stats: runs=%d incremental=%d", stats.LintRuns, stats.LintIncremental)
+	}
+	if stats.CacheHits < 1 {
+		t.Fatalf("no cache hit recorded: %+v", stats)
+	}
+}
+
+// TestLintBadConfig: unknown lint-config fields are rejected at submit
+// time with a client error, not at run time.
+func TestLintBadConfig(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+	info, err := c.UploadNetlist(ctx, dirtyPayload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, api.JobRequest{
+		Kind:   api.KindLint,
+		Digest: info.Digest,
+		Lint:   []byte(`{"nope":1}`),
+	})
+	if err == nil {
+		t.Fatal("unknown lint config field accepted")
+	}
+}

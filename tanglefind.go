@@ -37,11 +37,15 @@
 package tanglefind
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 
 	"tanglefind/internal/core"
 	"tanglefind/internal/generate"
+	"tanglefind/internal/lint"
 	"tanglefind/internal/netlist"
 	"tanglefind/internal/place"
 	"tanglefind/internal/route"
@@ -307,4 +311,78 @@ func RefinePlacement(nl *Netlist, pl *Placement, rounds int, seed uint64) int {
 // (m.Capacity must be set, e.g. via m.SetCapacityRelative).
 func CongestionStatsFor(nl *Netlist, pl *Placement, m *CongestionMap) CongestionStats {
 	return route.ComputeStats(nl, pl, m)
+}
+
+// ---- Structural lint (internal/lint exports) ----
+
+type (
+	// LintConfig selects and parameterizes lint rules; the zero value
+	// runs every rule with default thresholds.
+	LintConfig = lint.Config
+	// LintReport is the sorted, fingerprinted outcome of a lint run.
+	LintReport = lint.Report
+	// LintFinding is one reported structural defect.
+	LintFinding = lint.Finding
+	// LintRule is the extension point for custom structural checks.
+	LintRule = lint.Rule
+	// LintSeverity ranks findings: info < warning < error.
+	LintSeverity = lint.Severity
+)
+
+// Lint severities.
+const (
+	LintInfo    = lint.SevInfo
+	LintWarning = lint.SevWarning
+	LintError   = lint.SevError
+)
+
+// Lint runs every enabled structural rule over the netlist. Rules that
+// need signal direction are skipped (and reported as skipped) unless
+// the netlist carries the driver annotation (Netlist.Directed).
+func Lint(nl *Netlist, cfg LintConfig) *LintReport { return lint.Lint(nl, cfg) }
+
+// LintDelta re-lints a delta-derived netlist, re-checking local rules
+// only on the dirty neighborhood. The findings are identical to a full
+// Lint of the child.
+func LintDelta(prev *LintReport, parent, child *Netlist, dirty []CellID, cfg LintConfig) *LintReport {
+	return lint.LintDelta(prev, parent, child, dirty, cfg)
+}
+
+// LintRules returns the builtin rule catalog in report order.
+func LintRules() []LintRule { return lint.Rules() }
+
+// ParseLintSeverity parses "info", "warning" or "error".
+func ParseLintSeverity(s string) (LintSeverity, error) { return lint.ParseSeverity(s) }
+
+// ParseLintConfig decodes a lint configuration document, rejecting
+// unknown fields. Empty input yields the default configuration.
+func ParseLintConfig(data []byte) (LintConfig, error) {
+	var cfg LintConfig
+	if len(data) == 0 {
+		return cfg, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("tanglefind: lint config: %w", err)
+	}
+	return cfg, nil
+}
+
+// ---- Single-seed ordering exports (for notebooks and examples that
+// want the paper's Phase I/II primitives without a full Finder run) ----
+
+// OrderingStats is one grown linear ordering with its per-step cut and
+// pin counts — the raw material of a score curve.
+type OrderingStats = core.OrderingStats
+
+// GrowOrdering grows a single Phase I linear ordering from seed.
+func GrowOrdering(nl *Netlist, seed CellID, maxLen int, opt Options) *OrderingStats {
+	return core.GrowOrdering(nl, seed, maxLen, opt)
+}
+
+// ScoreCurve evaluates metric m along an ordering (aG is the
+// netlist's average pins per cell, Netlist.AvgPins).
+func ScoreCurve(o *OrderingStats, m Metric, aG float64) *Curve {
+	return core.ScoreCurve(o, m, aG)
 }
