@@ -173,8 +173,13 @@ type JobResult struct {
 	// reused_groups/reseeded_cells and friends. Present only for
 	// incremental jobs.
 	Incremental *tanglefind.IncrStats `json:"incremental,omitempty"`
-	Cluster     *ClusterInfo          `json:"cluster,omitempty"`
-	Decompose   *DecomposeInfo        `json:"decompose,omitempty"`
+	// Sched describes how the run's seed schedule was executed across
+	// engine workers (resolved worker count, steal traffic, per-worker
+	// seed counts). Purely diagnostic — results are bit-identical for
+	// any worker count; absent for cached and lint results.
+	Sched     *tanglefind.SchedStats `json:"sched,omitempty"`
+	Cluster   *ClusterInfo           `json:"cluster,omitempty"`
+	Decompose *DecomposeInfo         `json:"decompose,omitempty"`
 	// Lint is a lint job's full report: sorted fingerprinted findings,
 	// per-rule stats and any skipped rules. Present only for lint jobs
 	// (which leave every finder field zero).
@@ -238,6 +243,16 @@ type JobStats struct {
 	// (cache hits appear under CacheHits, not here).
 	LintRuns        int64 `json:"lint_runs,omitempty"`
 	LintIncremental int64 `json:"lint_incremental,omitempty"`
+	// ParallelSeedsStolen totals the seeds migrated between engine
+	// workers by the work-stealing scheduler across all completed
+	// runs — sustained zero under parallel load means seed costs are
+	// balanced; high values mean stealing is doing real rebalancing.
+	ParallelSeedsStolen int64 `json:"parallel_seeds_stolen,omitempty"`
+	// WorkerGrantsCapped counts jobs whose engine-worker request was
+	// trimmed to fit the pool-wide budget (Config.EngineWorkers), the
+	// fairness clamp that keeps concurrent jobs from oversubscribing
+	// the machine.
+	WorkerGrantsCapped int64 `json:"worker_grants_capped,omitempty"`
 }
 
 // StoreStats describes the netlist registry's memory state.

@@ -13,6 +13,8 @@ package tanglefind_test
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -766,3 +768,51 @@ func benchWorkers(b *testing.B, workers int) {
 
 func BenchmarkParallel_1Worker(b *testing.B)  { benchWorkers(b, 1) }
 func BenchmarkParallel_2Workers(b *testing.B) { benchWorkers(b, 2) }
+
+// BenchmarkFind_Parallel is the CI scaling smoke: the work-stealing
+// scheduler on a multilevel workload at 1 worker and at NumCPU
+// workers (deduplicated on single-core boxes), with the steal traffic
+// reported as metrics. The committed BENCH_parallel.json record holds
+// the full sweep; TestParallelScalingGuard compares a fresh
+// measurement against it.
+func BenchmarkFind_Parallel(b *testing.B) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  60_000,
+		Blocks: []generate.BlockSpec{{Size: 3000}, {Size: 3000}},
+		Seed:   19,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.NewFinder(rg.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = 48
+	opt.MaxOrderLen = 6000
+	opt.Levels = 2
+	opt.MinCoarseCells = 4096
+	widths := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		opt.Workers = w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var steals, stolen int64
+			for i := 0; i < b.N; i++ {
+				res, err := f.Find(context.Background(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Sched != nil {
+					steals, stolen = res.Sched.Steals, res.Sched.SeedsStolen
+				}
+			}
+			b.ReportMetric(float64(steals), "steals")
+			b.ReportMetric(float64(stolen), "seeds-stolen")
+		})
+	}
+}

@@ -28,12 +28,13 @@ import (
 
 func main() {
 	var (
-		scale  = flag.String("scale", "small", "workload scale: small, medium, full, or a numeric factor like 0.25")
-		exps   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental,lint")
-		seeds  = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
-		outdir = flag.String("outdir", "", "directory for figure image files (optional)")
-		dump   = flag.String("dump", "", "directory to save the table workload netlists as .tfb binaries (optional)")
+		scale   = flag.String("scale", "small", "workload scale: small, medium, full, or a numeric factor like 0.25")
+		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental,parallel,lint")
+		seeds   = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		workers = flag.String("workers", "", "engine workers: a count applied to every experiment, or a comma list / \"sweep\" (1,2,4,NumCPU) selecting the parallel experiment's sweep rows")
+		outdir  = flag.String("outdir", "", "directory for figure image files (optional)")
+		dump    = flag.String("dump", "", "directory to save the table workload netlists as .tfb binaries (optional)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,10 @@ func main() {
 	cfg.Seed = *seed
 	if *seeds > 0 {
 		cfg.Seeds = *seeds
+	}
+	sweep, err := parseWorkers(*workers, &cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	want := map[string]bool{}
@@ -153,6 +158,20 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	if run("parallel") {
+		rec, err := experiments.Parallel(ctx, cfg, sweep, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *dump != "" {
+			path := filepath.Join(*dump, "BENCH_parallel.json")
+			if err := experiments.WriteParallelRecord(path, rec); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
 	if run("lint") {
 		if _, err := experiments.Lint(ctx, cfg, os.Stdout); err != nil {
 			fatal(err)
@@ -236,6 +255,32 @@ func dumpWorkloads(dir string, cfg experiments.Config, run func(string) bool) er
 	}
 	fmt.Println()
 	return nil
+}
+
+// parseWorkers interprets the -workers flag: empty keeps the engine
+// default and the standard sweep; a single count pins every
+// experiment (including the parallel sweep's only row) to it; a comma
+// list or "sweep" selects the parallel experiment's sweep rows while
+// leaving the other experiments on the engine default.
+func parseWorkers(s string, cfg *experiments.Config) ([]int, error) {
+	switch s {
+	case "":
+		return nil, nil
+	case "sweep":
+		return experiments.DefaultWorkerSweep(), nil
+	}
+	var sweep []int
+	for _, part := range strings.Split(s, ",") {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers %q (want a count, a comma list like 1,2,4, or \"sweep\")", s)
+		}
+		sweep = append(sweep, w)
+	}
+	if len(sweep) == 1 {
+		cfg.Workers = sweep[0]
+	}
+	return sweep, nil
 }
 
 func parseScale(s string) (experiments.Config, error) {

@@ -34,13 +34,14 @@ import (
 // config carries the parsed flags; main builds it from the command
 // line and the tests build it directly.
 type config struct {
-	addr         string
-	workers      int
-	queueDepth   int
-	cachePins    int64
-	cacheResults int
-	incrStates   int
-	grace        time.Duration
+	addr          string
+	workers       int
+	engineWorkers int
+	queueDepth    int
+	cachePins     int64
+	cacheResults  int
+	incrStates    int
+	grace         time.Duration
 
 	// ready, when set, receives the bound address once the listener is
 	// up (tests bind :0 and need the real port).
@@ -51,6 +52,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.IntVar(&cfg.workers, "workers", 2, "concurrent jobs (each internally parallel)")
+	flag.IntVar(&cfg.engineWorkers, "engine-workers", 0, "pool-wide budget of engine goroutines shared by running jobs; each job is granted min(its workers option, what's free), never below 1 (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.queueDepth, "queue", 64, "job queue depth; beyond it submissions get 429")
 	flag.Int64Var(&cfg.cachePins, "cache-pins", 64_000_000, "netlist registry pin budget before LRU eviction (0 = unlimited)")
 	flag.IntVar(&cfg.cacheResults, "cache-results", 128, "result cache entries")
@@ -69,11 +71,12 @@ func main() {
 func run(ctx context.Context, cfg config, w io.Writer) error {
 	st := store.New(cfg.cachePins)
 	mgr := jobs.New(jobs.Config{
-		Store:        st,
-		Workers:      cfg.workers,
-		QueueDepth:   cfg.queueDepth,
-		CacheResults: cfg.cacheResults,
-		IncrStates:   cfg.incrStates,
+		Store:         st,
+		Workers:       cfg.workers,
+		EngineWorkers: cfg.engineWorkers,
+		QueueDepth:    cfg.queueDepth,
+		CacheResults:  cfg.cacheResults,
+		IncrStates:    cfg.incrStates,
 	})
 	srv := server.New(st, mgr)
 

@@ -78,7 +78,11 @@ type workerState struct {
 // capacities of its buffers.
 func (ws *workerState) memoryFootprint() int64 {
 	g := ws.gr
-	b := int64(cap(g.gain))*8 + int64(cap(g.tie))*4 + int64(cap(g.inFront)) + int64(cap(g.touched))*4 + int64(cap(g.examined))*4
+	b := int64(cap(g.front))*16 + int64(cap(g.touched))*4 + int64(cap(g.examined))*4
+	b += int64(cap(g.combo.buf))*4 + int64(cap(g.combo.best))*4
+	for _, s := range g.combo.sorted {
+		b += int64(cap(s)) * 4
+	}
 	b += g.heap.MemoryFootprint()
 	b += g.tracker.MemoryFootprint()
 	b += int64(cap(g.ord.Members))*4 + int64(cap(g.ord.Cuts))*4 + int64(cap(g.ord.Pins))*8
@@ -277,7 +281,13 @@ type ShardResult struct {
 	Elapsed time.Duration
 	outs    []shardOut    // executed owner seeds, ascending by idx
 	recs    []*seedRecord // positional with outs; only under RecordIncremental via Find
+	sched   SchedStats    // how the shard's schedule was executed
+	levels  int           // Options.Levels the shard ran under (<=1: flat)
 }
+
+// Sched reports how the shard's seed schedule was executed across
+// workers (steal traffic, per-worker seed counts).
+func (s *ShardResult) Sched() SchedStats { return s.sched }
 
 // SeedsRun returns how many unique seeds this shard executed.
 func (s *ShardResult) SeedsRun() int { return len(s.outs) }
@@ -285,6 +295,12 @@ func (s *ShardResult) SeedsRun() int { return len(s.outs) }
 // FindShard executes seeds [lo, hi) of the run's deterministic schedule
 // and returns their raw outcomes. Phase III pruning is global, so it
 // happens at Merge time, not per shard.
+//
+// With Options.Levels > 1 the schedule is the coarsest level's: the
+// hierarchy is built (and cached) first, the shard runs coarse
+// detection seeds, and Merge performs the global pruning plus the
+// projection/refinement descent. Shards of a multilevel run can only
+// be merged under the same Levels.
 //
 // On cancellation the returned error wraps ctx.Err() and the returned
 // ShardResult holds the seeds that completed; it is not accepted by
@@ -294,14 +310,31 @@ func (f *Finder) FindShard(ctx context.Context, opt Options, lo, hi int) (*Shard
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	if opt.Levels > 1 {
-		return nil, fmt.Errorf("%w: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", ErrUnsupportedOptions, opt.Levels)
-	}
 	if lo < 0 || hi > opt.Seeds || lo >= hi {
 		return nil, fmt.Errorf("core: shard [%d,%d) out of range for %d seeds", lo, hi, opt.Seeds)
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if opt.Levels > 1 {
+		ms, err := f.multilevelState(&opt)
+		if err != nil {
+			return nil, err
+		}
+		if L := ms.hier.NumLevels(); L > 1 {
+			// Shard the coarsest level's deterministic schedule; the
+			// seed count is unchanged (coarseOptions rescales only the
+			// size-dependent knobs), so [lo,hi) bounds carry over.
+			top := ms.finders[L-1]
+			copt := coarseOptions(&opt, f.nl.NumCells(), top.nl.NumCells(), L-1)
+			sr, err := top.findShard(ctx, &copt, top.plan(&copt), lo, hi, false)
+			if sr != nil {
+				sr.levels = opt.Levels
+			}
+			return sr, err
+		}
+		// Degenerate hierarchy (netlist at or below the coarsening
+		// floor): the flat schedule is the multilevel schedule.
 	}
 	return f.findShard(ctx, &opt, f.plan(&opt), lo, hi, false)
 }
@@ -325,7 +358,7 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 	if record {
 		recs = make([]*seedRecord, len(run))
 	}
-	completed := f.runSeedPool(ctx, opt, len(run), func(ws *workerState, k int) bool {
+	completed, sched := f.runSeedPool(ctx, opt, len(run), func(ws *workerState, k int) bool {
 		i := run[k]
 		// Per-seed RNG derived from (RandSeed, i): identical streams
 		// no matter which worker runs the job.
@@ -340,7 +373,7 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 		return o.candidate != nil
 	})
 
-	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start)}
+	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start), sched: sched}
 	if err := ctx.Err(); err != nil {
 		for k := range outs {
 			if completed[k] {
@@ -369,14 +402,20 @@ func seedRNG(randSeed uint64, i int) *ds.RNG {
 	return ds.NewRNG(randSeed ^ (0x9e37_79b9_7f4a_7c15 * uint64(i+1)))
 }
 
-// runSeedPool executes fn(ws, k) for every k in [0, n) on a bounded
-// worker pool with per-worker pooled scratch, Options.Progress
-// reporting after each completion, and cooperative cancellation — the
-// shared scaffolding of findShard and FindIncremental. fn reports
+// runSeedPool executes fn(ws, k) for every k in [0, n) on a
+// work-stealing worker pool (see steal.go) with per-worker pooled
+// scratch, Options.Progress reporting after each completion, and
+// cooperative cancellation — the shared scaffolding of findShard,
+// FindIncremental and the multilevel projection sweep. fn reports
 // whether index k produced a candidate (for the progress counter);
-// the returned flags mark which indexes completed before cancellation.
-func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(ws *workerState, k int) bool) []bool {
+// the returned flags mark which indexes completed before
+// cancellation. Scheduling never affects results: fn(ws, k) writes
+// outcomes keyed by k, so the output is bit-identical to Workers=1.
+func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(ws *workerState, k int) bool) ([]bool, SchedStats) {
 	completed := make([]bool, n)
+	if n == 0 {
+		return completed, SchedStats{}
+	}
 	var seedsDone, candsFound atomic.Int64
 	var progMu sync.Mutex
 	report := func() {
@@ -396,69 +435,93 @@ func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(w
 	if nWorkers > n {
 		nWorkers = n
 	}
+	sched := newStealGroup(n, nWorkers)
 	var wg sync.WaitGroup
-	jobs := make(chan int)
 	for w := 0; w < nWorkers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ws := f.acquire(opt)
 			defer f.release(ws)
-			for k := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
+			sched.run(ctx, w, func(k int) {
 				if fn(ws, k) {
 					candsFound.Add(1)
 				}
 				completed[k] = true
 				seedsDone.Add(1)
 				report()
-			}
-		}()
+			})
+		}(w)
 	}
-feed:
-	for k := 0; k < n; k++ {
-		select {
-		case jobs <- k:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
 	wg.Wait()
-	return completed
+	return completed, sched.stats()
 }
 
 // Merge combines complete shards covering [0, Options.Seeds)
 // contiguously into the final Result, applying Phase III pruning
 // globally. The shards must come from the same netlist and Options;
 // the merged Result is byte-identical to a single Find with the same
-// Options. Result.Elapsed is the summed shard compute time.
+// Options. Result.Elapsed is the summed shard compute time (plus, for
+// multilevel runs, the projection/refinement descent Merge itself
+// performs at merge time).
 func (f *Finder) Merge(opt Options, shards ...*ShardResult) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	if opt.Levels > 1 {
-		return nil, fmt.Errorf("%w: sharded runs are flat-only (Levels=%d); use Find for multilevel runs", ErrUnsupportedOptions, opt.Levels)
+		ms, err := f.multilevelState(&opt)
+		if err != nil {
+			return nil, err
+		}
+		if L := ms.hier.NumLevels(); L > 1 {
+			// The shards hold coarse-level outcomes: assemble and prune
+			// them on the coarsest level, then run the same projection
+			// descent Find's multilevel path runs.
+			top := ms.finders[L-1]
+			copt := coarseOptions(&opt, f.nl.NumCells(), top.nl.NumCells(), L-1)
+			cres, err := top.mergeShards(&copt, opt.Levels, shards)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := f.projectDown(context.Background(), &opt, ms, cres,
+				float64(cres.Elapsed)/float64(time.Millisecond), nil)
+			if res != nil {
+				res.Elapsed = cres.Elapsed + time.Since(start)
+			}
+			return res, err
+		}
 	}
+	return f.mergeShards(&opt, 0, shards)
+}
+
+// mergeShards is the flat merge: coverage validation, owner-outcome
+// reassembly and global pruning. wantLevels is the Levels tag every
+// shard must carry (0 for flat schedules), guarding against mixing
+// shards produced under a different hierarchy configuration.
+func (f *Finder) mergeShards(opt *Options, wantLevels int, shards []*ShardResult) (*Result, error) {
 	ordered := make([]*ShardResult, len(shards))
 	copy(ordered, shards)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
 	next := 0
 	var elapsed time.Duration
+	var sched SchedStats
 	for _, s := range ordered {
+		if s.levels != wantLevels {
+			return nil, fmt.Errorf("core: shard [%d,%d) was produced under Levels=%d, merge expects Levels=%d", s.Lo, s.Hi, s.levels, wantLevels)
+		}
 		if s.Lo != next {
 			return nil, fmt.Errorf("core: shard coverage gap: expected seed %d, got shard [%d,%d)", next, s.Lo, s.Hi)
 		}
 		next = s.Hi
 		elapsed += s.Elapsed
+		sched.merge(s.sched)
 	}
 	if next != opt.Seeds {
 		return nil, fmt.Errorf("core: shards cover seeds [0,%d), want [0,%d)", next, opt.Seeds)
 	}
 
-	plan := f.plan(&opt)
+	plan := f.plan(opt)
 	byIdx := make([]*shardOut, opt.Seeds)
 	for _, s := range ordered {
 		for k := range s.outs {
@@ -478,8 +541,9 @@ func (f *Finder) Merge(opt Options, shards ...*ShardResult) (*Result, error) {
 			ownerOuts = append(ownerOuts, *byIdx[i])
 		}
 	}
-	res := f.assemble(&opt, plan, ownerOuts)
+	res := f.assemble(opt, plan, ownerOuts)
 	res.Elapsed = elapsed
+	res.Sched = &sched
 	return res, nil
 }
 
@@ -514,6 +578,7 @@ func (f *Finder) findFlat(ctx context.Context, opt *Options) (*Result, error) {
 	}
 	res := f.assemble(opt, plan, sr.outs)
 	res.Elapsed = time.Since(start)
+	res.Sched = &sr.sched
 	if err == nil && opt.RecordIncremental {
 		res.IncrState = f.buildIncrState(opt, sr.outs, sr.recs)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"slices"
 	"time"
 
 	"tanglefind/internal/ds"
@@ -46,6 +47,11 @@ type Result struct {
 	// Levels is the per-level breakdown of a multilevel run (nil for
 	// flat runs): coarsest first, finishing at the original netlist.
 	Levels []LevelStats
+	// Sched describes how the run's seed schedule was executed across
+	// workers (resolved worker count, steal traffic, per-worker seed
+	// counts). Scheduling never affects the detection output — results
+	// are bit-identical to Workers=1 — so Sched is purely diagnostic.
+	Sched *SchedStats
 	// Incremental is the reuse breakdown of a FindIncremental run
 	// (nil for plain runs).
 	Incremental *IncrStats
@@ -154,6 +160,30 @@ func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, 
 	return out
 }
 
+// comboScratch is the reusable arena of Phase III recombination: one
+// sorted view per family member plus merge and best-so-far buffers.
+// Pooled with the grower, it makes steady-state recombination allocate
+// only for the winning set — the old path re-sorted every family
+// member once per pairing and allocated every combo it evaluated.
+type comboScratch struct {
+	sorted [][]netlist.CellID
+	buf    []netlist.CellID
+	best   []netlist.CellID
+}
+
+// sortFamily refreshes the arena's sorted views for one family.
+func (sc *comboScratch) sortFamily(family []group.Set) [][]netlist.CellID {
+	for len(sc.sorted) < len(family) {
+		sc.sorted = append(sc.sorted, nil)
+	}
+	views := sc.sorted[:len(family)]
+	for i := range family {
+		views[i] = append(views[i][:0], family[i].Members...)
+		slices.Sort(views[i])
+	}
+	return views
+}
+
 // refine implements Phase III for one candidate B: re-grow from
 // RefineSeeds random interior cells, then search the closure of the
 // resulting family under pairwise union, intersection and difference
@@ -177,7 +207,7 @@ func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex ext
 		}
 		family = append(family, ev.Eval(ord.Prefix(ex2.size)))
 	}
-	return recombine(ev, family, ex, opt, aG)
+	return recombine(ev, &gr.combo, family, ex, opt, aG)
 }
 
 // recombine is the shared tail of Phase III (paper steps III.6–III.12)
@@ -185,39 +215,64 @@ func refine(gr *grower, ev *group.Evaluator, rng *ds.RNG, base group.Set, ex ext
 // pairwise union/intersection/difference closure, best score wins.
 // Both the live pipeline (refine) and incremental replay feed it, so
 // replayed seeds recombine exactly as a full run would.
-func recombine(ev *group.Evaluator, family []group.Set, ex extraction, opt *Options, aG float64) (*group.Set, float64) {
+//
+// Combos are streamed through the arena in the same order the closure
+// has always enumerated them (union, intersection, both differences,
+// per ascending pair) and scored with Evaluator.Tally, so the
+// selection — including strict-improvement tie behavior — is
+// bit-identical to the allocating path it replaced; only the winner's
+// members are materialized. a − (a∩b) is computed directly as a − b,
+// which is the same set.
+func recombine(ev *group.Evaluator, sc *comboScratch, family []group.Set, ex extraction, opt *Options, aG float64) (*group.Set, float64) {
 	base := family[0]
-	var combos [][]netlist.CellID
-	for i := 0; i < len(family); i++ {
-		for j := i + 1; j < len(family); j++ {
-			a, b := family[i].Members, family[j].Members
-			inter := group.Intersect(a, b)
-			combos = append(combos,
-				group.Union(a, b),
-				inter,
-				group.Difference(a, inter),
-				group.Difference(b, inter),
-			)
-		}
-	}
 	best := base
 	bestScore := score(&base, ex.rent, aG, opt.Metric)
-	consider := func(s group.Set) {
-		if s.Size() < opt.MinGroupSize {
-			return
-		}
-		if v := score(&s, ex.rent, aG, opt.Metric); v < bestScore {
-			best, bestScore = s, v
-		}
-	}
-	for _, f := range family[1:] {
-		consider(f)
-	}
-	for _, members := range combos {
-		if len(members) < opt.MinGroupSize {
+	for i := range family[1:] {
+		f := &family[1+i]
+		if f.Size() < opt.MinGroupSize {
 			continue
 		}
-		consider(ev.Eval(members))
+		if v := score(f, ex.rent, aG, opt.Metric); v < bestScore {
+			best, bestScore = *f, v
+		}
+	}
+	views := sc.sortFamily(family)
+	comboWon := false
+	var comboCut, comboPins int
+	for i := 0; i < len(family); i++ {
+		for j := i + 1; j < len(family); j++ {
+			a, b := views[i], views[j]
+			for op := 0; op < 4; op++ {
+				sc.buf = sc.buf[:0]
+				switch op {
+				case 0:
+					sc.buf = group.MergeUnion(sc.buf, a, b)
+				case 1:
+					sc.buf = group.MergeIntersect(sc.buf, a, b)
+				case 2:
+					sc.buf = group.MergeDifference(sc.buf, a, b)
+				case 3:
+					sc.buf = group.MergeDifference(sc.buf, b, a)
+				}
+				if len(sc.buf) < opt.MinGroupSize {
+					continue
+				}
+				cut, pins := ev.Tally(sc.buf)
+				if v := scoreVals(cut, len(sc.buf), pins, ex.rent, aG, opt.Metric); v < bestScore {
+					bestScore = v
+					comboWon = true
+					comboCut, comboPins = cut, pins
+					sc.best = append(sc.best[:0], sc.buf...)
+				}
+			}
+		}
+	}
+	if comboWon {
+		return &group.Set{
+			Members: append([]netlist.CellID(nil), sc.best...),
+			Cut:     comboCut,
+			Pins:    comboPins,
+		}, bestScore
 	}
 	return &best, bestScore
 }

@@ -106,9 +106,13 @@ func (rec *seedRecord) markFootprint(gr *grower) {
 	}
 }
 
-// IncrementalState is the recorded per-seed state of one flat run,
-// attached to its Result under Options.RecordIncremental and consumed
-// by FindIncremental. It is immutable once built; replayed seeds of an
+// IncrementalState is the recorded per-seed state of one run, attached
+// to its Result under Options.RecordIncremental and consumed by
+// FindIncremental. For a flat run it holds the per-seed records
+// directly; for a multilevel run it wraps the coarsest level's state
+// together with the coarse netlist it was recorded on, so a later run
+// can diff its own coarsening against the recorded one and replay
+// coarse seeds. It is immutable once built; replayed seeds of an
 // incremental run share their records with the previous state, so
 // chains of deltas stay cheap.
 type IncrementalState struct {
@@ -116,10 +120,40 @@ type IncrementalState struct {
 	maxLen int    // effective ordering cap min(MaxOrderLen, cells)
 	key    string // Options.IncrementalKey of the recorded run
 	seeds  []*seedRecord
+
+	// Multilevel wrapping (nil/zero for flat states): the recorded
+	// run's Levels, the coarsest-level netlist it detected on, and the
+	// coarse-level state recorded there.
+	levels   int
+	coarseNl *netlist.Netlist
+	inner    *IncrementalState
 }
 
-// Seeds reports how many executed seeds the state holds.
+// wrapMLIncrState wraps a coarse-level recorded state as the
+// multilevel state of the fine run: outer key/cells/maxLen describe
+// the fine run (so a flat FindIncremental can cheaply reject it), the
+// inner state and coarse netlist feed the coarse diff-and-replay.
+func wrapMLIncrState(opt *Options, fineCells int, coarseNl *netlist.Netlist, inner *IncrementalState) *IncrementalState {
+	maxLen := opt.MaxOrderLen
+	if maxLen > fineCells {
+		maxLen = fineCells
+	}
+	return &IncrementalState{
+		cells:    fineCells,
+		maxLen:   maxLen,
+		key:      opt.IncrementalKey(),
+		levels:   opt.Levels,
+		coarseNl: coarseNl,
+		inner:    inner,
+	}
+}
+
+// Seeds reports how many executed seeds the state holds (the coarse
+// level's, for a multilevel state).
 func (st *IncrementalState) Seeds() int {
+	if st.inner != nil {
+		return st.inner.Seeds()
+	}
 	n := 0
 	for _, r := range st.seeds {
 		if r != nil {
@@ -130,9 +164,16 @@ func (st *IncrementalState) Seeds() int {
 }
 
 // MemoryEstimate reports the state's retained bytes: footprint bitsets
-// plus the stored growth records.
+// plus the stored growth records, and for multilevel states the
+// retained coarse netlist plus the wrapped coarse state.
 func (st *IncrementalState) MemoryEstimate() int64 {
 	var b int64
+	if st.inner != nil {
+		b += st.inner.MemoryEstimate()
+	}
+	if st.coarseNl != nil {
+		b += st.coarseNl.MemoryFootprint()
+	}
 	ord := func(o *ordRecord) {
 		b += int64(cap(o.members))*4 + int64(cap(o.cuts))*4 + int64(cap(o.pins))*8
 	}
@@ -251,7 +292,7 @@ func (f *Finder) replaySeed(ws *workerState, rec *seedRecord, idx int, opt *Opti
 		}
 		family = append(family, ws.ev.Eval(rr.ord.members[:size2]))
 	}
-	refined, score := recombine(ws.ev, family, ex, opt, f.aG)
+	refined, score := recombine(ws.ev, &ws.gr.combo, family, ex, opt, f.aG)
 	out.cand, out.score, out.rent = refined, score, ex.rent
 	return out, true
 }
@@ -316,23 +357,107 @@ func (st *IncrementalState) reusableRecord(i int, id netlist.CellID, region *ds.
 // Options.IncrementalFallback of the netlist) it degrades to a full
 // run and says so in Result.Incremental.
 //
-// Incremental runs are flat-only: Levels > 1 returns
-// ErrUnsupportedOptions.
+// With Options.Levels > 1 the engine rebuilds the hierarchy over the
+// patched netlist, diffs its coarsest level against the recorded
+// run's (netlist.DiffDirty), replays coarse seeds whose footprints
+// miss the coarse diff, and re-runs the projection descent — so
+// multilevel and incremental compose. A reshaped coarsening (the diff
+// is not local) degrades to a full multilevel run, reported in
+// Result.Incremental like every other fallback.
 func (f *Finder) FindIncremental(ctx context.Context, opt Options, prev *Result, dirty []netlist.CellID) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	if opt.Levels > 1 {
-		return nil, fmt.Errorf("%w: incremental runs are flat-only (Levels=%d); run Find for multilevel detection", ErrUnsupportedOptions, opt.Levels)
-	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opt.Levels > 1 {
+		return f.findIncrementalMultilevel(ctx, &opt, prev, dirty)
+	}
+	return f.findIncrementalFlat(ctx, &opt, prev, dirty)
+}
+
+// findIncrementalMultilevel composes incremental replay with the
+// multilevel pipeline: coarsen the patched netlist, localize the edit
+// at the coarsest level by diffing against the recorded coarse
+// netlist, run the flat incremental machinery there, then project the
+// result down as any multilevel run would.
+func (f *Finder) findIncrementalMultilevel(ctx context.Context, opt *Options, prev *Result, dirty []netlist.CellID) (*Result, error) {
+	start := time.Now()
+	ms, err := f.multilevelState(opt)
+	if err != nil {
+		return nil, err
+	}
+	L := ms.hier.NumLevels()
+	if L == 1 {
+		// Degenerate hierarchy (netlist at or below the coarsening
+		// floor): a recorded run under these options degenerated the
+		// same way, so flat incremental is multilevel incremental.
+		return f.findIncrementalFlat(ctx, opt, prev, dirty)
+	}
+
+	fallback := func(reason string) (*Result, error) {
+		res, err := f.findMultilevel(ctx, opt)
+		if res != nil {
+			res.Incremental = &IncrStats{
+				DirtyCells:     len(dirty),
+				FullFallback:   true,
+				FallbackReason: reason,
+			}
+			res.Elapsed = time.Since(start)
+		}
+		return res, err
+	}
+
+	var st *IncrementalState
+	if prev != nil {
+		st = prev.IncrState
+	}
+	if st == nil {
+		return fallback("previous result carries no incremental state (run with record_incremental)")
+	}
+	if st.key != opt.IncrementalKey() {
+		return fallback("result-affecting options differ from the recorded run")
+	}
+	if st.inner == nil || st.coarseNl == nil {
+		return fallback("recorded state is flat; multilevel replay needs a multilevel recording")
+	}
+	top := ms.finders[L-1]
+	cdirty, ok := netlist.DiffDirty(st.coarseNl, top.nl)
+	if !ok {
+		return fallback("coarsening reshaped under the edit; no local coarse diff exists")
+	}
+
+	copt := coarseOptions(opt, f.nl.NumCells(), top.nl.NumCells(), L-1)
+	detectStart := time.Now()
+	cres, runErr := top.FindIncremental(ctx, copt, &Result{IncrState: st.inner}, cdirty)
+	if cres == nil {
+		return nil, runErr
+	}
+	res, runErr := f.projectDown(ctx, opt, ms, cres,
+		float64(time.Since(detectStart))/float64(time.Millisecond), runErr)
+	if cres.Incremental != nil {
+		// Surface the coarse reuse breakdown, but report the dirty set
+		// the caller actually handed in (ReseededCells stays coarse —
+		// that is where re-detection happened).
+		stats := *cres.Incremental
+		stats.DirtyCells = len(dirty)
+		res.Incremental = &stats
+	}
+	if runErr == nil && opt.RecordIncremental && cres.IncrState != nil {
+		res.IncrState = wrapMLIncrState(opt, f.nl.NumCells(), top.nl, cres.IncrState)
+	}
+	res.Elapsed = time.Since(start)
+	return res, runErr
+}
+
+// findIncrementalFlat is the single-level incremental pipeline.
+func (f *Finder) findIncrementalFlat(ctx context.Context, opt *Options, prev *Result, dirty []netlist.CellID) (*Result, error) {
 	start := time.Now()
 	n := f.nl.NumCells()
 
 	fallback := func(reason string) (*Result, error) {
-		res, err := f.findFlat(ctx, &opt)
+		res, err := f.findFlat(ctx, opt)
 		if res != nil {
 			res.Incremental = &IncrStats{
 				DirtyCells:     len(dirty),
@@ -367,7 +492,7 @@ func (f *Finder) FindIncremental(ctx context.Context, opt Options, prev *Result,
 		return fallback(fmt.Sprintf("dirty region spans %.1f%% of cells (fallback threshold %.0f%%)", 100*frac, 100*opt.IncrementalFallback))
 	}
 
-	plan := f.plan(&opt)
+	plan := f.plan(opt)
 	var owners []int
 	for i := 0; i < opt.Seeds; i++ {
 		if plan.owner[i] == i {
@@ -381,10 +506,10 @@ func (f *Finder) FindIncremental(ctx context.Context, opt Options, prev *Result,
 	if opt.RecordIncremental {
 		recs = make([]*seedRecord, len(owners))
 	}
-	completed := f.runSeedPool(ctx, &opt, len(owners), func(ws *workerState, k int) bool {
+	completed, sched := f.runSeedPool(ctx, opt, len(owners), func(ws *workerState, k int) bool {
 		i := owners[k]
 		if rec := st.reusableRecord(i, plan.ids[i], region); rec != nil {
-			if o, ok := f.replaySeed(ws, rec, i, &opt); ok {
+			if o, ok := f.replaySeed(ws, rec, i, opt); ok {
 				outs[k] = o
 				replayed[k] = true
 				if recs != nil {
@@ -398,7 +523,7 @@ func (f *Finder) FindIncremental(ctx context.Context, opt Options, prev *Result,
 			rec = &seedRecord{}
 			recs[k] = rec
 		}
-		o := runSeed(f.nl, ws.gr, ws.ev, seedRNG(opt.RandSeed, i), plan.ids[i], &opt, f.aG, rec)
+		o := runSeed(f.nl, ws.gr, ws.ev, seedRNG(opt.RandSeed, i), plan.ids[i], opt, f.aG, rec)
 		outs[k] = shardOut{idx: i, trace: o.trace, cand: o.candidate, score: o.score, rent: o.rent}
 		return o.candidate != nil
 	})
@@ -425,8 +550,9 @@ func (f *Finder) FindIncremental(ctx context.Context, opt Options, prev *Result,
 		}
 	}
 
-	res := f.assemble(&opt, plan, doneOuts)
+	res := f.assemble(opt, plan, doneOuts)
 	res.Incremental = stats
+	res.Sched = &sched
 	for i := range res.GTLs {
 		if replayedCand[res.GTLs[i].Seed] {
 			stats.ReusedGroups++
@@ -437,7 +563,7 @@ func (f *Finder) FindIncremental(ctx context.Context, opt Options, prev *Result,
 		return res, fmt.Errorf("core: incremental run cancelled after %d/%d seeds: %w", len(doneOuts), len(owners), err)
 	}
 	if opt.RecordIncremental {
-		res.IncrState = f.buildIncrState(&opt, doneOuts, doneRecs)
+		res.IncrState = f.buildIncrState(opt, doneOuts, doneRecs)
 	}
 	return res, nil
 }

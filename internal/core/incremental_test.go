@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"math"
 	"testing"
 
@@ -267,23 +266,117 @@ func TestFindIncrementalFallbacks(t *testing.T) {
 	sameResult(t, full, res)
 }
 
-func TestUnsupportedOptionsTyped(t *testing.T) {
+// TestMultilevelMatrixComposes: FindShard/Merge and FindIncremental
+// accept Levels > 1 and reproduce Find's multilevel output exactly —
+// the matrix restriction that used to return ErrUnsupportedOptions is
+// gone. (ErrUnsupportedOptions itself stays typed for genuinely
+// invalid combinations; see the options validation tests.)
+func TestMultilevelMatrixComposes(t *testing.T) {
 	rg, opt := incrWorkload(t, 3000, 200, 13)
+	f, err := NewFinder(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ml := opt
+	ml.Levels = 3
+	ml.RecordIncremental = false
+
+	want, err := f.Find(ctx, ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded + merged multilevel == whole multilevel.
+	mid := ml.Seeds / 2
+	s1, err := f.FindShard(ctx, ml, 0, mid)
+	if err != nil {
+		t.Fatalf("FindShard multilevel [0,%d): %v", mid, err)
+	}
+	s2, err := f.FindShard(ctx, ml, mid, ml.Seeds)
+	if err != nil {
+		t.Fatalf("FindShard multilevel [%d,%d): %v", mid, ml.Seeds, err)
+	}
+	merged, err := f.Merge(ml, s2, s1)
+	if err != nil {
+		t.Fatalf("Merge multilevel: %v", err)
+	}
+	sameResult(t, want, merged)
+
+	// A multilevel shard must not merge under flat options.
+	flat := ml
+	flat.Levels = 1
+	if _, err := f.Merge(flat, s1, s2); err == nil {
+		t.Error("merging multilevel shards under flat options should fail")
+	}
+
+	// Incremental multilevel without recorded state falls back to a
+	// full multilevel run — same output, annotated as a fallback.
+	incr, err := f.FindIncremental(ctx, ml, nil, nil)
+	if err != nil {
+		t.Fatalf("FindIncremental multilevel: %v", err)
+	}
+	if incr.Incremental == nil || !incr.Incremental.FullFallback {
+		t.Error("incremental multilevel without prior state should report a full fallback")
+	}
+	incr.Incremental = nil
+	sameResult(t, want, incr)
+}
+
+// TestMultilevelIncrementalReplay: a recorded multilevel run can be
+// resumed after an edit, and the incremental output equals a full
+// multilevel run on the patched netlist.
+func TestMultilevelIncrementalReplay(t *testing.T) {
+	rg, opt := incrWorkload(t, 3000, 200, 13)
+	ctx := context.Background()
 	f, err := NewFinder(rg.Netlist)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ml := opt
 	ml.Levels = 3
-	if _, err := f.FindShard(context.Background(), ml, 0, 1); !errors.Is(err, ErrUnsupportedOptions) {
-		t.Errorf("FindShard multilevel error = %v, want ErrUnsupportedOptions", err)
+	ml.RecordIncremental = true
+
+	prev, err := f.Find(ctx, ml)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := f.Merge(ml); !errors.Is(err, ErrUnsupportedOptions) {
-		t.Errorf("Merge multilevel error = %v, want ErrUnsupportedOptions", err)
+	if prev.IncrState == nil {
+		t.Fatal("recorded multilevel run carries no IncrState")
 	}
-	if _, err := f.FindIncremental(context.Background(), ml, nil, nil); !errors.Is(err, ErrUnsupportedOptions) {
-		t.Errorf("FindIncremental multilevel error = %v, want ErrUnsupportedOptions", err)
+	if prev.IncrState.inner == nil || prev.IncrState.coarseNl == nil {
+		t.Fatal("multilevel IncrState should wrap the coarse state and netlist")
 	}
+
+	// A pin-preserving rewire of one net.
+	d := &netlist.Delta{}
+	n := netlist.NetID(7)
+	pins := append([]netlist.CellID(nil), rg.Netlist.NetPins(n)...)
+	pins[0] = (pins[0] + 1) % netlist.CellID(rg.Netlist.NumCells())
+	d.SetNets = append(d.SetNets, netlist.NetEdit{Net: n, Cells: pins})
+	patched, eff, err := d.Apply(rg.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFinder(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := f2.FindIncremental(ctx, ml, prev, eff.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incr.Incremental == nil {
+		t.Fatal("incremental multilevel run carries no stats")
+	}
+	mlFull := ml
+	mlFull.RecordIncremental = false
+	full, err := f2.Find(ctx, mlFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr.Incremental = nil
+	sameResult(t, full, incr)
 }
 
 // TestRecordingDoesNotChangeResults locks the capture path's

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tanglefind/internal/group"
@@ -210,7 +211,10 @@ func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, err
 
 	// Detect on the coarsest level with the full three-phase pipeline,
 	// including its own refinement and disjointness pruning — the
-	// survivors are the only groups worth projecting down.
+	// survivors are the only groups worth projecting down. Under
+	// RecordIncremental the coarse run also records its per-seed
+	// state; projectDown/wrapping attaches it so multilevel runs can
+	// be resumed incrementally (see findIncrementalMultilevel).
 	top := ms.finders[L-1]
 	copt := coarseOptions(opt, f.nl.NumCells(), top.nl.NumCells(), L-1)
 	detectStart := time.Now()
@@ -219,6 +223,26 @@ func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, err
 		return nil, runErr
 	}
 
+	res, runErr := f.projectDown(ctx, opt, ms, cres,
+		float64(time.Since(detectStart))/float64(time.Millisecond), runErr)
+	res.Elapsed = time.Since(start)
+	if runErr == nil && opt.RecordIncremental && cres.IncrState != nil {
+		res.IncrState = wrapMLIncrState(opt, f.nl.NumCells(), top.nl, cres.IncrState)
+	}
+	return res, runErr
+}
+
+// projectDown carries pruned coarse-level winners down the hierarchy —
+// expand one level at a time, boundary-refine each candidate (fanned
+// out across the worker pool; candidates are independent, so the
+// parallel sweep is deterministic), then rescore and globally prune at
+// the original resolution. cres is the coarsest level's result and
+// detectMS the wall time its detection took, for the level stats. The
+// descent is shared by Find's multilevel path, multilevel Merge and
+// multilevel FindIncremental; Elapsed is left for the caller.
+func (f *Finder) projectDown(ctx context.Context, opt *Options, ms *mlState, cres *Result, detectMS float64, runErr error) (*Result, error) {
+	L := ms.hier.NumLevels()
+	top := ms.finders[L-1]
 	levels := make([]LevelStats, 0, L)
 	levels = append(levels, LevelStats{
 		Level:      L - 1,
@@ -226,8 +250,12 @@ func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, err
 		Nets:       top.nl.NumNets(),
 		SeedsRun:   len(cres.Seeds),
 		Candidates: cres.Candidates,
-		ElapsedMS:  float64(time.Since(detectStart)) / float64(time.Millisecond),
+		ElapsedMS:  detectMS,
 	})
+	var sched SchedStats
+	if cres.Sched != nil {
+		sched.merge(*cres.Sched)
+	}
 
 	cands := make([]mlCand, 0, len(cres.GTLs))
 	for i := range cres.GTLs {
@@ -237,33 +265,33 @@ func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, err
 
 	// Project down level by level, boundary-refining after each
 	// expansion so the group tracks the finer netlist's true contour
-	// instead of the coarse quantization of it.
+	// instead of the coarse quantization of it. Expansion is cheap and
+	// always runs (projection must finish even when cancelled mid-way);
+	// the refinement sweeps shard by group across the pool.
 	for l := L - 1; l >= 1; l-- {
 		lower := ms.finders[l-1]
 		lvlStart := time.Now()
-		added := 0
-		var ws *workerState
-		if opt.RefineRadius > 0 && len(cands) > 0 {
-			ws = lower.acquire(opt)
-		}
-		skip := scaledSkip(opt.BigNetSkip, float64(f.nl.NumCells())/float64(lower.nl.NumCells()))
 		for i := range cands {
 			cands[i].members = ms.hier.ExpandDown(l, cands[i].members)
-			if ws == nil || ctx.Err() != nil {
-				continue
-			}
-			set, n := ws.gr.refineBoundary(cands[i].members, opt.RefineRadius, skip, opt.Metric, cands[i].rent, lower.aG)
-			cands[i].members = set.Members
-			added += n
 		}
-		if ws != nil {
-			lower.release(ws)
+		var added atomic.Int64
+		if opt.RefineRadius > 0 && len(cands) > 0 && ctx.Err() == nil {
+			skip := scaledSkip(opt.BigNetSkip, float64(f.nl.NumCells())/float64(lower.nl.NumCells()))
+			ropt := *opt
+			ropt.Progress = nil // refinement has no seed schedule to report
+			_, rs := lower.runSeedPool(ctx, &ropt, len(cands), func(ws *workerState, i int) bool {
+				set, n := ws.gr.refineBoundary(cands[i].members, opt.RefineRadius, skip, opt.Metric, cands[i].rent, lower.aG)
+				cands[i].members = set.Members
+				added.Add(int64(n))
+				return false
+			})
+			sched.merge(rs)
 		}
 		levels = append(levels, LevelStats{
 			Level:       l - 1,
 			Cells:       lower.nl.NumCells(),
 			Nets:        lower.nl.NumNets(),
-			RefineAdded: added,
+			RefineAdded: int(added.Load()),
 			ElapsedMS:   float64(time.Since(lvlStart)) / float64(time.Millisecond),
 		})
 	}
@@ -297,7 +325,7 @@ func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, err
 	f.release(ws)
 	f.prune(opt, cs, res)
 	res.Levels = levels
-	res.Elapsed = time.Since(start)
+	res.Sched = &sched
 	if runErr == nil && ctx.Err() != nil {
 		runErr = fmt.Errorf("core: multilevel run cancelled during projection: %w", ctx.Err())
 	}
@@ -339,8 +367,10 @@ func (g *grower) refineBoundary(members []netlist.CellID, rounds, skip int, m Me
 	var frontier []netlist.CellID
 	for r := 0; r < rounds; r++ {
 		// Enumerate the frontier once per sweep — each touched net
-		// exactly once, marking cells with inFront to dedupe; marks are
-		// cleared before the sweep ends so the grower stays reusable.
+		// exactly once, using a fresh epoch stamp to dedupe; bumping
+		// the epoch afterwards is what "clears" the marks, so the
+		// grower stays reusable without a walk.
+		g.bumpEpoch()
 		frontier = frontier[:0]
 		for _, e := range t.TouchedNets() {
 			p := t.NetPinsIn(e)
@@ -352,15 +382,12 @@ func (g *grower) refineBoundary(members []netlist.CellID, rounds, skip int, m Me
 				continue // K-factor: huge cut nets carry no boundary signal
 			}
 			for _, w := range g.nl.NetPins(e) {
-				if t.Has(int(w)) || g.inFront[w] {
+				if t.Has(int(w)) || g.front[w].epoch == g.epoch {
 					continue
 				}
-				g.inFront[w] = true
+				g.front[w].epoch = g.epoch
 				frontier = append(frontier, w)
 			}
-		}
-		for _, w := range frontier {
-			g.inFront[w] = false
 		}
 		slices.Sort(frontier)
 		grew := 0

@@ -112,10 +112,12 @@ func TestMultilevelRecoversPlantedBlocks(t *testing.T) {
 	}
 }
 
-// TestMultilevelShardGuard: sharded execution is a flat-pipeline
-// feature; Levels>1 must be an explicit error, not silent flatness.
-func TestMultilevelShardGuard(t *testing.T) {
-	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 4000, Seed: 5})
+// TestMultilevelSharding: a multilevel run split into coarse-schedule
+// shards and merged reproduces the whole multilevel run exactly, and
+// shards produced under a different Levels are refused at merge time
+// instead of silently mis-assembling.
+func TestMultilevelSharding(t *testing.T) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{Cells: 4000, Blocks: []generate.BlockSpec{{Size: 220}}, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,15 +125,45 @@ func TestMultilevelShardGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	opt := DefaultOptions()
 	opt.Seeds = 8
 	opt.MaxOrderLen = 500
 	opt.Levels = 2
-	if _, err := f.FindShard(context.Background(), opt, 0, 4); err == nil || !strings.Contains(err.Error(), "flat-only") {
-		t.Errorf("FindShard with Levels=2: err = %v, want flat-only rejection", err)
+
+	want, err := f.Find(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := f.Merge(opt); err == nil || !strings.Contains(err.Error(), "flat-only") {
-		t.Errorf("Merge with Levels=2: err = %v, want flat-only rejection", err)
+	var shards []*ShardResult
+	for lo := 0; lo < opt.Seeds; lo += 3 {
+		hi := lo + 3
+		if hi > opt.Seeds {
+			hi = opt.Seeds
+		}
+		s, err := f.FindShard(ctx, opt, lo, hi)
+		if err != nil {
+			t.Fatalf("FindShard [%d,%d): %v", lo, hi, err)
+		}
+		shards = append(shards, s)
+	}
+	merged, err := f.Merge(opt, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtlHash(want) != gtlHash(merged) {
+		t.Error("merged multilevel shards diverge from whole multilevel run")
+	}
+
+	// Flat shards must not merge into a multilevel run (and vice versa).
+	flat := opt
+	flat.Levels = 1
+	fs, err := f.FindShard(ctx, flat, 0, opt.Seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Merge(opt, fs); err == nil || !strings.Contains(err.Error(), "Levels") {
+		t.Errorf("merging a flat shard under Levels=2 should fail with a Levels mismatch, got %v", err)
 	}
 }
 

@@ -37,9 +37,17 @@ type grower struct {
 	nl      *netlist.Netlist
 	tracker *group.Tracker
 	heap    ds.GainHeap
-	gain    []float64 // current connection weight per frontier cell
-	tie     []int32   // last verified cut-delta per frontier cell
-	inFront []bool
+	// front is the dense per-cell frontier state: one epoch-stamped
+	// 16-byte entry holding the cell's gain, tiebreak and discovery
+	// stamp. A cell is live in the current growth iff its epoch equals
+	// the grower's — so per-seed reset is one counter bump instead of
+	// a walk, and the hot loop touches one cache line per cell where
+	// the former gain/tie/inFront parallel arrays touched three.
+	front []frontEntry
+	epoch uint32
+	// touched is the discovery list of the current growth (frontier
+	// and absorbed cells, in first-touch order — BFS ties index it);
+	// incremental footprints under OrderMinCut consume it.
 	touched []netlist.CellID
 	// examined records the cells whose own pin runs popBest read (the
 	// DeltaCut re-verification) during the current growth. Together
@@ -53,28 +61,42 @@ type grower struct {
 
 	ord   OrderingStats // reusable Phase I output (aliased by grow's return)
 	curve Curve         // reusable Phase II score buffer (see scoreCurve)
+	combo comboScratch  // reusable Phase III recombination arena
+}
+
+// frontEntry is one cell's frontier state, valid while epoch matches
+// the grower's current stamp.
+type frontEntry struct {
+	gain  float64 // current connection weight
+	tie   int32   // discovery index (BFS) or last verified cut-delta
+	epoch uint32
 }
 
 func newGrower(nl *netlist.Netlist) *grower {
 	return &grower{
 		nl:      nl,
 		tracker: group.NewTracker(nl),
-		gain:    make([]float64, nl.NumCells()),
-		tie:     make([]int32, nl.NumCells()),
-		inFront: make([]bool, nl.NumCells()),
+		front:   make([]frontEntry, nl.NumCells()),
 	}
 }
 
 func (g *grower) reset() {
 	g.tracker.Reset()
 	g.heap.Reset()
-	for _, c := range g.touched {
-		g.gain[c] = 0
-		g.tie[c] = 0
-		g.inFront[c] = false
-	}
+	g.bumpEpoch()
 	g.touched = g.touched[:0]
 	g.examined = g.examined[:0]
+}
+
+// bumpEpoch invalidates every frontier entry in O(1). On the (once per
+// 2^32 growths) wraparound the whole array is cleared so stale stamps
+// from four billion growths ago cannot alias the fresh epoch.
+func (g *grower) bumpEpoch() {
+	g.epoch++
+	if g.epoch == 0 {
+		clear(g.front)
+		g.epoch = 1
+	}
 }
 
 // grow runs Phase I from seed, producing an ordering of at most maxLen
@@ -117,10 +139,11 @@ func (g *grower) popBest() (netlist.CellID, bool) {
 		if !ok {
 			return 0, false
 		}
-		if g.tracker.Has(int(v)) || !g.inFront[v] {
+		fe := &g.front[v]
+		if g.tracker.Has(int(v)) || fe.epoch != g.epoch {
 			continue // already absorbed
 		}
-		if gain != g.gain[v] {
+		if gain != fe.gain {
 			continue // stale gain; a fresher entry exists
 		}
 		if g.opt.Ordering == OrderBFS {
@@ -131,7 +154,7 @@ func (g *grower) popBest() (netlist.CellID, bool) {
 		if fresh != tie {
 			// The cut delta drifted since this entry was pushed;
 			// requeue at the exact value and keep popping.
-			g.tie[v] = fresh
+			fe.tie = fresh
 			g.heap.Push(v, gain, fresh)
 			continue
 		}
@@ -142,10 +165,9 @@ func (g *grower) popBest() (netlist.CellID, bool) {
 // addCell absorbs v into the group and refreshes frontier weights.
 func (g *grower) addCell(v netlist.CellID) {
 	t := g.tracker
-	if g.inFront[v] {
-		g.inFront[v] = false
-	} else {
-		g.touched = append(g.touched, v) // ensure reset clears it
+	if g.front[v].epoch != g.epoch {
+		g.front[v].epoch = g.epoch
+		g.touched = append(g.touched, v) // first touch: enters the discovery list
 	}
 	t.Add(v)
 	for _, e := range g.nl.CellPins(v) {
@@ -176,25 +198,28 @@ func (g *grower) addCell(v netlist.CellID) {
 			if t.Has(int(w)) {
 				continue
 			}
-			if !g.inFront[w] {
-				g.inFront[w] = true
+			fe := &g.front[w]
+			if fe.epoch != g.epoch {
+				fe.epoch = g.epoch
 				g.touched = append(g.touched, w)
-				g.gain[w] = 0
+				fe.gain = 0
 				switch g.opt.Ordering {
 				case OrderBFS:
 					// Discovery order: earlier index wins. Encode as
 					// constant gain with index tiebreak.
-					g.tie[w] = int32(len(g.touched))
-					g.heap.Push(w, 0, g.tie[w])
+					fe.tie = int32(len(g.touched))
+					g.heap.Push(w, 0, fe.tie)
 				case OrderMinCut:
-					g.tie[w] = int32(t.DeltaCut(w))
-					g.heap.Push(w, 0, g.tie[w])
+					fe.tie = int32(t.DeltaCut(w))
+					g.heap.Push(w, 0, fe.tie)
+				default:
+					fe.tie = 0
 				}
 			}
 			switch g.opt.Ordering {
 			case OrderWeighted:
-				g.gain[w] += delta
-				g.heap.Push(w, g.gain[w], g.tie[w])
+				fe.gain += delta
+				g.heap.Push(w, fe.gain, fe.tie)
 			case OrderMinCut:
 				// Gain stays 0; cut deltas are re-verified at pop.
 			}

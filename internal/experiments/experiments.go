@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"tanglefind/internal/bookshelf"
@@ -55,6 +56,18 @@ func (c Config) scaled(n int) int {
 		v = 1
 	}
 	return v
+}
+
+// ResolvedWorkers reports the engine worker count the Config actually
+// runs with: Workers when positive, otherwise GOMAXPROCS — the same
+// default the engine applies to Options.Workers <= 0. Bench records
+// emit this resolved value (never the raw 0) so artifacts stay
+// self-describing about the parallelism they were measured under.
+func (c Config) ResolvedWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // BlockOutcome describes how the finder did on one ground-truth block.

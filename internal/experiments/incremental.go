@@ -287,8 +287,8 @@ func Incremental(ctx context.Context, cfg Config, w io.Writer) ([]*IncrementalRe
 type IncrementalRecord struct {
 	Scale   float64              `json:"scale"`
 	Seeds   int                  `json:"seeds"`
-	Workers int                  `json:"workers"` // 0 = GOMAXPROCS
-	CPUs    int                  `json:"cpus"`
+	Workers int                  `json:"workers"` // resolved engine worker count (never 0)
+	CPUs    int                  `json:"cpus"`    // runtime.GOMAXPROCS(0) at measurement time
 	Results []*IncrementalResult `json:"results"`
 }
 
@@ -297,7 +297,7 @@ func WriteIncrementalRecord(path string, cfg Config, results []*IncrementalResul
 	rec := IncrementalRecord{
 		Scale:   cfg.Scale,
 		Seeds:   cfg.Seeds,
-		Workers: cfg.Workers,
+		Workers: cfg.ResolvedWorkers(),
 		CPUs:    runtime.GOMAXPROCS(0),
 		Results: results,
 	}

@@ -211,8 +211,8 @@ func Multilevel(ctx context.Context, cfg Config, w io.Writer) ([]*MultilevelResu
 type MultilevelRecord struct {
 	Scale   float64             `json:"scale"`
 	Seeds   int                 `json:"seeds"`
-	Workers int                 `json:"workers"` // 0 = GOMAXPROCS
-	CPUs    int                 `json:"cpus"`
+	Workers int                 `json:"workers"` // resolved engine worker count (never 0)
+	CPUs    int                 `json:"cpus"`    // runtime.GOMAXPROCS(0) at measurement time
 	Results []*MultilevelResult `json:"results"`
 }
 
@@ -221,7 +221,7 @@ func WriteMultilevelRecord(path string, cfg Config, results []*MultilevelResult)
 	rec := MultilevelRecord{
 		Scale:   cfg.Scale,
 		Seeds:   cfg.Seeds,
-		Workers: cfg.Workers,
+		Workers: cfg.ResolvedWorkers(),
 		CPUs:    runtime.GOMAXPROCS(0),
 		Results: results,
 	}

@@ -98,6 +98,67 @@ func Difference(a, b []netlist.CellID) []netlist.CellID {
 	return out
 }
 
+// MergeUnion appends a ∪ b to dst and returns it. Unlike Union it
+// allocates nothing beyond dst's growth, but requires both inputs
+// sorted ascending and duplicate-free; the output is sorted too.
+func MergeUnion(dst, a, b []netlist.CellID) []netlist.CellID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// MergeIntersect appends a ∩ b to dst (same sorted-unique contract as
+// MergeUnion) and returns it.
+func MergeIntersect(dst, a, b []netlist.CellID) []netlist.CellID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// MergeDifference appends a − b to dst (same sorted-unique contract
+// as MergeUnion) and returns it.
+func MergeDifference(dst, a, b []netlist.CellID) []netlist.CellID {
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
 // Evaluator computes Cut/Pins of arbitrary cell sets with reusable
 // scratch space. Not safe for concurrent use.
 type Evaluator struct {
@@ -153,4 +214,36 @@ func (e *Evaluator) Eval(members []netlist.CellID) Set {
 		e.in.Remove(int(c))
 	}
 	return Set{Members: uniq, Cut: cut, Pins: pins}
+}
+
+// Tally computes the cut and pin totals of a duplicate-free member
+// slice without copying or retaining it — the zero-allocation core of
+// Eval, for callers that manage their own member storage (the Phase
+// III recombination arena). Eval(members) == Set{members, Tally(members)}
+// whenever members is duplicate-free.
+func (e *Evaluator) Tally(members []netlist.CellID) (cut, pins int) {
+	e.stamp++
+	for _, c := range members {
+		e.in.Add(int(c))
+	}
+	for _, c := range members {
+		nets := e.nl.CellPins(c)
+		pins += len(nets)
+		for _, n := range nets {
+			if e.netSeen[n] == e.stamp {
+				continue
+			}
+			e.netSeen[n] = e.stamp
+			for _, other := range e.nl.NetPins(n) {
+				if !e.in.Has(int(other)) {
+					cut++
+					break
+				}
+			}
+		}
+	}
+	for _, c := range members {
+		e.in.Remove(int(c))
+	}
+	return cut, pins
 }

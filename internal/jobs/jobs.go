@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,14 @@ type Config struct {
 	// Workers is the number of concurrent jobs (default 2). Each job
 	// is itself internally parallel per its Options.Workers.
 	Workers int
+	// EngineWorkers is the pool-wide budget of engine goroutines
+	// shared by all concurrently running jobs (default GOMAXPROCS).
+	// Each job is granted min(its requested Options.Workers, what the
+	// budget has free) — never less than 1 — when it starts, and
+	// returns the grant when it finishes, so one greedy job cannot
+	// oversubscribe the machine under concurrent load. Grants never
+	// change results, only scheduling.
+	EngineWorkers int
 	// QueueDepth bounds the submission queue (default 64); a full
 	// queue rejects with ErrQueueFull instead of buffering unboundedly.
 	QueueDepth int
@@ -67,6 +76,9 @@ type Config struct {
 func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = 2
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -116,6 +128,12 @@ type Manager struct {
 	incrFallbacks atomic.Int64
 	lintRuns      atomic.Int64
 	lintIncr      atomic.Int64
+	seedsStolen   atomic.Int64
+	grantsCapped  atomic.Int64
+
+	// grantMu guards the engine-worker budget (see Config.EngineWorkers).
+	grantMu     sync.Mutex
+	grantsInUse int
 
 	levelMu     sync.Mutex
 	runsByLevel map[int]int64 // engine runs keyed by hierarchy levels used (1 = flat)
@@ -198,9 +216,6 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 	var parent string
 	var dirty []tanglefind.CellID
 	if req.Kind == api.KindFindIncremental {
-		if opt.Levels > 1 {
-			return api.JobStatus{}, fmt.Errorf("%w: incremental jobs are flat-only (levels=%d)", tanglefind.ErrUnsupportedOptions, opt.Levels)
-		}
 		lin, ok := m.cfg.Store.Lineage(req.Digest)
 		if !ok {
 			return api.JobStatus{}, fmt.Errorf("%w: digest %s has no delta lineage (POST a delta first, or use kind \"find\")", ErrBadRequest, req.Digest)
@@ -450,6 +465,8 @@ func (m *Manager) Stats() api.JobStats {
 		LintIncremental:      m.lintIncr.Load(),
 		CachedSets:           m.cache.len(),
 		IncrStateBytes:       m.incr.memoryEstimate(),
+		ParallelSeedsStolen:  m.seedsStolen.Load(),
+		WorkerGrantsCapped:   m.grantsCapped.Load(),
 	}
 	m.levelMu.Lock()
 	if len(m.runsByLevel) > 0 {
@@ -547,6 +564,9 @@ func (m *Manager) run(j *Job) {
 
 	opt := j.opt
 	opt.Progress = j.setProgress
+	grant := m.acquireWorkers(opt.Workers)
+	defer m.releaseWorkers(grant)
+	opt.Workers = grant
 	m.engineRuns.Add(1)
 	var res *tanglefind.Result
 	var err error
@@ -571,6 +591,9 @@ func (m *Manager) run(j *Job) {
 		// Retain the recorded state (keyed by digest + result-affecting
 		// options) so deltas derived from this digest run incrementally.
 		m.incr.put(incrKey(j.digest, j.opt), res)
+	}
+	if res != nil && res.Sched != nil {
+		m.seedsStolen.Add(res.Sched.SeedsStolen)
 	}
 	if res != nil {
 		// Count by the levels the run actually used: a Levels=4 request
@@ -608,6 +631,40 @@ func (m *Manager) run(j *Job) {
 	if j.finish(api.StateDone, out, "") {
 		m.completed.Add(1)
 	}
+}
+
+// acquireWorkers grants a starting job its engine-goroutine share:
+// min(requested, what the pool budget has free), never below 1 — a
+// job always makes progress even when concurrent jobs hold the whole
+// budget. requested <= 0 means "all of it" (the engine's own
+// GOMAXPROCS default), so unconfigured jobs split the budget instead
+// of each assuming an idle machine.
+func (m *Manager) acquireWorkers(requested int) int {
+	if requested <= 0 || requested > m.cfg.EngineWorkers {
+		requested = m.cfg.EngineWorkers
+	}
+	m.grantMu.Lock()
+	defer m.grantMu.Unlock()
+	free := m.cfg.EngineWorkers - m.grantsInUse
+	grant := requested
+	if grant > free {
+		grant = free
+	}
+	if grant < 1 {
+		grant = 1
+	}
+	if grant < requested {
+		m.grantsCapped.Add(1)
+	}
+	m.grantsInUse += grant
+	return grant
+}
+
+// releaseWorkers returns a finished job's grant to the budget.
+func (m *Manager) releaseWorkers(grant int) {
+	m.grantMu.Lock()
+	m.grantsInUse -= grant
+	m.grantMu.Unlock()
 }
 
 // runLint executes a lint job: incrementally against the parent's
@@ -696,6 +753,7 @@ func findResult(res *tanglefind.Result) *api.JobResult {
 		EngineMS:    float64(res.Elapsed) / float64(time.Millisecond),
 		Levels:      res.Levels,
 		Incremental: res.Incremental,
+		Sched:       res.Sched,
 	}
 	for i := range res.GTLs {
 		g := &res.GTLs[i]

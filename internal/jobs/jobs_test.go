@@ -8,7 +8,6 @@ import (
 	"testing"
 	"time"
 
-	"tanglefind"
 	"tanglefind/api"
 	"tanglefind/internal/generate"
 	"tanglefind/internal/store"
@@ -685,9 +684,11 @@ func TestIncrementalJobFallsBackWithoutState(t *testing.T) {
 	}
 }
 
-// TestIncrementalSubmitErrors locks the typed submission failures:
-// multilevel + incremental is ErrUnsupportedOptions (422 at the HTTP
-// layer), a digest without lineage is a bad request.
+// TestIncrementalSubmitErrors locks the typed submission failures —
+// a digest without lineage is a bad request — and that the matrix
+// restriction is gone: a multilevel find_incremental submit is
+// accepted and completes (here as a reported full fallback, since the
+// parent digest has no recorded multilevel run to chain from).
 func TestIncrementalSubmitErrors(t *testing.T) {
 	s, digest := registered(t, 4000, 0, 63)
 	m := New(Config{Store: s, Workers: 1})
@@ -703,9 +704,16 @@ func TestIncrementalSubmitErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: ml})
-	if !errors.Is(err, tanglefind.ErrUnsupportedOptions) {
-		t.Errorf("multilevel incremental submit error = %v, want ErrUnsupportedOptions", err)
+	st, err := m.Submit(api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: ml})
+	if err != nil {
+		t.Fatalf("multilevel incremental submit = %v, want accepted", err)
+	}
+	got := wait(t, m, st.ID)
+	if got.State != api.StateDone || got.Result == nil || got.Result.Incremental == nil {
+		t.Fatalf("multilevel incremental job: %+v", got)
+	}
+	if !got.Result.Incremental.FullFallback {
+		t.Error("first-in-chain multilevel incremental should report a full fallback")
 	}
 }
 

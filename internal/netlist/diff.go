@@ -1,0 +1,43 @@
+package netlist
+
+import "slices"
+
+// DiffDirty compares two netlists over the same id space and returns
+// the dirty cell set of their structural difference: every cell on a
+// net whose pin (or driver) run differs between the two, old or new
+// side — the same semantics a Delta reports for the edit it applied.
+// A cell outside both runs of every differing net provably reads
+// identical bytes from either netlist, which is exactly the soundness
+// condition incremental replay needs.
+//
+// ok=false means the netlists are not comparable as an in-place edit
+// (different cell or net counts); the caller should treat the whole
+// difference as global. Multilevel incremental detection uses this to
+// diff the coarsest levels of two independently built hierarchies:
+// when local fine edits keep the coarsening stable the diff is local
+// and coarse seeds replay, and when the hierarchy reshapes the size
+// check fails and detection falls back to a full coarse run.
+func DiffDirty(a, b *Netlist) (dirty []CellID, ok bool) {
+	if a == nil || b == nil || a.NumCells() != b.NumCells() || a.NumNets() != b.NumNets() {
+		return nil, false
+	}
+	seen := make([]bool, a.NumCells())
+	mark := func(cells []CellID) {
+		for _, c := range cells {
+			if !seen[c] {
+				seen[c] = true
+				dirty = append(dirty, c)
+			}
+		}
+	}
+	for n := 0; n < a.NumNets(); n++ {
+		id := NetID(n)
+		if !slices.Equal(a.NetPins(id), b.NetPins(id)) ||
+			((a.Directed() || b.Directed()) && !slices.Equal(a.NetDrivers(id), b.NetDrivers(id))) {
+			mark(a.NetPins(id))
+			mark(b.NetPins(id))
+		}
+	}
+	slices.Sort(dirty)
+	return dirty, true
+}

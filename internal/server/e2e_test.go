@@ -490,13 +490,24 @@ func TestDeltaHTTPErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Incremental + multilevel is typed ErrUnsupportedOptions → 422.
-	_, err = c.Submit(ctx, api.JobRequest{
+	// Incremental + multilevel composes now: the submit is accepted
+	// and the job completes (as a reported full fallback here — the
+	// parent has no recorded multilevel run to chain from).
+	mlst, err := c.Submit(ctx, api.JobRequest{
 		Kind:    api.KindFindIncremental,
 		Digest:  dres.Netlist.Digest,
-		Options: options(t, map[string]any{"levels": 3}),
+		Options: options(t, map[string]any{"levels": 3, "seeds": 8, "max_order_len": 600}),
 	})
-	wantStatus(err, http.StatusUnprocessableEntity)
+	if err != nil {
+		t.Fatalf("multilevel incremental submit = %v, want accepted", err)
+	}
+	got, err := c.Wait(ctx, mlst.ID, 5*time.Millisecond)
+	if err != nil || got.State != api.StateDone || got.Result == nil || got.Result.Incremental == nil {
+		t.Fatalf("multilevel incremental over HTTP: %+v, %v", got, err)
+	}
+	if !got.Result.Incremental.FullFallback {
+		t.Error("first-in-chain multilevel incremental should report a full fallback")
+	}
 }
 
 // TestConcurrentDeltaIngestAndIncrementalJobs is the race-detector

@@ -1,0 +1,83 @@
+// The parallel-scaling regression guard over the committed
+// BENCH_parallel.json record. Structural properties of the record are
+// checked everywhere; the live >10% regression comparison needs real
+// cores on both sides — the committed record must have been measured
+// with cpus >= 2 and the running machine must have at least as many —
+// and skips (loudly) otherwise, so a single-core CI runner degrades
+// to record validation instead of producing a meaningless ratio.
+package tanglefind_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"tanglefind/internal/experiments"
+)
+
+func loadParallelRecord(t *testing.T) *experiments.ParallelRecord {
+	t.Helper()
+	data, err := os.ReadFile("BENCH_parallel.json")
+	if err != nil {
+		t.Fatalf("committed parallel record missing: %v (regenerate with gtlexp -exp parallel -dump .)", err)
+	}
+	var rec experiments.ParallelRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("BENCH_parallel.json: %v", err)
+	}
+	return &rec
+}
+
+func TestParallelScalingGuard(t *testing.T) {
+	rec := loadParallelRecord(t)
+	if len(rec.Results) == 0 {
+		t.Fatal("record holds no sweep rows")
+	}
+	if rec.CPUs < 1 || rec.Cells <= 0 || rec.FlatMS <= 0 {
+		t.Fatalf("implausible record provenance: cpus=%d cells=%d flat_ms=%g", rec.CPUs, rec.Cells, rec.FlatMS)
+	}
+	if rec.Results[0].Workers != 1 {
+		t.Fatalf("sweep must anchor at workers=1, got %d", rec.Results[0].Workers)
+	}
+	for _, row := range rec.Results {
+		if !row.Match {
+			t.Fatalf("workers=%d row recorded a determinism mismatch; the record is invalid", row.Workers)
+		}
+		if row.FindMS <= 0 || row.Speedup <= 0 {
+			t.Fatalf("workers=%d row has no timing: %+v", row.Workers, row)
+		}
+	}
+
+	// The live regression comparison: re-measure the self-speedup at
+	// the record's widest honestly-measurable row and fail on >10%
+	// regression against the committed ratio.
+	if rec.CPUs < 2 {
+		t.Skipf("committed record was measured on %d CPU (determinism-only sweep); no scaling baseline to guard — regenerate on a multi-core box", rec.CPUs)
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-core machine; scaling is unmeasurable here")
+	}
+	var baseline *experiments.ParallelResult
+	for _, row := range rec.Results {
+		if row.Workers > 1 && row.Workers <= rec.CPUs && row.Workers <= runtime.NumCPU() {
+			baseline = row
+		}
+	}
+	if baseline == nil {
+		t.Skipf("no recorded row fits this machine's %d CPUs", runtime.NumCPU())
+	}
+	cfg := experiments.Config{Scale: 0.02, Seeds: 24, Seed: 1}
+	_, rows, _, _, err := experiments.ParallelRun(context.Background(), cfg, []int{1, baseline.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := rows[len(rows)-1].Speedup
+	if fresh < 0.9*baseline.Speedup {
+		t.Errorf("scaling regression at %d workers: fresh self-speedup %.2fx vs committed %.2fx (>10%% below baseline)",
+			baseline.Workers, fresh, baseline.Speedup)
+	} else {
+		t.Logf("scaling at %d workers: fresh %.2fx vs committed %.2fx", baseline.Workers, fresh, baseline.Speedup)
+	}
+}

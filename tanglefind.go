@@ -102,9 +102,17 @@ type Finder = core.Finder
 // see Finder.FindShard and Finder.Merge.
 type ShardResult = core.ShardResult
 
+// SchedStats describes how a run's seed schedule was executed across
+// workers: resolved worker count, per-worker seed counts and
+// work-stealing traffic (Result.Sched). Purely diagnostic — results
+// are bit-identical for any worker count.
+type SchedStats = core.SchedStats
+
 // ErrUnsupportedOptions is returned for option combinations an engine
-// entry point does not implement (sharded or incremental runs with
-// Levels > 1). Serving layers map it to HTTP 422.
+// entry point does not implement. The full feature matrix — multilevel
+// × incremental × sharded — now composes, so it is reserved for
+// genuinely unsupported combinations (e.g. merging shards produced
+// under a different Levels setting). Serving layers map it to HTTP 422.
 var ErrUnsupportedOptions = core.ErrUnsupportedOptions
 
 // Incremental detection: netlists evolve by deltas (ECO edits), and
