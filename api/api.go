@@ -128,6 +128,11 @@ type JobRequest struct {
 	// default thresholds. Decoded with tanglefind.ParseLintConfig, so
 	// unknown fields are rejected. Ignored by other kinds.
 	Lint json.RawMessage `json:"lint,omitempty"`
+	// RequestID correlates the job with the HTTP request that submitted
+	// it in structured logs. The server overwrites it with the request's
+	// ID (the X-Request-ID header when the client sent one, otherwise
+	// generated), so clients set it via the header, not this field.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // GTLInfo is one detected group of tangled logic on the wire.
@@ -184,6 +189,16 @@ type JobResult struct {
 	// per-rule stats and any skipped rules. Present only for lint jobs
 	// (which leave every finder field zero).
 	Lint *tanglefind.LintReport `json:"lint,omitempty"`
+	// Stages is the job's flat stage-timing breakdown as
+	// {"stage": milliseconds}: "queue_wait" (submit → start), "engine"
+	// (the compute call) and "merge" (result assembly + mitigation),
+	// plus the engine's own phases prefixed "engine_" ("engine_grow",
+	// "engine_score", "engine_recombine", "engine_prune", and the
+	// multilevel/incremental extras — see tanglefind.Result.Stages).
+	// Non-empty on every job that reached a terminal state by running;
+	// cached results carry the breakdown of the run that populated the
+	// cache.
+	Stages tanglefind.StageTimings `json:"stages,omitempty"`
 }
 
 // JobStatus is a job's externally visible state.
@@ -201,6 +216,9 @@ type JobStatus struct {
 	CreatedAt  time.Time            `json:"created_at"`
 	StartedAt  *time.Time           `json:"started_at,omitempty"`
 	FinishedAt *time.Time           `json:"finished_at,omitempty"`
+	// RequestID is the submitting HTTP request's ID, for correlating
+	// the job with the server's structured request and job logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Event is one message on a job's progress stream. The first event a
@@ -212,9 +230,19 @@ type Event struct {
 	State    State                `json:"state"`
 	Progress *tanglefind.Progress `json:"progress,omitempty"`
 	Error    string               `json:"error,omitempty"`
+	// Stages carries the job's stage-timing breakdown on terminal
+	// events whose job produced a result (see JobResult.Stages), so
+	// stream consumers get the latency split without refetching.
+	Stages tanglefind.StageTimings `json:"stages,omitempty"`
 }
 
-// JobStats counts job-manager activity since process start.
+// JobStats is the "jobs" half of the GET /v1/stats payload. Two kinds
+// of field live here: cumulative counters since process start
+// (Submitted through WorkerGrantsCapped) and point-in-time gauges
+// sampled at the stats call (Queued, Running, QueueDepth,
+// InFlightByKind, CachedSets, IncrStateBytes). The same values back
+// the gtl_jobs_* families on GET /metrics — both surfaces read the
+// manager's counters, so they always agree in a quiesced server.
 type JobStats struct {
 	Submitted  int64 `json:"submitted"`
 	Completed  int64 `json:"completed"`
@@ -224,7 +252,16 @@ type JobStats struct {
 	EngineRuns int64 `json:"engine_runs"` // jobs that actually ran the finder
 	Queued     int   `json:"queued"`      // current
 	Running    int   `json:"running"`     // current
-	CachedSets int   `json:"cached_results"`
+	// QueueDepth is the pending queue's current length — jobs accepted
+	// but not yet picked up by a worker. It can briefly differ from
+	// Queued (a job leaves the pending list just before its state
+	// flips to running).
+	QueueDepth int `json:"queue_depth"`
+	// InFlightByKind breaks the current non-terminal jobs
+	// (queued + running) down by job kind; kinds with zero in-flight
+	// jobs are omitted.
+	InFlightByKind map[string]int `json:"in_flight_by_kind,omitempty"`
+	CachedSets     int            `json:"cached_results"`
 	// RunsByLevels counts completed engine runs by the number of
 	// hierarchy levels they actually used ("1" = flat), so operators
 	// can see how much traffic rides the multilevel pipeline.
@@ -269,7 +306,11 @@ type StoreStats struct {
 	EngineBytes int64 `json:"engine_bytes"`
 }
 
-// ServerStats is the GET /v1/stats payload.
+// ServerStats is the GET /v1/stats payload: the job manager's
+// counters and gauges (see JobStats for which is which) plus the
+// netlist registry's memory state. The Prometheus exposition on
+// GET /metrics mirrors these same values as gtl_jobs_* / gtl_store_*
+// families, with request-latency and per-stage histograms on top.
 type ServerStats struct {
 	Jobs  JobStats   `json:"jobs"`
 	Store StoreStats `json:"store"`

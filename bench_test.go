@@ -816,3 +816,44 @@ func BenchmarkFind_Parallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFind_Instrumented measures the stage-timing instrumentation
+// against the identical BenchmarkFind_Parallel workload with the
+// per-seed accounting toggled off — the two sub-benches bound the
+// telemetry overhead (TestStageTimingOverheadGuard asserts the <2%
+// budget on multi-core machines).
+func BenchmarkFind_Instrumented(b *testing.B) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  60_000,
+		Blocks: []generate.BlockSpec{{Size: 3000}, {Size: 3000}},
+		Seed:   19,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.NewFinder(rg.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = 48
+	opt.MaxOrderLen = 6000
+	opt.Levels = 2
+	opt.MinCoarseCells = 4096
+	for _, timed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("timing=%v", timed), func(b *testing.B) {
+			b.ReportAllocs()
+			prev := core.SetStageTiming(timed)
+			defer core.SetStageTiming(prev)
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := f.Find(context.Background(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = float64(res.Stages.Total().Milliseconds())
+			}
+			b.ReportMetric(total, "stage-ms")
+		})
+	}
+}

@@ -175,6 +175,26 @@ func (c *Client) Stats(ctx context.Context) (api.ServerStats, error) {
 	return st, err
 }
 
+// Metrics fetches the raw Prometheus text exposition from GET
+// /metrics — the operator-facing mirror of Stats, left unparsed so
+// callers can feed it to scrapers or parse-back tests verbatim.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
 // StreamEvents consumes a job's SSE progress stream, invoking fn for
 // every event in order. It returns nil when the stream ends (terminal
 // event or fn returning false) and ctx's error when cancelled.

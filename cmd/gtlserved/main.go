@@ -9,6 +9,11 @@
 //	gtlserved -addr :8080 -workers 2 -queue 64 \
 //	          -cache-pins 64000000 -cache-results 128
 //
+// Observability: structured logs (request and job lifecycle records,
+// correlated by X-Request-ID) go to stderr; GET /metrics serves the
+// Prometheus exposition; -pprof-addr starts net/http/pprof on a
+// separate listener so profiling stays off the public API port.
+//
 // Ctrl-C / SIGTERM triggers a graceful shutdown: in-flight HTTP
 // requests and running jobs drain within -grace, then anything left
 // is cancelled.
@@ -20,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -42,10 +49,14 @@ type config struct {
 	cacheResults  int
 	incrStates    int
 	grace         time.Duration
+	pprofAddr     string
 
 	// ready, when set, receives the bound address once the listener is
 	// up (tests bind :0 and need the real port).
 	ready func(addr string)
+	// logw overrides the structured-log destination (default stderr);
+	// tests capture it.
+	logw io.Writer
 }
 
 func main() {
@@ -58,6 +69,7 @@ func main() {
 	flag.IntVar(&cfg.cacheResults, "cache-results", 128, "result cache entries")
 	flag.IntVar(&cfg.incrStates, "incr-states", 8, "retained incremental seed states for find_incremental jobs (each O(seeds x ordering length) bytes)")
 	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain deadline")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); empty disables profiling")
 	flag.Parse()
 
 	ctx, stop := cliutil.SignalContext()
@@ -69,6 +81,18 @@ func main() {
 
 // run serves until ctx is cancelled, then drains.
 func run(ctx context.Context, cfg config, w io.Writer) error {
+	logw := cfg.logw
+	if logw == nil {
+		logw = os.Stderr
+	}
+	logger := slog.New(slog.NewTextHandler(logw, nil))
+	logger.Info("starting",
+		"addr", cfg.addr, "workers", cfg.workers,
+		"engine_workers", cfg.engineWorkers, "queue", cfg.queueDepth,
+		"cache_pins", cfg.cachePins, "cache_results", cfg.cacheResults,
+		"incr_states", cfg.incrStates, "grace", cfg.grace.String(),
+		"pprof_addr", cfg.pprofAddr)
+
 	st := store.New(cfg.cachePins)
 	mgr := jobs.New(jobs.Config{
 		Store:         st,
@@ -77,8 +101,9 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		QueueDepth:    cfg.queueDepth,
 		CacheResults:  cfg.cacheResults,
 		IncrStates:    cfg.incrStates,
+		Logger:        logger,
 	})
-	srv := server.New(st, mgr)
+	srv := server.New(st, mgr, server.WithLogger(logger))
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -88,6 +113,25 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		ln.Addr(), cfg.workers, cfg.queueDepth, cfg.cachePins)
 	if cfg.ready != nil {
 		cfg.ready(ln.Addr().String())
+	}
+
+	var pprofSrv *http.Server
+	if cfg.pprofAddr != "" {
+		// An explicit mux, not DefaultServeMux: only the profiling
+		// endpoints, and only on this (ideally loopback) listener.
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: pmux}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go pprofSrv.Serve(pln)
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}
@@ -105,6 +149,9 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 	fmt.Fprintf(w, "gtlserved: shutting down (grace %s)\n", cfg.grace)
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
+	if pprofSrv != nil {
+		pprofSrv.Close()
+	}
 	httpErr := hs.Shutdown(drainCtx)
 	jobErr := mgr.Shutdown(drainCtx)
 	<-errc // Serve has returned http.ErrServerClosed

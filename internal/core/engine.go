@@ -13,6 +13,7 @@ import (
 	"tanglefind/internal/group"
 	"tanglefind/internal/metrics"
 	"tanglefind/internal/netlist"
+	"tanglefind/internal/telemetry"
 )
 
 // Progress is a snapshot of a running engine, delivered to the
@@ -196,6 +197,8 @@ func (f *Finder) acquire(opt *Options) *workerState {
 		ws = &workerState{gr: newGrower(f.nl), ev: group.NewEvaluator(f.nl)}
 	}
 	ws.gr.opt = opt
+	ws.gr.phases = phaseAcc{}
+	ws.gr.timed = !stageTimingOff.Load()
 	return ws
 }
 
@@ -283,11 +286,16 @@ type ShardResult struct {
 	recs    []*seedRecord // positional with outs; only under RecordIncremental via Find
 	sched   SchedStats    // how the shard's schedule was executed
 	levels  int           // Options.Levels the shard ran under (<=1: flat)
+	stages  telemetry.StageTimings
 }
 
 // Sched reports how the shard's seed schedule was executed across
 // workers (steal traffic, per-worker seed counts).
 func (s *ShardResult) Sched() SchedStats { return s.sched }
+
+// Stages reports the shard's per-seed phase wall time, summed across
+// workers (see Result.Stages for the semantics).
+func (s *ShardResult) Stages() telemetry.StageTimings { return s.stages }
 
 // SeedsRun returns how many unique seeds this shard executed.
 func (s *ShardResult) SeedsRun() int { return len(s.outs) }
@@ -358,7 +366,7 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 	if record {
 		recs = make([]*seedRecord, len(run))
 	}
-	completed, sched := f.runSeedPool(ctx, opt, len(run), func(ws *workerState, k int) bool {
+	completed, sched, phases := f.runSeedPool(ctx, opt, len(run), func(ws *workerState, k int) bool {
 		i := run[k]
 		// Per-seed RNG derived from (RandSeed, i): identical streams
 		// no matter which worker runs the job.
@@ -373,7 +381,7 @@ func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo,
 		return o.candidate != nil
 	})
 
-	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start), sched: sched}
+	sr := &ShardResult{Lo: lo, Hi: hi, Elapsed: time.Since(start), sched: sched, stages: phases.stages()}
 	if err := ctx.Err(); err != nil {
 		for k := range outs {
 			if completed[k] {
@@ -409,12 +417,14 @@ func seedRNG(randSeed uint64, i int) *ds.RNG {
 // FindIncremental and the multilevel projection sweep. fn reports
 // whether index k produced a candidate (for the progress counter);
 // the returned flags mark which indexes completed before
-// cancellation. Scheduling never affects results: fn(ws, k) writes
-// outcomes keyed by k, so the output is bit-identical to Workers=1.
-func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(ws *workerState, k int) bool) ([]bool, SchedStats) {
+// cancellation, and the phase accumulator sums the per-seed stage
+// wall time across workers. Scheduling never affects results:
+// fn(ws, k) writes outcomes keyed by k, so the output is
+// bit-identical to Workers=1.
+func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(ws *workerState, k int) bool) ([]bool, SchedStats, phaseAcc) {
 	completed := make([]bool, n)
 	if n == 0 {
-		return completed, SchedStats{}
+		return completed, SchedStats{}, phaseAcc{}
 	}
 	var seedsDone, candsFound atomic.Int64
 	var progMu sync.Mutex
@@ -436,6 +446,7 @@ func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(w
 		nWorkers = n
 	}
 	sched := newStealGroup(n, nWorkers)
+	var phases phaseAcc
 	var wg sync.WaitGroup
 	for w := 0; w < nWorkers; w++ {
 		wg.Add(1)
@@ -451,10 +462,17 @@ func (f *Finder) runSeedPool(ctx context.Context, opt *Options, n int, fn func(w
 				seedsDone.Add(1)
 				report()
 			})
+			// Harvest this worker's phase clocks before the state goes
+			// back to the pool (acquire re-zeroes them regardless).
+			for p := range ws.gr.phases {
+				if v := ws.gr.phases[p]; v != 0 {
+					atomic.AddInt64(&phases[p], v)
+				}
+			}
 		}(w)
 	}
 	wg.Wait()
-	return completed, sched.stats()
+	return completed, sched.stats(), phases
 }
 
 // Merge combines complete shards covering [0, Options.Seeds)
@@ -506,6 +524,7 @@ func (f *Finder) mergeShards(opt *Options, wantLevels int, shards []*ShardResult
 	next := 0
 	var elapsed time.Duration
 	var sched SchedStats
+	stages := telemetry.StageTimings{}
 	for _, s := range ordered {
 		if s.levels != wantLevels {
 			return nil, fmt.Errorf("core: shard [%d,%d) was produced under Levels=%d, merge expects Levels=%d", s.Lo, s.Hi, s.levels, wantLevels)
@@ -516,6 +535,7 @@ func (f *Finder) mergeShards(opt *Options, wantLevels int, shards []*ShardResult
 		next = s.Hi
 		elapsed += s.Elapsed
 		sched.merge(s.sched)
+		stages.Merge(s.stages)
 	}
 	if next != opt.Seeds {
 		return nil, fmt.Errorf("core: shards cover seeds [0,%d), want [0,%d)", next, opt.Seeds)
@@ -544,6 +564,7 @@ func (f *Finder) mergeShards(opt *Options, wantLevels int, shards []*ShardResult
 	res := f.assemble(opt, plan, ownerOuts)
 	res.Elapsed = elapsed
 	res.Sched = &sched
+	res.Stages.Merge(stages)
 	return res, nil
 }
 
@@ -579,6 +600,7 @@ func (f *Finder) findFlat(ctx context.Context, opt *Options) (*Result, error) {
 	res := f.assemble(opt, plan, sr.outs)
 	res.Elapsed = time.Since(start)
 	res.Sched = &sr.sched
+	res.Stages.Merge(sr.stages)
 	if err == nil && opt.RecordIncremental {
 		res.IncrState = f.buildIncrState(opt, sr.outs, sr.recs)
 	}
@@ -599,7 +621,7 @@ type cand struct {
 // be partial (cancelled runs); traces and candidates of missing seeds
 // are simply absent.
 func (f *Finder) assemble(opt *Options, plan seedPlan, outs []shardOut) *Result {
-	res := &Result{AG: f.aG}
+	res := &Result{AG: f.aG, Stages: telemetry.StageTimings{}}
 	byIdx := make(map[int]*shardOut, len(outs))
 	for k := range outs {
 		byIdx[outs[k].idx] = &outs[k]
@@ -625,7 +647,9 @@ func (f *Finder) assemble(opt *Options, plan seedPlan, outs []shardOut) *Result 
 		res.Rent = rentSum / float64(rentN)
 	}
 	res.Candidates = len(cands)
+	pruneStart := time.Now()
 	f.prune(opt, cands, res)
+	res.Stages.Add(StagePrune, time.Since(pruneStart))
 	return res
 }
 

@@ -8,6 +8,7 @@ import (
 	"tanglefind/internal/ds"
 	"tanglefind/internal/group"
 	"tanglefind/internal/netlist"
+	"tanglefind/internal/telemetry"
 )
 
 // GTL is one detected group of tangled logic.
@@ -60,6 +61,17 @@ type Result struct {
 	// consumes it as the previous run. It is in-memory only (never
 	// serialized) and can be sizable — O(Seeds × MaxOrderLen).
 	IncrState *IncrementalState
+	// Stages is the run's flat per-stage wall-time breakdown. The
+	// per-seed phases ("grow", "score", "recombine", and the
+	// incremental "replay"/"reseed" split) are summed across workers,
+	// so they can exceed Elapsed when Workers > 1; "prune" is the
+	// global pruning pass, and multilevel runs add "coarse_detect"
+	// (the coarse detection's wall time, which overlaps its own
+	// per-seed phases) and "project" (the projection/refinement
+	// descent). Always non-nil on a completed run; per-seed entries
+	// disappear under SetStageTiming(false). Purely diagnostic —
+	// timing never affects detection results.
+	Stages telemetry.StageTimings
 }
 
 // IncrStats is the work breakdown of one FindIncremental run. It is
@@ -120,7 +132,14 @@ type seedOut struct {
 // state — orderings, score-curve inputs and the exact read footprint —
 // for later incremental replay; capture never changes the outcome.
 func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, seed netlist.CellID, opt *Options, aG float64, rec *seedRecord) (out seedOut) {
+	var t time.Time
+	if gr.timed {
+		t = time.Now()
+	}
 	ord := gr.grow(seed, opt.MaxOrderLen)
+	if gr.timed {
+		t = gr.stamp(phaseGrow, t)
+	}
 	curve := gr.scoreCurve(ord, opt.Metric, aG, opt.KeepCurves)
 	if rec != nil {
 		rec.seed = seed
@@ -130,6 +149,12 @@ func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, 
 		rec.ord = copyOrdRecord(ord, curve.Rent)
 	}
 	ex := extract(curve, opt)
+	if gr.timed {
+		// Score covers curve scoring, extraction and the incremental
+		// footprint capture above; recombine starts here and runs
+		// through refinement.
+		t = gr.stamp(phaseScore, t)
+	}
 	if rec != nil {
 		rec.extracted = ex.ok
 		rec.size = ex.size
@@ -151,12 +176,20 @@ func runSeed(nl *netlist.Netlist, gr *grower, ev *group.Evaluator, rng *ds.RNG, 
 		out.candidate = &base
 		out.score = ex.score
 		out.rent = ex.rent
+		if gr.timed {
+			gr.stamp(phaseRecombine, t)
+		}
 		return out
 	}
+	// Refinement's internal re-growths and re-scores are attributed to
+	// recombine wholesale: they exist to feed the recombination family.
 	refined, score := refine(gr, ev, rng, base, ex, opt, aG, rec)
 	out.candidate = refined
 	out.score = score
 	out.rent = ex.rent
+	if gr.timed {
+		gr.stamp(phaseRecombine, t)
+	}
 	return out
 }
 

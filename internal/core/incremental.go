@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"tanglefind/internal/ds"
@@ -506,14 +507,27 @@ func (f *Finder) findIncrementalFlat(ctx context.Context, opt *Options, prev *Re
 	if opt.RecordIncremental {
 		recs = make([]*seedRecord, len(owners))
 	}
-	completed, sched := f.runSeedPool(ctx, opt, len(owners), func(ws *workerState, k int) bool {
+	// The replay-vs-reseed wall-time split for Result.Stages: a seed
+	// that fails replay and falls through to the full pipeline counts
+	// wholly as reseed (its grow/score/recombine phases also land in
+	// the worker's phase clocks).
+	timed := !stageTimingOff.Load()
+	var replayNS, reseedNS atomic.Int64
+	completed, sched, phases := f.runSeedPool(ctx, opt, len(owners), func(ws *workerState, k int) bool {
 		i := owners[k]
+		var t time.Time
+		if timed {
+			t = time.Now()
+		}
 		if rec := st.reusableRecord(i, plan.ids[i], region); rec != nil {
 			if o, ok := f.replaySeed(ws, rec, i, opt); ok {
 				outs[k] = o
 				replayed[k] = true
 				if recs != nil {
 					recs[k] = rec // immutable; chains share it
+				}
+				if timed {
+					replayNS.Add(int64(time.Since(t)))
 				}
 				return o.cand != nil
 			}
@@ -525,6 +539,9 @@ func (f *Finder) findIncrementalFlat(ctx context.Context, opt *Options, prev *Re
 		}
 		o := runSeed(f.nl, ws.gr, ws.ev, seedRNG(opt.RandSeed, i), plan.ids[i], opt, f.aG, rec)
 		outs[k] = shardOut{idx: i, trace: o.trace, cand: o.candidate, score: o.score, rent: o.rent}
+		if timed {
+			reseedNS.Add(int64(time.Since(t)))
+		}
 		return o.candidate != nil
 	})
 
@@ -553,6 +570,13 @@ func (f *Finder) findIncrementalFlat(ctx context.Context, opt *Options, prev *Re
 	res := f.assemble(opt, plan, doneOuts)
 	res.Incremental = stats
 	res.Sched = &sched
+	res.Stages.Merge(phases.stages())
+	if v := replayNS.Load(); v > 0 {
+		res.Stages.Add(StageReplay, time.Duration(v))
+	}
+	if v := reseedNS.Load(); v > 0 {
+		res.Stages.Add(StageReseed, time.Duration(v))
+	}
 	for i := range res.GTLs {
 		if replayedCand[res.GTLs[i].Seed] {
 			stats.ReusedGroups++

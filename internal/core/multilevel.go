@@ -11,6 +11,7 @@ import (
 	"tanglefind/internal/group"
 	"tanglefind/internal/metrics"
 	"tanglefind/internal/netlist"
+	"tanglefind/internal/telemetry"
 )
 
 // This file is the multilevel detection pipeline: coarsen → detect →
@@ -241,6 +242,7 @@ func (f *Finder) findMultilevel(ctx context.Context, opt *Options) (*Result, err
 // descent is shared by Find's multilevel path, multilevel Merge and
 // multilevel FindIncremental; Elapsed is left for the caller.
 func (f *Finder) projectDown(ctx context.Context, opt *Options, ms *mlState, cres *Result, detectMS float64, runErr error) (*Result, error) {
+	projStart := time.Now()
 	L := ms.hier.NumLevels()
 	top := ms.finders[L-1]
 	levels := make([]LevelStats, 0, L)
@@ -279,7 +281,7 @@ func (f *Finder) projectDown(ctx context.Context, opt *Options, ms *mlState, cre
 			skip := scaledSkip(opt.BigNetSkip, float64(f.nl.NumCells())/float64(lower.nl.NumCells()))
 			ropt := *opt
 			ropt.Progress = nil // refinement has no seed schedule to report
-			_, rs := lower.runSeedPool(ctx, &ropt, len(cands), func(ws *workerState, i int) bool {
+			_, rs, _ := lower.runSeedPool(ctx, &ropt, len(cands), func(ws *workerState, i int) bool {
 				set, n := ws.gr.refineBoundary(cands[i].members, opt.RefineRadius, skip, opt.Metric, cands[i].rent, lower.aG)
 				cands[i].members = set.Members
 				added.Add(int64(n))
@@ -299,7 +301,7 @@ func (f *Finder) projectDown(ctx context.Context, opt *Options, ms *mlState, cre
 	// Score every candidate at the original resolution and run the
 	// global Phase III pruning there, so the result's disjointness and
 	// ranking semantics match a flat run's exactly.
-	res := &Result{AG: f.aG, Rent: cres.Rent, Candidates: cres.Candidates}
+	res := &Result{AG: f.aG, Rent: cres.Rent, Candidates: cres.Candidates, Stages: telemetry.StageTimings{}}
 	res.Seeds = append(res.Seeds, cres.Seeds...)
 	for i := range res.Seeds {
 		res.Seeds[i].Seed = ms.hier.RepresentativeAtFinest(L-1, res.Seeds[i].Seed)
@@ -323,7 +325,15 @@ func (f *Finder) projectDown(ctx context.Context, opt *Options, ms *mlState, cre
 		})
 	}
 	f.release(ws)
+	pruneStart := time.Now()
 	f.prune(opt, cs, res)
+	res.Stages.Add(StagePrune, time.Since(pruneStart))
+	// The coarse run's own per-seed phases fold in flat; coarse_detect
+	// and project are per-run wall times (the former overlaps the
+	// coarse phases, the latter overlaps the final prune).
+	res.Stages.Merge(cres.Stages)
+	res.Stages.Add(StageCoarseDetect, time.Duration(detectMS*float64(time.Millisecond)))
+	res.Stages.Add(StageProject, time.Since(projStart))
 	res.Levels = levels
 	res.Sched = &sched
 	if runErr == nil && ctx.Err() != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync/atomic"
+	"time"
 )
 
 // Work-stealing seed scheduler.
@@ -45,6 +46,13 @@ type SchedStats struct {
 	// the utilization picture (max/mean ≈ 1 means the pool stayed
 	// saturated).
 	WorkerSeeds []int64 `json:"worker_seeds,omitempty"`
+	// WorkerBusyNS[w] is the wall time (ns) worker w spent executing
+	// seeds; WorkerStealNS[w] is what it spent scanning for and
+	// performing steals. Empty under SetStageTiming(false). The gap
+	// between max(busy) and the run's elapsed time is the scheduling
+	// overhead picture.
+	WorkerBusyNS  []int64 `json:"worker_busy_ns,omitempty"`
+	WorkerStealNS []int64 `json:"worker_steal_ns,omitempty"`
 }
 
 // merge folds another schedule's stats into s (multilevel runs
@@ -61,6 +69,18 @@ func (s *SchedStats) merge(o SchedStats) {
 	}
 	for w, c := range o.WorkerSeeds {
 		s.WorkerSeeds[w] += c
+	}
+	for len(s.WorkerBusyNS) < len(o.WorkerBusyNS) {
+		s.WorkerBusyNS = append(s.WorkerBusyNS, 0)
+	}
+	for w, c := range o.WorkerBusyNS {
+		s.WorkerBusyNS[w] += c
+	}
+	for len(s.WorkerStealNS) < len(o.WorkerStealNS) {
+		s.WorkerStealNS = append(s.WorkerStealNS, 0)
+	}
+	for w, c := range o.WorkerStealNS {
+		s.WorkerStealNS[w] += c
 	}
 }
 
@@ -127,14 +147,23 @@ type stealGroup struct {
 	exec   []int64
 	steals []int64
 	stolen []int64
+	// busy/stealNS are the per-worker execute and steal-scan clocks
+	// (ns); timed snapshots the stage-timing switch at construction so
+	// the schedule loop reads a plain bool.
+	busy    []int64
+	stealNS []int64
+	timed   bool
 }
 
 func newStealGroup(n, nWorkers int) *stealGroup {
 	g := &stealGroup{
-		queues: make([]stealQueue, nWorkers),
-		exec:   make([]int64, nWorkers),
-		steals: make([]int64, nWorkers),
-		stolen: make([]int64, nWorkers),
+		queues:  make([]stealQueue, nWorkers),
+		exec:    make([]int64, nWorkers),
+		steals:  make([]int64, nWorkers),
+		stolen:  make([]int64, nWorkers),
+		busy:    make([]int64, nWorkers),
+		stealNS: make([]int64, nWorkers),
+		timed:   !stageTimingOff.Load(),
 	}
 	for w := 0; w < nWorkers; w++ {
 		lo := w * n / nWorkers
@@ -150,10 +179,13 @@ func newStealGroup(n, nWorkers int) *stealGroup {
 // owners, which always drain their own queue before exiting).
 func (g *stealGroup) run(ctx context.Context, w int, exec func(k int)) {
 	var ran, steals, stolen int64
+	var busyNS, stealWaitNS int64
 	defer func() {
 		g.exec[w] = ran
 		g.steals[w] = steals
 		g.stolen[w] = stolen
+		g.busy[w] = busyNS
+		g.stealNS[w] = stealWaitNS
 	}()
 	own := &g.queues[w]
 	for {
@@ -165,12 +197,22 @@ func (g *stealGroup) run(ctx context.Context, w int, exec func(k int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			exec(k)
+			if g.timed {
+				t := time.Now()
+				exec(k)
+				busyNS += int64(time.Since(t))
+			} else {
+				exec(k)
+			}
 			ran++
 		}
 		// Own queue dry: pick the victim with the largest backlog so a
 		// steal moves the most work per CAS, then re-expose the stolen
 		// range through the own queue (thieves can sub-steal its tail).
+		var scanStart time.Time
+		if g.timed {
+			scanStart = time.Now()
+		}
 		victim, best := -1, 1
 		for v := range g.queues {
 			if v == w {
@@ -181,9 +223,15 @@ func (g *stealGroup) run(ctx context.Context, w int, exec func(k int)) {
 			}
 		}
 		if victim < 0 {
+			if g.timed {
+				stealWaitNS += int64(time.Since(scanStart))
+			}
 			return
 		}
 		lo, hi, ok := g.queues[victim].stealHalf()
+		if g.timed {
+			stealWaitNS += int64(time.Since(scanStart))
+		}
 		if !ok {
 			continue // lost the race; rescan
 		}
@@ -197,6 +245,10 @@ func (g *stealGroup) run(ctx context.Context, w int, exec func(k int)) {
 // worker has returned.
 func (g *stealGroup) stats() SchedStats {
 	s := SchedStats{Workers: len(g.queues), WorkerSeeds: g.exec}
+	if g.timed {
+		s.WorkerBusyNS = g.busy
+		s.WorkerStealNS = g.stealNS
+	}
 	for w := range g.queues {
 		s.Steals += g.steals[w]
 		s.SeedsStolen += g.stolen[w]

@@ -14,6 +14,7 @@ import (
 	"tanglefind/internal/netlist"
 	"tanglefind/internal/netlist/deltatest"
 	"tanglefind/internal/report"
+	"tanglefind/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------
@@ -51,6 +52,9 @@ type ParallelResult struct {
 	SeedsStolen int64   `json:"seeds_stolen"`
 	WorkerSeeds []int64 `json:"worker_seeds,omitempty"`
 	GTLs        int     `json:"gtls"`
+	// Stages is the run's per-stage wall-time breakdown (worker-summed
+	// phases plus per-run stamps), serialized as {"stage": ms}.
+	Stages telemetry.StageTimings `json:"stages_ms,omitempty"`
 	// Match is the differential oracle verdict against the Workers=1
 	// run of the identical options (groups and scores to 1e-9).
 	Match bool `json:"match"`
@@ -113,7 +117,7 @@ func ParallelRun(ctx context.Context, cfg Config, sweep []int) (flatMS float64, 
 			return 0, nil, 0, 0, fmt.Errorf("parallel: workers=%d: %w", w, err)
 		}
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
-		row := &ParallelResult{Workers: w, FindMS: ms, GTLs: len(res.GTLs)}
+		row := &ParallelResult{Workers: w, FindMS: ms, GTLs: len(res.GTLs), Stages: res.Stages}
 		if res.Sched != nil {
 			row.Steals = res.Sched.Steals
 			row.SeedsStolen = res.Sched.SeedsStolen
@@ -162,11 +166,11 @@ func Parallel(ctx context.Context, cfg Config, sweep []int, w io.Writer) (*Paral
 		tbl := report.New(
 			fmt.Sprintf("Parallel scaling, multilevel million-cell workload (%d cells, %d CPUs, flat 1-worker ref %.0f ms)",
 				cells, rec.CPUs, flatMS),
-			"Workers", "Find ms", "Speedup", "vs flat", "Steals", "Seeds stolen", "GTLs", "Match")
+			"Workers", "Find ms", "Speedup", "vs flat", "Steals", "Seeds stolen", "GTLs", "Top stages", "Match")
 		for _, r := range rows {
 			tbl.Row(r.Workers, fmt.Sprintf("%.0f", r.FindMS),
 				fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%.2fx", r.SpeedupVsFlat),
-				r.Steals, r.SeedsStolen, r.GTLs, r.Match)
+				r.Steals, r.SeedsStolen, r.GTLs, r.Stages.Top(3), r.Match)
 		}
 		if err := tbl.Render(w); err != nil {
 			return nil, err

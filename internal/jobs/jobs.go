@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"tanglefind"
 	"tanglefind/api"
 	"tanglefind/internal/store"
+	"tanglefind/internal/telemetry"
 )
 
 // Typed submission failures, mapped to HTTP statuses by the server.
@@ -71,6 +73,15 @@ type Config struct {
 	// MaxJobs bounds retained job records; the oldest terminal records
 	// are retired past this (default 1024).
 	MaxJobs int
+	// Metrics is the telemetry registry the manager registers its job
+	// families in (stage histograms, outcome counters, scrape-mirrored
+	// stats). Nil gets a private registry; the serving layer shares it
+	// through Manager.Registry so one /metrics covers both.
+	Metrics *telemetry.Registry
+	// Logger receives structured job-lifecycle records (queued,
+	// started, finished — with the submitting request's ID and the
+	// stage durations). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -94,6 +105,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 }
 
@@ -137,6 +154,18 @@ type Manager struct {
 
 	levelMu     sync.Mutex
 	runsByLevel map[int]int64 // engine runs keyed by hierarchy levels used (1 = flat)
+
+	// Live metric handles (children resolved once at construction so
+	// terminal paths pay one atomic op per update). The cumulative
+	// stats atomics above are additionally mirrored into counter
+	// families at scrape time — see registerMetrics.
+	log          *slog.Logger
+	stageSeconds *telemetry.HistogramVec
+	jobsFinished *telemetry.CounterVec
+	cacheHitC    *telemetry.Counter
+	cacheMissC   *telemetry.Counter
+	grantFullC   *telemetry.Counter
+	grantCapC    *telemetry.Counter
 }
 
 // New starts a manager and its worker pool.
@@ -151,6 +180,8 @@ func New(cfg Config) *Manager {
 		runsByLevel: make(map[int]int64),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.log = cfg.Logger
+	m.registerMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -158,11 +189,79 @@ func New(cfg Config) *Manager {
 	return m
 }
 
+// Registry returns the registry the manager's job metrics live in, so
+// the serving layer can add its own families and expose one /metrics.
+func (m *Manager) Registry() *telemetry.Registry { return m.cfg.Metrics }
+
+// registerMetrics declares the manager's metric families. Live
+// counters/histograms are updated on the job paths; everything the
+// Stats() call already counts is mirrored into families at scrape
+// time instead, so GET /metrics and GET /v1/stats can never disagree.
+func (m *Manager) registerMetrics() {
+	reg := m.cfg.Metrics
+	m.stageSeconds = reg.HistogramVec("gtl_job_stage_seconds",
+		"Completed-job stage latency in seconds by job kind and stage: queue_wait, engine, merge, plus the engine's own engine_* phases.",
+		nil, "kind", "stage")
+	m.jobsFinished = reg.CounterVec("gtl_jobs_finished_total",
+		"Jobs reaching a terminal state by running, by kind and outcome (done, failed, cancelled). Cache hits are not counted here.",
+		"kind", "outcome")
+	cacheVec := reg.CounterVec("gtl_job_cache_total",
+		"Result-cache consultations for accepted submissions, by outcome (hit, miss).", "result")
+	m.cacheHitC = cacheVec.With("hit")
+	m.cacheMissC = cacheVec.With("miss")
+	grantVec := reg.CounterVec("gtl_worker_grants_total",
+		"Engine-worker grants at job start, by outcome: full means the request fit the pool budget, capped means it was trimmed.", "outcome")
+	m.grantFullC = grantVec.With("full")
+	m.grantCapC = grantVec.With("capped")
+
+	// Scrape-time mirrors of the /v1/stats payload.
+	submitted := reg.Counter("gtl_jobs_submitted_total", "Accepted job submissions (including cache hits) since process start.")
+	cacheHits := reg.Counter("gtl_job_cache_hits_total", "Submissions answered from the result cache without engine work.")
+	engineRuns := reg.Counter("gtl_engine_runs_total", "Jobs that actually ran the finder engine.")
+	incrRuns := reg.Counter("gtl_incremental_runs_total", "Completed find_incremental engine runs.")
+	incrFallbacks := reg.Counter("gtl_incremental_fallbacks_total", "Incremental runs that degraded to a full re-detection.")
+	lintRuns := reg.Counter("gtl_lint_runs_total", "Completed lint engine runs.")
+	lintIncr := reg.Counter("gtl_lint_incremental_total", "Lint runs answered incrementally from a parent report.")
+	seedsStolen := reg.Counter("gtl_parallel_seeds_stolen_total", "Seeds migrated between engine workers by the work-stealing scheduler.")
+	queueDepth := reg.Gauge("gtl_jobs_queue_depth", "Jobs accepted but not yet picked up by a worker.")
+	queued := reg.Gauge("gtl_jobs_queued", "Jobs currently in the queued state.")
+	running := reg.Gauge("gtl_jobs_running", "Jobs currently running.")
+	inFlight := reg.GaugeVec("gtl_jobs_in_flight", "Non-terminal jobs (queued + running) by job kind.", "kind")
+	cachedResults := reg.Gauge("gtl_job_cached_results", "Entries currently held by the result cache.")
+	incrBytes := reg.Gauge("gtl_incremental_state_bytes", "Estimated memory retained by recorded incremental seed states.")
+	byLevels := reg.CounterVec("gtl_engine_runs_by_levels_total", "Completed engine runs by hierarchy levels actually used (1 = flat).", "levels")
+	reg.OnScrape(func() {
+		st := m.Stats()
+		submitted.Set(float64(st.Submitted))
+		cacheHits.Set(float64(st.CacheHits))
+		engineRuns.Set(float64(st.EngineRuns))
+		incrRuns.Set(float64(st.IncrementalRuns))
+		incrFallbacks.Set(float64(st.IncrementalFallbacks))
+		lintRuns.Set(float64(st.LintRuns))
+		lintIncr.Set(float64(st.LintIncremental))
+		seedsStolen.Set(float64(st.ParallelSeedsStolen))
+		queueDepth.Set(float64(st.QueueDepth))
+		queued.Set(float64(st.Queued))
+		running.Set(float64(st.Running))
+		cachedResults.Set(float64(st.CachedSets))
+		incrBytes.Set(float64(st.IncrStateBytes))
+		for _, k := range []api.Kind{api.KindFind, api.KindCluster, api.KindDecompose, api.KindFindIncremental, api.KindLint} {
+			inFlight.With(string(k)).Set(float64(st.InFlightByKind[string(k)]))
+		}
+		for lv, n := range st.RunsByLevels {
+			byLevels.With(lv).Set(float64(n))
+		}
+	})
+}
+
 // Job is one unit of work. All mutable state is behind mu; the
 // identity fields are immutable after Submit.
 type Job struct {
-	id       string
-	kind     api.Kind
+	id   string
+	kind api.Kind
+	// reqID is the HTTP request ID that submitted the job, carried
+	// through statuses and logs so one curl correlates end to end.
+	reqID    string
 	digest   string
 	opt      tanglefind.Options
 	maxPins  int
@@ -250,6 +349,7 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		kind:     req.Kind,
+		reqID:    req.RequestID,
 		digest:   req.Digest,
 		opt:      opt,
 		maxPins:  maxPins,
@@ -264,7 +364,7 @@ func (m *Manager) Submit(req api.JobRequest) (api.JobStatus, error) {
 		created:  time.Now(),
 		subs:     make(map[int]chan api.Event),
 	}
-	return m.enqueue(j)
+	return m.accept(j)
 }
 
 // submitLint validates a lint request and builds its job. Lint jobs
@@ -291,6 +391,7 @@ func (m *Manager) submitLint(req api.JobRequest) (api.JobStatus, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		kind:     req.Kind,
+		reqID:    req.RequestID,
 		digest:   req.Digest,
 		timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
 		cacheKey: lintKey(req.Digest, cfg),
@@ -304,7 +405,24 @@ func (m *Manager) submitLint(req api.JobRequest) (api.JobStatus, error) {
 		created:  time.Now(),
 		subs:     make(map[int]chan api.Event),
 	}
-	return m.enqueue(j)
+	return m.accept(j)
+}
+
+// accept enqueues the job and, off the manager lock, emits the
+// structured submission record.
+func (m *Manager) accept(j *Job) (api.JobStatus, error) {
+	st, err := m.enqueue(j)
+	if err != nil {
+		return st, err
+	}
+	msg := "job queued"
+	if st.Cached {
+		msg = "job served from cache"
+	}
+	m.log.Info(msg,
+		"job_id", st.ID, "kind", string(j.kind), "digest", j.digest,
+		"request_id", j.reqID)
+	return st, nil
 }
 
 // enqueue consults the result cache and either answers immediately
@@ -331,6 +449,7 @@ func (m *Manager) enqueue(j *Job) (api.JobStatus, error) {
 		// cached result without consuming a queue slot or worker.
 		m.submitted.Add(1)
 		m.cacheHits.Add(1)
+		m.cacheHitC.Inc()
 		cancel()
 		j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
 		now := time.Now()
@@ -349,6 +468,7 @@ func (m *Manager) enqueue(j *Job) (api.JobStatus, error) {
 	// Accepted: only now does the submission count, so rejected
 	// requests don't inflate the stats.
 	m.submitted.Add(1)
+	m.cacheMissC.Inc()
 	j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
 	m.pending = append(m.pending, j)
 	m.cond.Signal()
@@ -429,6 +549,7 @@ func (m *Manager) Cancel(id string) (api.JobStatus, error) {
 		// that case the context cancellation below still stops it.
 		if j.finish(api.StateCancelled, nil, "cancelled before start") {
 			m.cancelled.Add(1)
+			m.observeFinish(j, "cancelled", nil)
 		}
 	}
 	j.cancel()
@@ -477,12 +598,20 @@ func (m *Manager) Stats() api.JobStats {
 	}
 	m.levelMu.Unlock()
 	m.mu.Lock()
+	st.QueueDepth = len(m.pending)
 	for _, j := range m.jobs {
-		switch j.Status().State {
+		jst := j.Status()
+		switch jst.State {
 		case api.StateQueued:
 			st.Queued++
 		case api.StateRunning:
 			st.Running++
+		}
+		if !jst.State.Terminal() {
+			if st.InFlightByKind == nil {
+				st.InFlightByKind = make(map[string]int)
+			}
+			st.InFlightByKind[string(jst.Kind)]++
 		}
 	}
 	m.mu.Unlock()
@@ -546,14 +675,17 @@ func (m *Manager) run(j *Job) {
 		// Cancelled while queued (explicitly or by a forced shutdown).
 		if j.finish(api.StateCancelled, nil, "cancelled before start") {
 			m.cancelled.Add(1)
+			m.observeFinish(j, "cancelled", nil)
 		}
 		return
 	}
 	if !j.tryStart() {
 		return // lost the race with Cancel
 	}
+	stages := tanglefind.StageTimings{}
+	stages.Add("queue_wait", j.queueWait())
 	if j.kind == api.KindLint {
-		m.runLint(j)
+		m.runLint(j, stages)
 		return
 	}
 	ctx, cancel := j.ctx, func() {}
@@ -568,6 +700,7 @@ func (m *Manager) run(j *Job) {
 	defer m.releaseWorkers(grant)
 	opt.Workers = grant
 	m.engineRuns.Add(1)
+	engineStart := time.Now()
 	var res *tanglefind.Result
 	var err error
 	if j.kind == api.KindFindIncremental {
@@ -587,6 +720,8 @@ func (m *Manager) run(j *Job) {
 	} else {
 		res, err = j.finder.Find(ctx, opt)
 	}
+	stages.Add("engine", time.Since(engineStart))
+	mergeStart := time.Now()
 	if err == nil && res != nil && res.IncrState != nil {
 		// Retain the recorded state (keyed by digest + result-affecting
 		// options) so deltas derived from this digest run incrementally.
@@ -612,10 +747,12 @@ func (m *Manager) run(j *Job) {
 		case errors.Is(err, context.Canceled):
 			if j.finish(api.StateCancelled, nil, "cancelled") {
 				m.cancelled.Add(1)
+				m.observeFinish(j, "cancelled", stages)
 			}
 		default: // deadline exceeded or an engine error
 			if j.finish(api.StateFailed, nil, err.Error()) {
 				m.failed.Add(1)
+				m.observeFinish(j, "failed", stages)
 			}
 		}
 		return
@@ -624,13 +761,38 @@ func (m *Manager) run(j *Job) {
 	if err := j.applyMitigation(res, out); err != nil {
 		if j.finish(api.StateFailed, nil, err.Error()) {
 			m.failed.Add(1)
+			m.observeFinish(j, "failed", stages)
 		}
 		return
 	}
+	for name, d := range res.Stages {
+		stages.Add("engine_"+name, d)
+	}
+	// The breakdown must be complete before the cache put: cached
+	// JobResult pointers are shared across submissions and immutable.
+	stages.Add("merge", time.Since(mergeStart))
+	out.Stages = stages
 	m.cache.put(j.cacheKey, out)
 	if j.finish(api.StateDone, out, "") {
 		m.completed.Add(1)
+		m.observeFinish(j, "done", stages)
 	}
+}
+
+// observeFinish records a terminal outcome off the job and manager
+// locks: the per-kind outcome counter, the stage-latency histograms
+// (completed runs only — failures have no meaningful breakdown) and a
+// structured lifecycle record correlated by request ID.
+func (m *Manager) observeFinish(j *Job, outcome string, stages tanglefind.StageTimings) {
+	m.jobsFinished.With(string(j.kind), outcome).Inc()
+	if outcome == "done" {
+		for stage, d := range stages {
+			m.stageSeconds.With(string(j.kind), stage).Observe(d.Seconds())
+		}
+	}
+	m.log.Info("job finished",
+		"job_id", j.id, "kind", string(j.kind), "outcome", outcome,
+		"request_id", j.reqID, "stages", stages.String())
 }
 
 // acquireWorkers grants a starting job its engine-goroutine share:
@@ -655,6 +817,9 @@ func (m *Manager) acquireWorkers(requested int) int {
 	}
 	if grant < requested {
 		m.grantsCapped.Add(1)
+		m.grantCapC.Inc()
+	} else {
+		m.grantFullC.Inc()
 	}
 	m.grantsInUse += grant
 	return grant
@@ -673,8 +838,9 @@ func (m *Manager) releaseWorkers(grant int) {
 // available, from scratch otherwise. The finished report is retained
 // in the lint-state LRU so the next delta in the chain stays
 // incremental.
-func (m *Manager) runLint(j *Job) {
+func (m *Manager) runLint(j *Job, stages tanglefind.StageTimings) {
 	m.lintRuns.Add(1)
+	engineStart := time.Now()
 	var rep *tanglefind.LintReport
 	if j.parent != "" {
 		if prev, ok := m.lints.get(lintKey(j.parent, j.lintCfg)); ok {
@@ -689,11 +855,16 @@ func (m *Manager) runLint(j *Job) {
 	if rep == nil {
 		rep = tanglefind.Lint(j.lintNl, j.lintCfg)
 	}
+	stages.Add("engine", time.Since(engineStart))
+	mergeStart := time.Now()
 	m.lints.put(j.cacheKey, rep)
 	out := &api.JobResult{Lint: rep}
+	stages.Add("merge", time.Since(mergeStart))
+	out.Stages = stages
 	m.cache.put(j.cacheKey, out)
 	if j.finish(api.StateDone, out, "") {
 		m.completed.Add(1)
+		m.observeFinish(j, "done", stages)
 	}
 }
 
@@ -813,6 +984,17 @@ func (j *Job) tryStart() bool {
 	return true
 }
 
+// queueWait reports how long the job sat between submission and its
+// worker picking it up. Called by the running worker after tryStart.
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started != nil {
+		return j.started.Sub(j.created)
+	}
+	return time.Since(j.created)
+}
+
 // setProgress records the latest engine snapshot and fans it out.
 func (j *Job) setProgress(p tanglefind.Progress) {
 	j.mu.Lock()
@@ -858,6 +1040,7 @@ func (j *Job) Status() api.JobStatus {
 	st := api.JobStatus{
 		ID:         j.id,
 		Kind:       j.kind,
+		RequestID:  j.reqID,
 		Digest:     j.digest,
 		State:      j.state,
 		Cached:     j.cached,
@@ -894,9 +1077,15 @@ func (j *Job) subscribe() (chan api.Event, func()) {
 	}
 }
 
-// eventLocked builds the current event; callers hold j.mu.
+// eventLocked builds the current event; callers hold j.mu. Terminal
+// events carry the finished result's stage breakdown so stream
+// consumers get the timings without a second status fetch.
 func (j *Job) eventLocked() api.Event {
-	return api.Event{JobID: j.id, State: j.state, Progress: j.progress, Error: j.errMsg}
+	ev := api.Event{JobID: j.id, State: j.state, Progress: j.progress, Error: j.errMsg}
+	if j.state.Terminal() && j.result != nil {
+		ev.Stages = j.result.Stages
+	}
+	return ev
 }
 
 // publishLocked fans the current event out to every subscriber. Slow

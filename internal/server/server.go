@@ -14,22 +14,34 @@
 //	GET    /v1/jobs/{id}/events    Server-Sent Events progress stream
 //	GET    /v1/stats               job + registry statistics
 //	GET    /v1/healthz             liveness probe (plain "ok")
+//	GET    /metrics                Prometheus text exposition
+//
+// Every response carries an X-Request-ID header (honoring the
+// client's, minting one otherwise); the same ID is attached to the
+// submitted job and every structured log record the request produces.
 //
 // Error responses carry api.ErrorResponse bodies; submission
 // backpressure surfaces as 429 with a Retry-After hint.
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"time"
 
 	"tanglefind"
 	"tanglefind/api"
 	"tanglefind/internal/jobs"
 	"tanglefind/internal/store"
+	"tanglefind/internal/telemetry"
 )
 
 // maxUploadBytes bounds one netlist payload; a 256 MiB .tfb holds
@@ -43,11 +55,36 @@ type Server struct {
 	store *store.Store
 	mgr   *jobs.Manager
 	mux   *http.ServeMux
+	log   *slog.Logger
+	reg   *telemetry.Registry
+
+	httpSeconds *telemetry.HistogramVec
 }
 
-// New wires the routes.
-func New(st *store.Store, mgr *jobs.Manager) *Server {
-	s := &Server{store: st, mgr: mgr, mux: http.NewServeMux()}
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithLogger routes request and lifecycle records to l. The default
+// discards them.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// New wires the routes. The server registers its HTTP and registry
+// metrics in the manager's telemetry registry so GET /metrics covers
+// all three layers.
+func New(st *store.Store, mgr *jobs.Manager, opts ...Option) *Server {
+	s := &Server{
+		store: st,
+		mgr:   mgr,
+		mux:   http.NewServeMux(),
+		log:   slog.New(slog.DiscardHandler),
+		reg:   mgr.Registry(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.registerMetrics()
 	s.mux.HandleFunc("POST /v1/netlists", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/netlists", s.handleNetlists)
 	s.mux.HandleFunc("GET /v1/netlists/{digest}", s.handleNetlist)
@@ -62,11 +99,120 @@ func New(st *store.Store, mgr *jobs.Manager) *Server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the routed http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// registerMetrics declares the server's families: request latency by
+// route, plus scrape-time mirrors of the registry's memory state (the
+// same numbers GET /v1/stats reports under "store").
+func (s *Server) registerMetrics() {
+	s.httpSeconds = s.reg.HistogramVec("gtl_http_request_seconds",
+		"HTTP request latency in seconds by matched route pattern and status code.",
+		nil, "route", "status")
+	netlists := s.reg.Gauge("gtl_store_netlists_loaded", "Netlists currently resident in the registry.")
+	tombstones := s.reg.Gauge("gtl_store_tombstones", "Evicted netlists whose metadata is retained.")
+	pinsLoaded := s.reg.Gauge("gtl_store_pins_loaded", "Total pins across resident netlists.")
+	pinBudget := s.reg.Gauge("gtl_store_pin_budget", "Registry eviction threshold in pins; 0 means unlimited.")
+	engineBytes := s.reg.Gauge("gtl_store_engine_bytes", "Estimated memory retained by cached finder engines beyond the netlists.")
+	evictions := s.reg.Counter("gtl_store_evictions_total", "Netlists evicted from the registry since process start.")
+	s.reg.OnScrape(func() {
+		st := s.store.Stats()
+		netlists.Set(float64(st.Netlists))
+		tombstones.Set(float64(st.Tombstones))
+		pinsLoaded.Set(float64(st.PinsLoaded))
+		pinBudget.Set(float64(st.PinBudget))
+		engineBytes.Set(float64(st.EngineBytes))
+		evictions.Set(float64(st.Evictions))
+	})
+}
+
+// ctxKey namespaces request-scoped context values.
+type ctxKey int
+
+const ridKey ctxKey = iota
+
+// newRequestID mints a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unidentified" // crypto/rand failing means bigger problems
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Handler returns the routed http.Handler wrapped in the telemetry
+// middleware: request-ID assignment (honoring X-Request-ID), the
+// route-labeled latency histogram, and one structured record per
+// request.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey, rid))
+		// Label by the mux pattern, not the raw path: bounded metric
+		// cardinality no matter what paths clients probe.
+		_, route := s.mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.httpSeconds.With(route, strconv.Itoa(sw.code())).Observe(elapsed.Seconds())
+		s.log.Info("http request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", sw.code(),
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"request_id", rid)
+	})
+}
+
+// statusWriter records the response code for the latency labels. It
+// implements http.Flusher unconditionally so the SSE handler's
+// Flusher assertion keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// handleMetrics serves the Prometheus text exposition for all three
+// layers (server, jobs, store — they share one registry).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
@@ -143,6 +289,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parse job request: %w", err))
 		return
+	}
+	// The submitting request's ID travels with the job; any client-set
+	// field value is overridden by the header-derived ID.
+	if rid, ok := r.Context().Value(ridKey).(string); ok {
+		req.RequestID = rid
 	}
 	st, err := s.mgr.Submit(req)
 	if err != nil {

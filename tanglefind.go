@@ -49,6 +49,7 @@ import (
 	"tanglefind/internal/netlist"
 	"tanglefind/internal/place"
 	"tanglefind/internal/route"
+	"tanglefind/internal/telemetry"
 )
 
 // Netlist is a hypergraph of cells and nets. See Builder.
@@ -107,6 +108,18 @@ type ShardResult = core.ShardResult
 // work-stealing traffic (Result.Sched). Purely diagnostic — results
 // are bit-identical for any worker count.
 type SchedStats = core.SchedStats
+
+// StageTimings is the flat stage-name → wall-time breakdown attached
+// to every completed run (Result.Stages) and, with the jobs layer's
+// queue_wait/engine/merge stamps added, to every finished job result.
+// It marshals to JSON as {"stage": milliseconds}. See Result.Stages
+// for the stage names and their overlap semantics.
+type StageTimings = telemetry.StageTimings
+
+// SetStageTiming switches the engine's per-seed stage accounting on
+// or off (default on), returning the previous setting. It exists for
+// overhead measurement and never affects detection results.
+func SetStageTiming(enabled bool) (prev bool) { return core.SetStageTiming(enabled) }
 
 // ErrUnsupportedOptions is returned for option combinations an engine
 // entry point does not implement. The full feature matrix — multilevel
