@@ -857,3 +857,54 @@ func BenchmarkFind_Instrumented(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFind_HotPath is the CI single-core smoke for the absorb-loop
+// overhaul: the flat pipeline at Workers=1 on one workload, once
+// through the retained pre-overhaul baseline loop, once through the
+// optimized loop, and once more with locality-permuted execution
+// (Options.Relabel). The committed BENCH_hotpath.json record holds the
+// full-scale before/after; TestHotPathSpeedupGuard validates it and
+// re-measures the ratio live.
+func BenchmarkFind_HotPath(b *testing.B) {
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  60_000,
+		Blocks: []generate.BlockSpec{{Size: 3000}, {Size: 3000}},
+		Seed:   19,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.NewFinder(rg.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seeds = 48
+	opt.MaxOrderLen = 6000
+	opt.Workers = 1
+	for _, sub := range []struct {
+		name     string
+		baseline bool
+		relabel  bool
+	}{
+		{"baseline", true, false},
+		{"optimized", false, false},
+		{"relabel", false, true},
+	} {
+		f.SetBaselineGrowth(sub.baseline)
+		opt.Relabel = sub.relabel
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			gtls := 0
+			for i := 0; i < b.N; i++ {
+				res, err := f.Find(context.Background(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gtls = len(res.GTLs)
+			}
+			b.ReportMetric(float64(gtls), "GTLs")
+		})
+	}
+	f.SetBaselineGrowth(false)
+}

@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		scale   = flag.String("scale", "small", "workload scale: small, medium, full, or a numeric factor like 0.25")
-		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental,parallel,lint")
+		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,inflation,ablation,multilevel,incremental,parallel,hotpath,lint")
 		seeds   = flag.Int("seeds", 0, "override finder seed count (0 = preset)")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		workers = flag.String("workers", "", "engine workers: a count applied to every experiment, or a comma list / \"sweep\" (1,2,4,NumCPU) selecting the parallel experiment's sweep rows")
@@ -167,6 +167,20 @@ func main() {
 		if *dump != "" {
 			path := filepath.Join(*dump, "BENCH_parallel.json")
 			if err := experiments.WriteParallelRecord(path, rec); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if run("hotpath") {
+		rec, err := experiments.HotPath(ctx, cfg, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *dump != "" {
+			path := filepath.Join(*dump, "BENCH_hotpath.json")
+			if err := experiments.WriteHotPathRecord(path, rec); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n\n", path)

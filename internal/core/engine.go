@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"tanglefind/internal/ds"
 	"tanglefind/internal/group"
@@ -58,6 +59,16 @@ type Finder struct {
 	nl *netlist.Netlist
 	aG float64
 
+	// rank is non-nil only on relabel shadow engines: rank[permuted id]
+	// = original id. acquire threads it into every grower and heap so
+	// the shadow's tie-breaks and materialization order mirror the
+	// unpermuted engine's (see relabel.go).
+	rank []int32
+
+	// baseline routes every growth through the retained pre-overhaul
+	// absorb loop (see addCellBaseline); toggled by SetBaselineGrowth.
+	baseline atomic.Bool
+
 	poolMu  sync.Mutex
 	free    []*workerState // idle states; len <= poolCap
 	poolCap int
@@ -65,6 +76,9 @@ type Finder struct {
 	mlMu    sync.Mutex
 	ml      map[mlKey]*mlEntry // cached hierarchies + per-level sub-engines
 	mlOrder []mlKey            // insertion order, for bounded eviction
+
+	shMu sync.Mutex
+	sh   *shadowState // lazily built relabel shadow (see relabel.go)
 }
 
 // workerState is the reusable per-worker scratch: one Phase I grower
@@ -76,16 +90,24 @@ type workerState struct {
 }
 
 // memoryFootprint estimates the state's retained bytes from the actual
-// capacities of its buffers.
+// capacities of its buffers. Entry sizes come from unsafe.Sizeof so the
+// accounting tracks layout changes instead of hardcoding them.
 func (ws *workerState) memoryFootprint() int64 {
 	g := ws.gr
-	b := int64(cap(g.front))*16 + int64(cap(g.touched))*4 + int64(cap(g.examined))*4
+	b := int64(cap(g.front)) * int64(unsafe.Sizeof(frontEntry{}))
+	b += int64(cap(g.outs)) * int64(unsafe.Sizeof(outsEntry{}))
+	b += int64(cap(g.arena))*4 + int64(cap(g.pend))*4
+	b += int64(cap(g.touched))*4 + int64(cap(g.examined))*4
 	b += int64(cap(g.combo.buf))*4 + int64(cap(g.combo.best))*4
 	for _, s := range g.combo.sorted {
 		b += int64(cap(s)) * 4
 	}
 	b += g.heap.MemoryFootprint()
+	b += g.bheap.MemoryFootprint()
 	b += g.tracker.MemoryFootprint()
+	if g.btracker != nil {
+		b += g.btracker.MemoryFootprint()
+	}
 	b += int64(cap(g.ord.Members))*4 + int64(cap(g.ord.Cuts))*4 + int64(cap(g.ord.Pins))*8
 	b += int64(cap(g.curve.Scores)) * 8
 	b += ws.ev.MemoryFootprint()
@@ -120,6 +142,16 @@ func (f *Finder) SetPoolCap(n int) {
 	}
 	f.poolMu.Unlock()
 	f.forEachSubFinder(func(sub *Finder) { sub.SetPoolCap(n) })
+	if sh := f.shadowIfBuilt(); sh != nil {
+		sh.pf.SetPoolCap(n)
+	}
+}
+
+// shadowIfBuilt returns the relabel shadow without building one.
+func (f *Finder) shadowIfBuilt() *shadowState {
+	f.shMu.Lock()
+	defer f.shMu.Unlock()
+	return f.sh
 }
 
 // TrimPool drops every idle pooled worker state, in this engine and in
@@ -130,6 +162,9 @@ func (f *Finder) TrimPool() {
 	f.free = nil
 	f.poolMu.Unlock()
 	f.forEachSubFinder(func(sub *Finder) { sub.TrimPool() })
+	if sh := f.shadowIfBuilt(); sh != nil {
+		sh.pf.TrimPool()
+	}
 }
 
 // PooledStates returns the number of idle worker states currently
@@ -157,6 +192,7 @@ func (f *Finder) MemoryEstimate() int64 {
 			b += s.finders[l].MemoryEstimate()
 		}
 	}
+	b += f.shadowMemoryEstimate()
 	return b
 }
 
@@ -199,7 +235,26 @@ func (f *Finder) acquire(opt *Options) *workerState {
 	ws.gr.opt = opt
 	ws.gr.phases = phaseAcc{}
 	ws.gr.timed = !stageTimingOff.Load()
+	ws.gr.rank = f.rank
+	ws.gr.heap.SetRank(f.rank)
+	ws.gr.bheap.rank = f.rank
+	ws.gr.baseline = f.baseline.Load()
 	return ws
+}
+
+// SetBaselineGrowth switches the engine between the optimized absorb
+// loop (default) and the retained pre-overhaul reference loop. The two
+// produce bit-identical results; the reference exists as the timing
+// baseline for the hotpath experiment and as the golden oracle for the
+// differential tests. The switch applies to runs started after the
+// call; it does not reach into cached multilevel sub-engines' shadow
+// state beyond routing their acquires the same way.
+func (f *Finder) SetBaselineGrowth(on bool) {
+	f.baseline.Store(on)
+	f.forEachSubFinder(func(sub *Finder) { sub.SetBaselineGrowth(on) })
+	if sh := f.shadowIfBuilt(); sh != nil {
+		sh.pf.SetBaselineGrowth(on)
+	}
 }
 
 func (f *Finder) release(ws *workerState) {
@@ -350,7 +405,31 @@ func (f *Finder) FindShard(ctx context.Context, opt Options, lo, hi int) (*Shard
 // findShard is the validated core of FindShard, taking a precomputed
 // plan so Find does not derive the schedule twice per run. With record
 // set it captures per-seed incremental state alongside the outcomes.
+//
+// Under Options.Relabel the shard executes on the engine's
+// locality-permuted shadow: the plan's seed cells are translated into
+// permuted id space, the shadow runs the growth phases there, and
+// every id-bearing output (traces, candidate members, incremental
+// records and footprints) is translated back before the shard is
+// returned — everything downstream (assemble, prune, Merge, replay)
+// stays in original id space.
 func (f *Finder) findShard(ctx context.Context, opt *Options, plan seedPlan, lo, hi int, record bool) (*ShardResult, error) {
+	if opt.Relabel {
+		sh, err := f.shadow()
+		if err != nil {
+			return nil, err
+		}
+		sr, err := sh.pf.runShard(ctx, opt, sh.translatePlan(plan), lo, hi, record)
+		if sr != nil {
+			sh.translateShardOut(sr)
+		}
+		return sr, err
+	}
+	return f.runShard(ctx, opt, plan, lo, hi, record)
+}
+
+// runShard executes the shard on this engine's own id space.
+func (f *Finder) runShard(ctx context.Context, opt *Options, plan seedPlan, lo, hi int, record bool) (*ShardResult, error) {
 	start := time.Now()
 
 	// Only first occurrences run; duplicates inherit the owner's result.

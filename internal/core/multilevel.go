@@ -392,10 +392,10 @@ func (g *grower) refineBoundary(members []netlist.CellID, rounds, skip int, m Me
 				continue // K-factor: huge cut nets carry no boundary signal
 			}
 			for _, w := range g.nl.NetPins(e) {
-				if t.Has(int(w)) || g.front[w].epoch == g.epoch {
+				if t.Has(int(w)) || g.front[w].stamp&epochMask == g.epoch {
 					continue
 				}
-				g.front[w].epoch = g.epoch
+				g.front[w].stamp = g.epoch
 				frontier = append(frontier, w)
 			}
 		}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Relabel is a result-affecting option (member order inside groups can
+// differ from the unpermuted engine), so it must round-trip through
+// the JSON surface and participate in IncrementalKey — recorded state
+// from a relabeled run must not be replayed into an unpermuted run's
+// cache slot or vice versa.
+func TestOptionsRelabelSurface(t *testing.T) {
+	opt, err := ParseOptions([]byte(`{"relabel": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Relabel {
+		t.Fatal("relabel did not parse")
+	}
+
+	data, err := json.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"relabel":true`) {
+		t.Fatalf("marshal dropped relabel: %s", data)
+	}
+
+	// omitempty: pre-existing payloads and keys are byte-stable.
+	def := DefaultOptions()
+	data, err = json.Marshal(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "relabel") {
+		t.Fatalf("default marshal mentions relabel: %s", data)
+	}
+
+	on := def
+	on.Relabel = true
+	if def.IncrementalKey() == on.IncrementalKey() {
+		t.Fatal("IncrementalKey ignores Relabel")
+	}
+	// Scheduling-only fields still collapse onto one key.
+	w := on
+	w.Workers = 8
+	if w.IncrementalKey() != on.IncrementalKey() {
+		t.Fatal("IncrementalKey depends on Workers")
+	}
+}

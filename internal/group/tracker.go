@@ -23,28 +23,70 @@ import (
 // reallocating. Tracker is not safe for concurrent use — the finder
 // gives each parallel seed its own.
 type Tracker struct {
-	nl      *netlist.Netlist
-	in      *ds.Bitset
-	pinsIn  []int32 // per net: pins inside the group
+	nl *netlist.Netlist
+	in *ds.Bitset
+	// state holds, per net, λ(e)<<2 | wide<<1 | connected: the net's
+	// outside-pin count, a frozen NetSize ≥ WideNetMin flag, and whether
+	// the group has reached the net yet. Untouched nets sit at
+	// NetSize<<2 | wide<<1. Encoding λ rather than the inside count lets
+	// Add and DeltaCut decide every cut transition from this single
+	// value — "becomes cut" is an untouched net with λ≥2 (state ≥ 8,
+	// low bit 0), "becomes internal" is a connected net at λ=1
+	// (state>>2 == 1, low bit 1) — so the hot loops touch one array
+	// where the inside-count encoding needed a NetSize load from a
+	// second one per net. The wide bit rides along into AbsorbInfo so
+	// the finder's absorb loop can pick its walk strategy without a
+	// NetSize load either.
+	state   []int32
 	touched []netlist.NetID
 	members []netlist.CellID
-	cut     int // T(S)
-	pins    int // Σ_{c∈S} deg(c)
+	// absorb holds, per net of the most recently Added cell and
+	// aligned with its CellPins run, the AbsorbInfo encoding. Add
+	// fills it during its own cut-bookkeeping walk so the finder's
+	// absorb loop never re-reads the net state for the same nets.
+	absorb []int32
+	cut    int // T(S)
+	pins   int // Σ_{c∈S} deg(c)
+}
+
+// WideNetMin is the pin count from which a net carries the wide flag
+// in its state word and in AbsorbInfo. The finder's absorb loop keys
+// its walk strategy off it: wide nets amortize a materialized live
+// outside-pin list, narrow nets walk their pin run directly.
+const WideNetMin = 16
+
+// AbsorbInfo bit layout (see AbsorbInfo).
+const (
+	AbsorbNewBit  = 1 << 0 // the add connected the net to the group
+	AbsorbWideBit = 1 << 1 // NetSize(e) >= WideNetMin
+	AbsorbShift   = 2      // λ(e) lives in the bits above
+)
+
+func initialState(sz int) int32 {
+	s := int32(sz) << AbsorbShift
+	if sz >= WideNetMin {
+		s |= AbsorbWideBit
+	}
+	return s
 }
 
 // NewTracker returns an empty tracker over nl.
 func NewTracker(nl *netlist.Netlist) *Tracker {
-	return &Tracker{
-		nl:     nl,
-		in:     ds.NewBitset(nl.NumCells()),
-		pinsIn: make([]int32, nl.NumNets()),
+	t := &Tracker{
+		nl:    nl,
+		in:    ds.NewBitset(nl.NumCells()),
+		state: make([]int32, nl.NumNets()),
 	}
+	for n := range t.state {
+		t.state[n] = initialState(nl.NetSize(netlist.NetID(n)))
+	}
+	return t
 }
 
 // Reset empties the group, retaining all allocations.
 func (t *Tracker) Reset() {
 	for _, n := range t.touched {
-		t.pinsIn[n] = 0
+		t.state[n] = initialState(t.nl.NetSize(n))
 	}
 	t.touched = t.touched[:0]
 	t.members = t.members[:0]
@@ -60,8 +102,9 @@ func (t *Tracker) Netlist() *netlist.Netlist { return t.nl }
 // bitset, per-net pin counts and scratch capacity), for engine memory
 // accounting.
 func (t *Tracker) MemoryFootprint() int64 {
-	return int64(t.in.Capacity())/8 + int64(cap(t.pinsIn))*4 +
-		int64(cap(t.touched))*4 + int64(cap(t.members))*4
+	return int64(t.in.Capacity())/8 + int64(cap(t.state))*4 +
+		int64(cap(t.touched))*4 + int64(cap(t.members))*4 +
+		int64(cap(t.absorb))*4
 }
 
 // Size returns |S|.
@@ -88,7 +131,9 @@ func (t *Tracker) Has(c int) bool { return t.in.Has(c) }
 func (t *Tracker) Members() []netlist.CellID { return t.members }
 
 // NetPinsIn returns |e ∩ S| for net n.
-func (t *Tracker) NetPinsIn(n netlist.NetID) int { return int(t.pinsIn[n]) }
+func (t *Tracker) NetPinsIn(n netlist.NetID) int {
+	return t.nl.NetSize(n) - int(t.state[n]>>AbsorbShift)
+}
 
 // TouchedNets returns every net with at least one member pin, each
 // exactly once, in first-touch order. The slice aliases the tracker's
@@ -99,6 +144,7 @@ func (t *Tracker) TouchedNets() []netlist.NetID { return t.touched }
 
 // Add inserts cell c into the group, updating cut and pin counts in
 // O(deg(c)). It panics if c is already a member (a finder logic error).
+// As a side effect it refreshes the AbsorbInfo scratch for c's nets.
 func (t *Tracker) Add(c netlist.CellID) {
 	if !t.in.Add(int(c)) {
 		panic(fmt.Sprintf("group: cell %d added twice", c))
@@ -106,37 +152,57 @@ func (t *Tracker) Add(c netlist.CellID) {
 	nets := t.nl.CellPins(c)
 	t.pins += len(nets)
 	t.members = append(t.members, c)
+	t.absorb = t.absorb[:0]
 	for _, n := range nets {
-		sz := t.nl.NetSize(n)
-		p := t.pinsIn[n]
-		if p == 0 {
+		s := t.state[n]
+		if s&AbsorbNewBit == 0 {
+			// Net newly connected to the group. λ≥2 (state ≥ 8) means it
+			// had other pins, all outside: it becomes externally
+			// connected. A single-pin net goes straight to fully
+			// internal without ever counting toward the cut.
 			t.touched = append(t.touched, n)
-			if sz > 1 {
-				t.cut++ // net becomes externally connected
+			if s >= 2<<AbsorbShift {
+				t.cut++
 			}
-		}
-		p++
-		t.pinsIn[n] = p
-		if int(p) == sz && sz > 1 {
-			t.cut-- // net became fully internal
+			s += AbsorbNewBit - 1<<AbsorbShift // λ-1, now connected
+			t.state[n] = s
+			t.absorb = append(t.absorb, s)
+		} else {
+			s -= 1 << AbsorbShift // λ-1, stays connected
+			t.state[n] = s
+			if s>>AbsorbShift == 0 {
+				t.cut-- // last outside pin absorbed: net became internal
+			}
+			t.absorb = append(t.absorb, s&^AbsorbNewBit)
 		}
 	}
 }
+
+// AbsorbInfo describes the nets of the most recently Added cell,
+// aligned index-for-index with its CellPins run: each entry encodes
+// λ(e)<<AbsorbShift | wide | newlyConnected, where λ(e) is the net's
+// outside-pin count after the add, AbsorbWideBit marks nets of
+// WideNetMin or more pins, and AbsorbNewBit marks nets the add
+// connected to the group for the first time. The slice aliases tracker
+// scratch — read it before the next Add and do not modify it. It
+// exists so the finder's absorb loop can reuse the state reads Add
+// already paid for instead of making a second pass over the same CSR
+// runs.
+func (t *Tracker) AbsorbInfo() []int32 { return t.absorb }
 
 // DeltaCut returns the change in T(S) if cell c (currently outside)
 // were added. It does not modify the group.
 func (t *Tracker) DeltaCut(c netlist.CellID) int {
 	d := 0
 	for _, n := range t.nl.CellPins(c) {
-		sz := t.nl.NetSize(n)
-		if sz <= 1 {
-			continue
-		}
-		switch int(t.pinsIn[n]) {
-		case 0:
-			d++
-		case sz - 1:
-			d--
+		s := t.state[n]
+		if s&AbsorbNewBit == 0 {
+			if s >= 2<<AbsorbShift {
+				d++ // untouched net with other pins: becomes cut
+			}
+			// λ==1 untouched is a single-pin net: no change.
+		} else if s>>AbsorbShift == 1 {
+			d-- // c is the net's last outside pin: becomes internal
 		}
 	}
 	return d

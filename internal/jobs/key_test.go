@@ -1,0 +1,28 @@
+package jobs
+
+import (
+	"testing"
+
+	"tanglefind"
+	"tanglefind/api"
+)
+
+// TestCacheKeyOptionIdentity pins the canonical cache-key contract:
+// result-affecting options (Relabel among them) produce distinct
+// keys, scheduling-only options (Workers) share one.
+func TestCacheKeyOptionIdentity(t *testing.T) {
+	opt := tanglefind.DefaultOptions()
+	base := cacheKey(api.KindFind, "digest", 64, opt)
+
+	rel := opt
+	rel.Relabel = true
+	if cacheKey(api.KindFind, "digest", 64, rel) == base {
+		t.Fatal("relabel runs share a cache line with unpermuted runs")
+	}
+
+	wrk := opt
+	wrk.Workers = 8
+	if cacheKey(api.KindFind, "digest", 64, wrk) != base {
+		t.Fatal("worker count leaked into the cache key")
+	}
+}

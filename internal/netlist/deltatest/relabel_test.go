@@ -1,0 +1,227 @@
+package deltatest
+
+import (
+	"context"
+	"testing"
+
+	"tanglefind/internal/core"
+	"tanglefind/internal/generate"
+)
+
+// Hot-path equivalence differentials, in two strengths:
+//
+//   - TestOptimizedMatchesBaseline: the overhauled absorb loop
+//     (outside-pin compaction, push coalescing, 4-ary heap) against
+//     the retained pre-overhaul loop, bit-identical via DiffResults —
+//     member order included — across orderings and pipelines.
+//   - TestRelabelMatchesUnpermuted: Options.Relabel (locality-permuted
+//     execution) against the unpermuted engine, set-identical with
+//     scores to 1e-9 via DiffResultsSetwise, across flat, multilevel,
+//     sharded+merged and incremental runs.
+//
+// The CI race shard runs this file under -race alongside the
+// parallel-vs-sequential differential.
+
+func relabelWorkload(t *testing.T) *generate.RandomGraph {
+	t.Helper()
+	rg, err := generate.NewRandomGraph(generate.RandomGraphSpec{
+		Cells:  6000,
+		Blocks: []generate.BlockSpec{{Size: 400}, {Size: 250}},
+		Seed:   31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rg
+}
+
+func TestOptimizedMatchesBaseline(t *testing.T) {
+	ctx := context.Background()
+	nl := relabelWorkload(t).Netlist
+
+	base := core.DefaultOptions()
+	base.Seeds = 24
+	base.MaxOrderLen = 800
+
+	multi := base
+	multi.Levels = 3
+	multi.MinCoarseCells = 512
+
+	cases := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"flat_weighted", base},
+		{"multilevel", multi},
+	}
+	bfs := base
+	bfs.Ordering = core.OrderBFS
+	cases = append(cases, struct {
+		name string
+		opt  core.Options
+	}{"flat_bfs", bfs})
+	mincut := base
+	mincut.Ordering = core.OrderMinCut
+	cases = append(cases, struct {
+		name string
+		opt  core.Options
+	}{"flat_mincut", mincut})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := core.NewFinder(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.SetBaselineGrowth(true)
+			want, err := ref.Find(ctx, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt2, err2 := core.NewFinder(nl)
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			got, err := opt2.Find(ctx, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Zero tolerance: the optimized loop must be bit-identical
+			// to the retained pre-overhaul engine, ordering and all.
+			if err := DiffResults(want, got, 0); err != nil {
+				t.Fatalf("optimized absorb loop diverged from baseline: %v", err)
+			}
+		})
+	}
+}
+
+func TestRelabelMatchesUnpermuted(t *testing.T) {
+	ctx := context.Background()
+	nl := relabelWorkload(t).Netlist
+
+	flat := core.DefaultOptions()
+	flat.Seeds = 24
+	flat.MaxOrderLen = 800
+
+	multi := flat
+	multi.Levels = 3
+	multi.MinCoarseCells = 512 // let a 6K-cell workload actually coarsen
+
+	find := func(t *testing.T, opt core.Options, relabel bool) *core.Result {
+		t.Helper()
+		f, err := core.NewFinder(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Relabel = relabel
+		res, err := f.Find(ctx, opt)
+		if err != nil {
+			t.Fatalf("find (relabel=%v): %v", relabel, err)
+		}
+		if relabel {
+			// The run must actually have built and retained the shadow;
+			// a silently ignored option would make this test vacuous.
+			if f.MemoryEstimate() < nl.MemoryFootprint() {
+				t.Fatalf("relabel run retains %d bytes, expected at least the %d-byte shadow netlist",
+					f.MemoryEstimate(), nl.MemoryFootprint())
+			}
+		}
+		return res
+	}
+
+	for _, tc := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"flat", flat},
+		{"multilevel", multi},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := find(t, tc.opt, false)
+			perm := find(t, tc.opt, true)
+			if err := DiffResultsSetwise(plain, perm, 1e-9); err != nil {
+				t.Fatalf("relabel diverged from unpermuted: %v", err)
+			}
+		})
+
+		t.Run(tc.name+"_sharded", func(t *testing.T) {
+			plain := find(t, tc.opt, false)
+			f, err := core.NewFinder(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := tc.opt
+			opt.Relabel = true
+			mid := opt.Seeds / 2
+			// Out-of-order shard completion is the production shape.
+			hiShard, err := f.FindShard(ctx, opt, mid, opt.Seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loShard, err := f.FindShard(ctx, opt, 0, mid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := f.Merge(opt, hiShard, loShard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := DiffResultsSetwise(plain, merged, 1e-9); err != nil {
+				t.Fatalf("relabel sharded+merged diverged from unpermuted whole run: %v", err)
+			}
+		})
+
+		t.Run(tc.name+"_incremental", func(t *testing.T) {
+			opt := tc.opt
+			opt.RecordIncremental = true
+			// Record under Relabel: the captured records must come back
+			// translated to original id space, or replay on the patched
+			// netlist would guard footprints in the wrong space.
+			prev := find(t, opt, true)
+			if prev.IncrState == nil {
+				t.Fatal("recorded relabel run carries no incremental state")
+			}
+			gen := NewGen(77)
+			d := gen.Reconnect(nl, 3)
+			if d.Empty() {
+				t.Fatal("empty edit")
+			}
+			patched, eff, err := d.Apply(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runOpt := opt
+			runOpt.Relabel = true
+			fi, err := core.NewFinder(patched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incr, err := fi.FindIncremental(ctx, runOpt, prev, eff.Dirty)
+			if err != nil {
+				t.Fatalf("relabel incremental: %v", err)
+			}
+			if incr.Incremental == nil {
+				t.Fatal("incremental run reported no reuse stats")
+			}
+			// Multilevel may legitimately fall back when the edit
+			// reshapes coarsening; the flat path must genuinely reuse —
+			// a fallback there would make the replay differential vacuous.
+			if tc.opt.Levels <= 1 && incr.Incremental.FullFallback {
+				t.Fatalf("flat relabel incremental fell back to a full run: %+v", incr.Incremental)
+			}
+			ff, err := core.NewFinder(patched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullOpt := opt
+			fullOpt.Relabel = false
+			full, err := ff.Find(ctx, fullOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := DiffResultsSetwise(full, incr, 1e-9); err != nil {
+				t.Fatalf("relabel incremental diverged from unpermuted full run: %v", err)
+			}
+		})
+	}
+}

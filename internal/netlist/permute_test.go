@@ -1,0 +1,102 @@
+package netlist
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestLocalityOrderIsPermutation(t *testing.T) {
+	nl := randomTestNetlist(t, 500, 1000, 11)
+	perm := LocalityOrder(nl)
+	if len(perm) != nl.NumCells() {
+		t.Fatalf("perm length %d, want %d", len(perm), nl.NumCells())
+	}
+	seen := make([]bool, len(perm))
+	for old, nw := range perm {
+		if nw < 0 || int(nw) >= len(perm) {
+			t.Fatalf("perm[%d] = %d out of range", old, nw)
+		}
+		if seen[nw] {
+			t.Fatalf("perm maps two cells to %d", nw)
+		}
+		seen[nw] = true
+	}
+}
+
+func TestPermuteCellsPreservesStructure(t *testing.T) {
+	nl := randomTestNetlist(t, 400, 800, 23)
+	perm := LocalityOrder(nl)
+	pnl, err := PermuteCells(nl, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pnl.Validate(); err != nil {
+		t.Fatalf("permuted netlist fails validation: %v", err)
+	}
+	if pnl.NumCells() != nl.NumCells() || pnl.NumNets() != nl.NumNets() {
+		t.Fatalf("shape changed: %d/%d cells, %d/%d nets",
+			pnl.NumCells(), nl.NumCells(), pnl.NumNets(), nl.NumNets())
+	}
+	// Net identity is untouched; each net's pin set maps through perm.
+	for n := NetID(0); int(n) < nl.NumNets(); n++ {
+		want := make([]CellID, 0, nl.NetSize(n))
+		for _, c := range nl.NetPins(n) {
+			want = append(want, perm[c])
+		}
+		slices.Sort(want)
+		got := slices.Clone(pnl.NetPins(n))
+		slices.Sort(got)
+		if !slices.Equal(want, got) {
+			t.Fatalf("net %d pins %v, want %v", n, got, want)
+		}
+	}
+	// Per-cell degree and incident-net sets survive the relabeling.
+	for c := CellID(0); int(c) < nl.NumCells(); c++ {
+		if nl.CellDegree(c) != pnl.CellDegree(perm[c]) {
+			t.Fatalf("cell %d degree %d became %d", c, nl.CellDegree(c), pnl.CellDegree(perm[c]))
+		}
+		want := slices.Clone(nl.CellPins(c))
+		got := slices.Clone(pnl.CellPins(perm[c]))
+		slices.Sort(want)
+		slices.Sort(got)
+		if !slices.Equal(want, got) {
+			t.Fatalf("cell %d incident nets %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestPermuteCellsIdentity(t *testing.T) {
+	nl := randomTestNetlist(t, 120, 240, 5)
+	perm := make([]CellID, nl.NumCells())
+	for i := range perm {
+		perm[i] = CellID(i)
+	}
+	pnl, err := PermuteCells(nl, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := CellID(0); int(c) < nl.NumCells(); c++ {
+		if !slices.Equal(nl.CellPins(c), pnl.CellPins(c)) {
+			t.Fatalf("identity permutation changed cell %d pins", c)
+		}
+	}
+	for n := NetID(0); int(n) < nl.NumNets(); n++ {
+		if !slices.Equal(nl.NetPins(n), pnl.NetPins(n)) {
+			t.Fatalf("identity permutation changed net %d pins", n)
+		}
+	}
+}
+
+func TestPermuteCellsRejectsBadPerm(t *testing.T) {
+	nl := randomTestNetlist(t, 50, 100, 3)
+	if _, err := PermuteCells(nl, make([]CellID, 10)); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	dup := make([]CellID, nl.NumCells())
+	for i := range dup {
+		dup[i] = 0 // everything collapses onto cell 0
+	}
+	if _, err := PermuteCells(nl, dup); err == nil {
+		t.Fatal("non-bijective perm accepted")
+	}
+}
