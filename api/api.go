@@ -72,6 +72,11 @@ func (s State) Terminal() bool {
 // NetlistInfo describes one entry of the content-addressed netlist
 // registry. Digest is the lowercase hex SHA-256 of the uploaded bytes
 // and is the netlist's identity everywhere in the API.
+//
+// GET /v1/netlists returns entries in a documented total order:
+// resident (Loaded) entries most recently used first, then
+// non-resident entries in ascending digest order — two calls over an
+// unchanged registry always agree.
 type NetlistInfo struct {
 	Digest  string  `json:"digest"`
 	Format  string  `json:"format"` // "tfb" or "tfnet", sniffed from content
@@ -290,6 +295,15 @@ type JobStats struct {
 	// fairness clamp that keeps concurrent jobs from oversubscribing
 	// the machine.
 	WorkerGrantsCapped int64 `json:"worker_grants_capped,omitempty"`
+	// CoalescedJobs counts submissions that attached as followers of
+	// an identical in-flight job (same digest+kind+options while a
+	// matching job was queued or running): they received their own job
+	// id, stream and result without an extra engine run. Exactly one
+	// engine run serves a coalesced group.
+	CoalescedJobs int64 `json:"coalesced_jobs,omitempty"`
+	// RewarmedResults counts result-cache entries restored from the
+	// store's journal at startup (durable serving only).
+	RewarmedResults int64 `json:"rewarmed_results,omitempty"`
 }
 
 // StoreStats describes the netlist registry's memory state.
@@ -304,6 +318,27 @@ type StoreStats struct {
 	// scratch plus cached coarsening hierarchies — the footprint the
 	// pin budget alone does not see.
 	EngineBytes int64 `json:"engine_bytes"`
+	// Durable reports whether the registry runs on a persistent
+	// backend (gtlserved -data-dir): ingested payloads, delta lineage
+	// and completed job results survive a restart, and eviction
+	// becomes invisible (the blob is lazily re-parsed on next touch
+	// instead of demanding a re-upload).
+	Durable bool `json:"durable"`
+	// RecoveredNetlists counts registry entries rebuilt from the
+	// journal at startup; their payloads are re-parsed lazily on first
+	// touch, not at recovery time.
+	RecoveredNetlists int `json:"recovered_netlists,omitempty"`
+	// RecoveredResults counts distinct journaled job results handed to
+	// the result cache at startup.
+	RecoveredResults int `json:"recovered_results,omitempty"`
+	// LazyReloads counts blobs re-parsed on touch since startup —
+	// recovered entries resolving for the first time, plus evicted
+	// entries transparently reloading under a durable backend.
+	LazyReloads int64 `json:"lazy_reloads,omitempty"`
+	// JournalTruncatedBytes is the size of the torn journal tail
+	// discarded at startup: non-zero exactly when the previous process
+	// died mid-append, and bounded by one record.
+	JournalTruncatedBytes int64 `json:"journal_truncated_bytes,omitempty"`
 }
 
 // ServerStats is the GET /v1/stats payload: the job manager's

@@ -7,7 +7,13 @@
 // Usage:
 //
 //	gtlserved -addr :8080 -workers 2 -queue 64 \
-//	          -cache-pins 64000000 -cache-results 128
+//	          -cache-pins 64000000 -cache-results 128 \
+//	          -data-dir /var/lib/gtlserved
+//
+// With -data-dir set the registry is durable: uploads, deltas and
+// finished results are journaled to disk and recovered on restart
+// (see the README's "Durability" section). Without it the service
+// serves fully in-memory, exactly as before.
 //
 // Observability: structured logs (request and job lifecycle records,
 // correlated by X-Request-ID) go to stderr; GET /metrics serves the
@@ -50,6 +56,7 @@ type config struct {
 	incrStates    int
 	grace         time.Duration
 	pprofAddr     string
+	dataDir       string
 
 	// ready, when set, receives the bound address once the listener is
 	// up (tests bind :0 and need the real port).
@@ -70,6 +77,7 @@ func main() {
 	flag.IntVar(&cfg.incrStates, "incr-states", 8, "retained incremental seed states for find_incremental jobs (each O(seeds x ordering length) bytes)")
 	flag.DurationVar(&cfg.grace, "grace", 30*time.Second, "shutdown drain deadline")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); empty disables profiling")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist the registry and finished results under this directory and recover them on restart; empty serves in-memory only")
 	flag.Parse()
 
 	ctx, stop := cliutil.SignalContext()
@@ -91,9 +99,29 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		"engine_workers", cfg.engineWorkers, "queue", cfg.queueDepth,
 		"cache_pins", cfg.cachePins, "cache_results", cfg.cacheResults,
 		"incr_states", cfg.incrStates, "grace", cfg.grace.String(),
-		"pprof_addr", cfg.pprofAddr)
+		"pprof_addr", cfg.pprofAddr, "data_dir", cfg.dataDir)
 
-	st := store.New(cfg.cachePins)
+	var st *store.Store
+	if cfg.dataDir != "" {
+		backend, err := store.OpenDisk(cfg.dataDir)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(cfg.cachePins, backend)
+		if err != nil {
+			backend.Close()
+			return fmt.Errorf("recover data dir %s: %w", cfg.dataDir, err)
+		}
+		defer st.Close()
+		sst := st.Stats()
+		logger.Info("recovered data dir",
+			"data_dir", cfg.dataDir,
+			"netlists", sst.RecoveredNetlists,
+			"results", sst.RecoveredResults,
+			"journal_truncated_bytes", sst.JournalTruncatedBytes)
+	} else {
+		st = store.New(cfg.cachePins)
+	}
 	mgr := jobs.New(jobs.Config{
 		Store:         st,
 		Workers:       cfg.workers,

@@ -133,6 +133,13 @@ type Manager struct {
 	jobs    map[string]*Job
 	order   []string // submission order, for listing and retirement
 	closed  bool
+	// inflight is the single-flight table: cacheKey → the job whose
+	// engine run will serve every identical submission arriving while
+	// it is queued or running (those attach as followers instead of
+	// consuming a queue slot and an engine run). Guarded by mu; the
+	// running worker removes its entry before finishing the job, so a
+	// submission can never attach to a run that will not publish to it.
+	inflight map[string]*Job
 
 	nextID        atomic.Int64
 	submitted     atomic.Int64
@@ -147,6 +154,15 @@ type Manager struct {
 	lintIncr      atomic.Int64
 	seedsStolen   atomic.Int64
 	grantsCapped  atomic.Int64
+	coalesced     atomic.Int64
+	rewarmed      atomic.Int64
+	journalErrs   atomic.Int64
+
+	// testMitigationErr, when set by a test, is returned by the
+	// mitigation step of every run — the seam for pinning the
+	// "failed job must not prime caches" invariants, since Cluster/
+	// Decompose cannot be made to fail through the public API.
+	testMitigationErr error
 
 	// grantMu guards the engine-worker budget (see Config.EngineWorkers).
 	grantMu     sync.Mutex
@@ -168,7 +184,10 @@ type Manager struct {
 	grantCapC    *telemetry.Counter
 }
 
-// New starts a manager and its worker pool.
+// New starts a manager and its worker pool. When the store recovered
+// journaled job results at startup (durable serving), they are
+// rewarmed into the result cache before the first submission, so a
+// restart does not turn yesterday's cache hits into engine runs.
 func New(cfg Config) *Manager {
 	cfg.fill()
 	m := &Manager{
@@ -177,11 +196,23 @@ func New(cfg Config) *Manager {
 		incr:        newIncrCache(cfg.IncrStates),
 		lints:       newLintCache(cfg.LintStates),
 		jobs:        make(map[string]*Job),
+		inflight:    make(map[string]*Job),
 		runsByLevel: make(map[int]int64),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.log = cfg.Logger
 	m.registerMetrics()
+	if cfg.Store != nil {
+		for key, raw := range cfg.Store.RecoveredResults() {
+			var res api.JobResult
+			if err := json.Unmarshal(raw, &res); err != nil {
+				m.log.Warn("discarding unreadable journaled result", "key", key, "err", err)
+				continue
+			}
+			m.cache.put(key, &res)
+			m.rewarmed.Add(1)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -223,6 +254,8 @@ func (m *Manager) registerMetrics() {
 	lintRuns := reg.Counter("gtl_lint_runs_total", "Completed lint engine runs.")
 	lintIncr := reg.Counter("gtl_lint_incremental_total", "Lint runs answered incrementally from a parent report.")
 	seedsStolen := reg.Counter("gtl_parallel_seeds_stolen_total", "Seeds migrated between engine workers by the work-stealing scheduler.")
+	coalesced := reg.Counter("gtl_jobs_coalesced_total", "Submissions attached as followers of an identical in-flight job (one engine run serves the whole group).")
+	rewarmed := reg.Counter("gtl_job_results_rewarmed_total", "Result-cache entries restored from the store journal at startup.")
 	queueDepth := reg.Gauge("gtl_jobs_queue_depth", "Jobs accepted but not yet picked up by a worker.")
 	queued := reg.Gauge("gtl_jobs_queued", "Jobs currently in the queued state.")
 	running := reg.Gauge("gtl_jobs_running", "Jobs currently running.")
@@ -240,6 +273,8 @@ func (m *Manager) registerMetrics() {
 		lintRuns.Set(float64(st.LintRuns))
 		lintIncr.Set(float64(st.LintIncremental))
 		seedsStolen.Set(float64(st.ParallelSeedsStolen))
+		coalesced.Set(float64(st.CoalescedJobs))
+		rewarmed.Set(float64(st.RewarmedResults))
 		queueDepth.Set(float64(st.QueueDepth))
 		queued.Set(float64(st.Queued))
 		running.Set(float64(st.Running))
@@ -280,6 +315,12 @@ type Job struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 
+	// leader, when non-nil, marks this job a coalesced follower: its
+	// result comes from the leader's engine run, not a run of its own.
+	// Guarded by the manager's mu (it is only set at accept time and
+	// cleared by promotion inside Cancel).
+	leader *Job
+
 	mu       sync.Mutex
 	state    api.State
 	cached   bool
@@ -291,6 +332,9 @@ type Job struct {
 	finished *time.Time
 	subs     map[int]chan api.Event
 	nextSub  int
+	// followers are identical submissions riding this job's engine
+	// run (see Manager.inflight). Guarded by this job's mu.
+	followers []*Job
 }
 
 // Submit validates a request, resolves its netlist, consults the
@@ -446,19 +490,58 @@ func (m *Manager) enqueue(j *Job) (api.JobStatus, error) {
 	}
 	if res, ok := m.cache.get(j.cacheKey); ok && (!j.opt.RecordIncremental || statePrimed) {
 		// Identical digest+kind+options already computed: serve the
-		// cached result without consuming a queue slot or worker.
+		// cached result without consuming a queue slot or worker. The
+		// hit gets its own shallow copy of the result: engine stages
+		// carry over (they describe the run that produced the data,
+		// clearly attributed by Cached=true), but queue_wait and merge
+		// belong to that first job alone — a hit reports its own,
+		// effectively zero, queue wait instead of another job's.
 		m.submitted.Add(1)
 		m.cacheHits.Add(1)
 		m.cacheHitC.Inc()
 		cancel()
 		j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
 		now := time.Now()
+		hit := *res
+		hit.Stages = ownQueueWait(res.Stages, now.Sub(j.created))
 		j.state = api.StateDone
 		j.cached = true
-		j.result = res
+		j.result = &hit
 		j.finished = &now
 		m.addJobLocked(j)
 		return j.Status(), nil
+	}
+
+	// Single-flight: an identical job already queued or running means
+	// this submission attaches as a follower of that engine run — its
+	// own job id, stream and completion, no queue slot, no second run.
+	// The follower's context stays live: if the leader is cancelled
+	// while queued, a follower is promoted to run in its place.
+	if leader := m.inflight[j.cacheKey]; leader != nil {
+		leader.mu.Lock()
+		if !leader.state.Terminal() {
+			m.submitted.Add(1)
+			m.coalesced.Add(1)
+			m.cacheMissC.Inc()
+			j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
+			j.leader = leader
+			if leader.state == api.StateRunning {
+				// The run is already underway: the follower waited for
+				// nothing, and its state says so immediately.
+				now := time.Now()
+				j.state = api.StateRunning
+				j.started = &now
+			}
+			leader.followers = append(leader.followers, j)
+			leader.mu.Unlock()
+			m.addJobLocked(j)
+			return j.Status(), nil
+		}
+		// The leader reached a terminal state between removing itself
+		// from the table and now — impossible while the worker clears
+		// inflight first, but never attach to a finished run.
+		leader.mu.Unlock()
+		delete(m.inflight, j.cacheKey)
 	}
 
 	if len(m.pending) >= m.cfg.QueueDepth {
@@ -471,9 +554,30 @@ func (m *Manager) enqueue(j *Job) (api.JobStatus, error) {
 	m.cacheMissC.Inc()
 	j.id = fmt.Sprintf("job-%06d", m.nextID.Add(1))
 	m.pending = append(m.pending, j)
+	m.inflight[j.cacheKey] = j
 	m.cond.Signal()
 	m.addJobLocked(j)
 	return j.Status(), nil
+}
+
+// ownQueueWait copies a finished run's stage breakdown for a job that
+// did not run (a cache hit or a coalesced follower): the engine and
+// merge stages carry over (they describe the run that produced the
+// data, clearly attributed by Cached or the coalesced lineage), but
+// the producing run's queue_wait is replaced by this job's own.
+func ownQueueWait(stages tanglefind.StageTimings, wait time.Duration) tanglefind.StageTimings {
+	out := tanglefind.StageTimings{}
+	for name, d := range stages {
+		if name == "queue_wait" {
+			continue
+		}
+		out[name] = d
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	out.Add("queue_wait", wait)
+	return out
 }
 
 // addJobLocked records a job and retires the oldest terminal records
@@ -522,24 +626,105 @@ func (m *Manager) List() []api.JobStatus {
 
 // Cancel stops a job: a queued job flips to cancelled immediately, a
 // running job's context is cancelled and its worker returns with
-// partial work discarded (the worker is freed for the next job). It
-// is a no-op on terminal jobs.
+// partial work discarded (the worker is freed for the next job).
+// Coalesced groups narrow the blast radius to the one submission
+// being cancelled: a follower detaches from its leader's run; a
+// queued leader hands the run to its first follower (promotion — the
+// group still gets exactly one engine run); a running leader detaches
+// its own record while the run keeps serving the remaining followers.
+// It is a no-op on terminal jobs.
 func (m *Manager) Cancel(id string) (api.JobStatus, error) {
 	m.mu.Lock()
 	j := m.jobs[id]
-	if j != nil {
-		// Drop it from the pending list so its queue slot frees
-		// immediately instead of when a worker eventually pops it.
-		for i, p := range m.pending {
-			if p == j {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+	if j == nil {
+		m.mu.Unlock()
+		return api.JobStatus{}, ErrNoJob
+	}
+	// Follower: detach from the leader so the run no longer publishes
+	// to this record, then settle it. The run itself is untouched.
+	if l := j.leader; l != nil {
+		l.mu.Lock()
+		for i, f := range l.followers {
+			if f == j {
+				l.followers = append(l.followers[:i], l.followers[i+1:]...)
 				break
 			}
 		}
+		l.mu.Unlock()
+		m.mu.Unlock()
+		if j.finish(api.StateCancelled, nil, "cancelled") {
+			m.cancelled.Add(1)
+			m.observeFinish(j, "cancelled", nil)
+		}
+		return j.Status(), nil
+	}
+	detached := false
+	if m.inflight[j.cacheKey] == j {
+		j.mu.Lock()
+		switch {
+		case j.state == api.StateQueued && len(j.followers) > 0:
+			// Promote the first follower: it inherits the pending slot,
+			// the remaining followers and the single-flight entry, so
+			// the group still runs exactly once. The promoted job keeps
+			// its own submission time, so its queue_wait stays honest.
+			promoted := j.followers[0]
+			rest := j.followers[1:]
+			j.followers = nil
+			j.mu.Unlock()
+			promoted.leader = nil
+			if len(rest) > 0 {
+				promoted.mu.Lock()
+				promoted.followers = append(promoted.followers, rest...)
+				promoted.mu.Unlock()
+				for _, f := range rest {
+					f.leader = promoted
+				}
+			}
+			m.inflight[j.cacheKey] = promoted
+			replaced := false
+			for i, p := range m.pending {
+				if p == j {
+					m.pending[i] = promoted
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				// A worker already popped j; its tryStart will lose to
+				// the finish below and the worker returns empty-handed,
+				// so the promoted job needs a fresh slot at the front.
+				m.pending = append([]*Job{promoted}, m.pending...)
+				m.cond.Signal()
+			}
+		case j.state == api.StateRunning && len(j.followers) > 0:
+			// The run must survive for its followers: detach only this
+			// job's record and leave the context alone.
+			detached = true
+			j.mu.Unlock()
+		default:
+			// No followers ride this run; drop the single-flight entry
+			// so an identical submission starts fresh instead of
+			// attaching to a dying run.
+			j.mu.Unlock()
+			delete(m.inflight, j.cacheKey)
+		}
+	}
+	// Drop it from the pending list so its queue slot frees
+	// immediately instead of when a worker eventually pops it
+	// (no-op when promotion already replaced the slot).
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
 	}
 	m.mu.Unlock()
-	if j == nil {
-		return api.JobStatus{}, ErrNoJob
+	if detached {
+		if j.finishNoCancel(api.StateCancelled, nil, "cancelled") {
+			m.cancelled.Add(1)
+			m.observeFinish(j, "cancelled", nil)
+		}
+		return j.Status(), nil
 	}
 	j.mu.Lock()
 	queued := j.state == api.StateQueued
@@ -588,6 +773,8 @@ func (m *Manager) Stats() api.JobStats {
 		IncrStateBytes:       m.incr.memoryEstimate(),
 		ParallelSeedsStolen:  m.seedsStolen.Load(),
 		WorkerGrantsCapped:   m.grantsCapped.Load(),
+		CoalescedJobs:        m.coalesced.Load(),
+		RewarmedResults:      m.rewarmed.Load(),
 	}
 	m.levelMu.Lock()
 	if len(m.runsByLevel) > 0 {
@@ -672,16 +859,15 @@ func (m *Manager) worker() {
 // run executes one job end to end.
 func (m *Manager) run(j *Job) {
 	if j.ctx.Err() != nil {
-		// Cancelled while queued (explicitly or by a forced shutdown).
-		if j.finish(api.StateCancelled, nil, "cancelled before start") {
-			m.cancelled.Add(1)
-			m.observeFinish(j, "cancelled", nil)
-		}
+		// Cancelled while queued (explicitly or by a forced shutdown);
+		// any followers go down with the run they were waiting on.
+		m.finishGroup(j, api.StateCancelled, nil, "cancelled before start", nil, "cancelled")
 		return
 	}
 	if !j.tryStart() {
-		return // lost the race with Cancel
+		return // lost the race with Cancel, which settled the group
 	}
+	m.startFollowers(j)
 	stages := tanglefind.StageTimings{}
 	stages.Add("queue_wait", j.queueWait())
 	if j.kind == api.KindLint {
@@ -722,11 +908,6 @@ func (m *Manager) run(j *Job) {
 	}
 	stages.Add("engine", time.Since(engineStart))
 	mergeStart := time.Now()
-	if err == nil && res != nil && res.IncrState != nil {
-		// Retain the recorded state (keyed by digest + result-affecting
-		// options) so deltas derived from this digest run incrementally.
-		m.incr.put(incrKey(j.digest, j.opt), res)
-	}
 	if res != nil && res.Sched != nil {
 		m.seedsStolen.Add(res.Sched.SeedsStolen)
 	}
@@ -745,25 +926,27 @@ func (m *Manager) run(j *Job) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
-			if j.finish(api.StateCancelled, nil, "cancelled") {
-				m.cancelled.Add(1)
-				m.observeFinish(j, "cancelled", stages)
-			}
+			m.finishGroup(j, api.StateCancelled, nil, "cancelled", stages, "cancelled")
 		default: // deadline exceeded or an engine error
-			if j.finish(api.StateFailed, nil, err.Error()) {
-				m.failed.Add(1)
-				m.observeFinish(j, "failed", stages)
-			}
+			m.finishGroup(j, api.StateFailed, nil, err.Error(), stages, "failed")
 		}
 		return
 	}
 	out := findResult(res)
-	if err := j.applyMitigation(res, out); err != nil {
-		if j.finish(api.StateFailed, nil, err.Error()) {
-			m.failed.Add(1)
-			m.observeFinish(j, "failed", stages)
-		}
+	mitErr := m.testMitigationErr
+	if mitErr == nil {
+		mitErr = j.applyMitigation(res, out)
+	}
+	if mitErr != nil {
+		m.finishGroup(j, api.StateFailed, nil, mitErr.Error(), stages, "failed")
 		return
+	}
+	// Only a run that is known good primes the incremental-state
+	// cache: a job that fails mitigation after a clean detection pass
+	// must leave no state behind, or the next identical submission
+	// would be served (or incrementally seeded) by a failed job.
+	if res.IncrState != nil {
+		m.incr.put(incrKey(j.digest, j.opt), res)
 	}
 	for name, d := range res.Stages {
 		stages.Add("engine_"+name, d)
@@ -773,9 +956,100 @@ func (m *Manager) run(j *Job) {
 	stages.Add("merge", time.Since(mergeStart))
 	out.Stages = stages
 	m.cache.put(j.cacheKey, out)
-	if j.finish(api.StateDone, out, "") {
+	m.journalResult(j.cacheKey, out)
+	m.finishGroup(j, api.StateDone, out, "", stages, "done")
+}
+
+// finishGroup drives the job that owned an engine run — and every
+// follower coalesced onto it — to a terminal state. The single-flight
+// entry is cleared first, so no submission can attach once the group
+// starts finishing; each follower gets a shallow result copy carrying
+// its own queue_wait, and counts its own terminal outcome.
+func (m *Manager) finishGroup(j *Job, state api.State, out *api.JobResult, errMsg string, stages tanglefind.StageTimings, outcome string) {
+	m.mu.Lock()
+	if m.inflight[j.cacheKey] == j {
+		delete(m.inflight, j.cacheKey)
+	}
+	m.mu.Unlock()
+	j.mu.Lock()
+	followers := j.followers
+	j.followers = nil
+	var start time.Time
+	if j.started != nil {
+		start = *j.started
+	}
+	j.mu.Unlock()
+	if j.finish(state, out, errMsg) {
+		m.countOutcome(outcome)
+		m.observeFinish(j, outcome, stages)
+	}
+	for _, f := range followers {
+		wait := time.Since(f.created)
+		if !start.IsZero() {
+			wait = start.Sub(f.created)
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		var fres *api.JobResult
+		if out != nil {
+			cp := *out
+			cp.Stages = ownQueueWait(out.Stages, wait)
+			fres = &cp
+		}
+		if f.finish(state, fres, errMsg) {
+			m.countOutcome(outcome)
+			// Followers observe only their own wait: the engine stages
+			// belong to the one run and must not be double-counted in
+			// the latency histograms.
+			m.observeFinish(f, outcome, tanglefind.StageTimings{"queue_wait": wait})
+		}
+	}
+}
+
+// countOutcome bumps the cumulative counter for one terminal outcome.
+func (m *Manager) countOutcome(outcome string) {
+	switch outcome {
+	case "done":
 		m.completed.Add(1)
-		m.observeFinish(j, "done", stages)
+	case "failed":
+		m.failed.Add(1)
+	case "cancelled":
+		m.cancelled.Add(1)
+	}
+}
+
+// startFollowers mirrors the leader's queued→running transition onto
+// followers attached before the run started (followers attaching after
+// it stamp their own start at accept time).
+func (m *Manager) startFollowers(j *Job) {
+	j.mu.Lock()
+	followers := append([]*Job(nil), j.followers...)
+	var start time.Time
+	if j.started != nil {
+		start = *j.started
+	}
+	j.mu.Unlock()
+	for _, f := range followers {
+		f.mirrorStart(start)
+	}
+}
+
+// journalResult appends a finished result to the store journal (a
+// no-op on non-durable stores) so a restart rewarms the result cache.
+// Journal trouble never fails the job — the result is already
+// computed and cached; it just will not survive a restart.
+func (m *Manager) journalResult(key string, out *api.JobResult) {
+	if m.cfg.Store == nil || !m.cfg.Store.Durable() {
+		return
+	}
+	raw, err := json.Marshal(out)
+	if err == nil {
+		err = m.cfg.Store.AppendResult(key, raw)
+	}
+	if err != nil {
+		m.journalErrs.Add(1)
+		m.log.Warn("result journal append failed", "cache_key", key, "err", err)
 	}
 }
 
@@ -862,10 +1136,8 @@ func (m *Manager) runLint(j *Job, stages tanglefind.StageTimings) {
 	stages.Add("merge", time.Since(mergeStart))
 	out.Stages = stages
 	m.cache.put(j.cacheKey, out)
-	if j.finish(api.StateDone, out, "") {
-		m.completed.Add(1)
-		m.observeFinish(j, "done", stages)
-	}
+	m.journalResult(j.cacheKey, out)
+	m.finishGroup(j, api.StateDone, out, "", stages, "done")
 }
 
 // lintKey is a lint job's compute identity: the digest plus the
@@ -995,15 +1267,36 @@ func (j *Job) queueWait() time.Duration {
 	return time.Since(j.created)
 }
 
-// setProgress records the latest engine snapshot and fans it out.
+// setProgress records the latest engine snapshot, fans it out, and
+// forwards it to any coalesced followers. A terminal job skips its own
+// record (a late callback after cancellation; subscribers are gone)
+// but still forwards: a running leader cancelled out of the group
+// keeps relaying progress to the followers its run is serving.
 func (j *Job) setProgress(p tanglefind.Progress) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.state.Terminal() {
-		return // a late callback after cancellation; subscribers are gone
+	if !j.state.Terminal() {
+		cp := p
+		j.progress = &cp
+		j.publishLocked()
 	}
-	cp := p
-	j.progress = &cp
+	followers := append([]*Job(nil), j.followers...)
+	j.mu.Unlock()
+	for _, f := range followers {
+		f.setProgress(p)
+	}
+}
+
+// mirrorStart flips a queued follower to running at the leader's start
+// time; a no-op once the follower left the queued state.
+func (j *Job) mirrorStart(at time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != api.StateQueued {
+		return
+	}
+	j.state = api.StateRunning
+	t := at
+	j.started = &t
 	j.publishLocked()
 }
 
@@ -1013,6 +1306,13 @@ func (j *Job) setProgress(p tanglefind.Progress) {
 // outcome once).
 func (j *Job) finish(state api.State, res *api.JobResult, errMsg string) bool {
 	j.cancel()
+	return j.finishNoCancel(state, res, errMsg)
+}
+
+// finishNoCancel is finish without cancelling the job's context — for
+// the one case where a record goes terminal while its engine run must
+// stay alive: a running leader cancelled out of a coalesced group.
+func (j *Job) finishNoCancel(state api.State, res *api.JobResult, errMsg string) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {

@@ -273,11 +273,13 @@ func TestQueueFull(t *testing.T) {
 	m := New(Config{Store: s, Workers: 1, QueueDepth: 1})
 	defer m.Shutdown(context.Background())
 
-	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
 	// One running + one queued fills the system; the next submission
 	// may land before the worker dequeues, so allow one slack slot.
+	// Each submission varies rand_seed so none of them coalesce onto
+	// an identical in-flight job — this test is about queue capacity.
 	var reject error
 	for i := 0; i < 4 && reject == nil; i++ {
+		slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000, "rand_seed": 100 + i})
 		_, err := m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
 		if err != nil {
 			reject = err
@@ -298,8 +300,13 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 	m := New(Config{Store: s, Workers: 1, QueueDepth: 2})
 	defer m.Shutdown(context.Background())
 
-	slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000})
+	// Every submission gets a distinct rand_seed: identical requests
+	// would coalesce onto the in-flight run instead of consuming the
+	// queue slots this test is about.
+	seedN := 0
 	submit := func() (api.JobStatus, error) {
+		seedN++
+		slow, _ := json.Marshal(map[string]any{"seeds": 5000, "max_order_len": 12000, "rand_seed": seedN})
 		return m.Submit(api.JobRequest{Kind: api.KindFind, Digest: digest, Options: json.RawMessage(slow)})
 	}
 	blocker, err := submit()

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tanglefind"
+	"tanglefind/api"
+	"tanglefind/client"
+	"tanglefind/internal/jobs"
+	"tanglefind/internal/store"
+)
+
+// durableStack boots the full serving stack over a disk-backed store
+// in dir. The returned teardown shuts the stack down like a process
+// exit would, so a test can boot a second stack over the same dir.
+func durableStack(t *testing.T, dir string) (*client.Client, func()) {
+	t.Helper()
+	backend, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(0, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := jobs.New(jobs.Config{Store: st, Workers: 1, QueueDepth: 16})
+	hs := httptest.NewServer(New(st, mgr).Handler())
+	teardown := func() {
+		hs.Close()
+		mgr.Shutdown(context.Background())
+		st.Close()
+	}
+	return client.New(hs.URL, hs.Client()), teardown
+}
+
+// TestRestartRecoveryE2E is the durable-serving acceptance flow:
+// ingest + delta + find against a -data-dir-backed stack, kill it (with
+// a torn journal tail, as a crash mid-append would leave), boot a
+// fresh stack over the same directory, and verify digests resolve,
+// lineage still routes find_incremental, and the repeated identical
+// request is a rewarmed cache hit that never touches the engine.
+func TestRestartRecoveryE2E(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	payload := tfbPayload(t, 6000, 500, 21)
+	opts := options(t, map[string]any{"seeds": 16, "max_order_len": 700})
+
+	c1, teardown1 := durableStack(t, dir)
+	parent, err := c1.UploadNetlist(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c1.Submit(ctx, api.JobRequest{Kind: api.KindFind, Digest: parent.Digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin1, err := c1.Wait(ctx, st1.ID, 5*time.Millisecond)
+	if err != nil || fin1.State != api.StateDone {
+		t.Fatalf("first boot find: %+v, %v", fin1, err)
+	}
+	nl, err := tanglefind.ReadNetlist(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := c1.ApplyDelta(ctx, parent.Digest, backgroundEdit(t, nl, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := dres.Netlist.Digest
+	teardown1()
+
+	// The "crash": a torn frame on the end of the journal, exactly
+	// what dying mid-append leaves behind.
+	jf, err := os.OpenFile(filepath.Join(dir, "journal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	c2, teardown2 := durableStack(t, dir)
+	defer teardown2()
+
+	// Digests resolve with no re-upload; the listing holds both.
+	ri, err := c2.Netlist(ctx, parent.Digest)
+	if err != nil || ri.Cells != parent.Cells {
+		t.Fatalf("recovered parent: %+v, %v", ri, err)
+	}
+	if ri.Loaded {
+		t.Error("recovered digest resident before first touch (recovery should be lazy)")
+	}
+	if listed, err := c2.Netlists(ctx); err != nil || len(listed) != 2 {
+		t.Fatalf("recovered listing: %d entries, %v", len(listed), err)
+	}
+	stats, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Store.Durable || stats.Store.RecoveredNetlists != 2 {
+		t.Fatalf("store recovery stats: %+v", stats.Store)
+	}
+	if stats.Store.JournalTruncatedBytes != 6 {
+		t.Errorf("journal_truncated_bytes = %d, want the 6 torn bytes", stats.Store.JournalTruncatedBytes)
+	}
+	if stats.Jobs.RewarmedResults != 1 {
+		t.Errorf("rewarmed_results = %d, want 1", stats.Jobs.RewarmedResults)
+	}
+
+	// The identical request is a cache hit on the rewarmed result —
+	// zero engine runs in this process.
+	hit, err := c2.Submit(ctx, api.JobRequest{Kind: api.KindFind, Digest: parent.Digest, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.State != api.StateDone || hit.Result == nil {
+		t.Fatalf("post-restart identical request not served from cache: %+v", hit)
+	}
+	if len(hit.Result.GTLs) != len(fin1.Result.GTLs) {
+		t.Errorf("rewarmed result has %d GTLs, first boot found %d", len(hit.Result.GTLs), len(fin1.Result.GTLs))
+	}
+	if stats, err := c2.Stats(ctx); err != nil || stats.Jobs.EngineRuns != 0 {
+		t.Fatalf("engine_runs = %d after rewarmed hit, want 0 (%v)", stats.Jobs.EngineRuns, err)
+	}
+
+	// Recovered lineage still routes find_incremental on the child
+	// (the in-memory seed state died with the old process, so the run
+	// may degrade to a full pass — but it must be accepted and finish).
+	incr, err := c2.Submit(ctx, api.JobRequest{Kind: api.KindFindIncremental, Digest: child, Options: opts})
+	if err != nil {
+		t.Fatalf("find_incremental on recovered lineage rejected: %v", err)
+	}
+	ist, err := c2.Wait(ctx, incr.ID, 5*time.Millisecond)
+	if err != nil || ist.State != api.StateDone || ist.Result == nil {
+		t.Fatalf("post-restart incremental job: %+v, %v", ist, err)
+	}
+	if ist.Result.Incremental == nil || !ist.Result.Incremental.FullFallback {
+		t.Errorf("incremental state should not survive restarts (got %+v)", ist.Result.Incremental)
+	}
+}
+
+// TestCoalescingRaceE2E: N concurrent identical submissions while the
+// one worker is busy must produce exactly one engine run, with every
+// submission completing with the full result.
+func TestCoalescingRaceE2E(t *testing.T) {
+	c, mgr := newTestServer(t)
+	ctx := context.Background()
+
+	blockDigest, err := c.UploadNetlist(ctx, tfbPayload(t, 30000, 2000, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := c.UploadNetlist(ctx, tfbPayload(t, 6000, 500, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := c.Submit(ctx, api.JobRequest{
+		Kind:    api.KindFind,
+		Digest:  blockDigest.Digest,
+		Options: options(t, map[string]any{"seeds": 5000, "max_order_len": 12000}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := mgr.Status(blocker.ID); st.State == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	const n = 8
+	opts := options(t, map[string]any{"seeds": 16, "max_order_len": 700})
+	statuses := make([]api.JobStatus, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], errs[i] = c.Submit(ctx, api.JobRequest{
+				Kind: api.KindFind, Digest: target.Digest, Options: opts,
+			})
+		}(i)
+	}
+	wg.Wait()
+	ids := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", i, errs[i])
+		}
+		if statuses[i].Cached {
+			t.Fatalf("submission %d served from cache before any run", i)
+		}
+		if ids[statuses[i].ID] {
+			t.Fatalf("duplicate job id %s", statuses[i].ID)
+		}
+		ids[statuses[i].ID] = true
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.CoalescedJobs != n-1 {
+		t.Fatalf("coalesced_jobs = %d, want %d", stats.Jobs.CoalescedJobs, n-1)
+	}
+	if _, err := c.Cancel(ctx, blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var want api.JobStatus
+	for i, st := range statuses {
+		fin, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+		if err != nil || fin.State != api.StateDone || fin.Result == nil {
+			t.Fatalf("job %s: %+v, %v", st.ID, fin, err)
+		}
+		if i == 0 {
+			want = fin
+			continue
+		}
+		if len(fin.Result.GTLs) != len(want.Result.GTLs) || fin.Result.Candidates != want.Result.Candidates {
+			t.Errorf("job %s result diverges from the group's", st.ID)
+		}
+		if _, ok := fin.Result.Stages["queue_wait"]; !ok {
+			t.Errorf("job %s has no queue_wait of its own", st.ID)
+		}
+	}
+	stats, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.EngineRuns != 2 {
+		t.Errorf("engine_runs = %d, want 2 (blocker + one coalesced run)", stats.Jobs.EngineRuns)
+	}
+	if stats.Jobs.Completed != n {
+		t.Errorf("completed = %d, want %d", stats.Jobs.Completed, n)
+	}
+	// The exposition mirrors the same number.
+	if text, err := c.Metrics(ctx); err != nil || !strings.Contains(text, "gtl_jobs_coalesced_total 7") {
+		t.Errorf("metrics missing coalesced counter (%v)", err)
+	}
+}

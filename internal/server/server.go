@@ -116,6 +116,11 @@ func (s *Server) registerMetrics() {
 	pinBudget := s.reg.Gauge("gtl_store_pin_budget", "Registry eviction threshold in pins; 0 means unlimited.")
 	engineBytes := s.reg.Gauge("gtl_store_engine_bytes", "Estimated memory retained by cached finder engines beyond the netlists.")
 	evictions := s.reg.Counter("gtl_store_evictions_total", "Netlists evicted from the registry since process start.")
+	durable := s.reg.Gauge("gtl_store_durable", "1 when the registry persists to a data directory, 0 for in-memory serving.")
+	recovered := s.reg.Gauge("gtl_store_recovered_netlists", "Netlists recovered from the journal at startup.")
+	recoveredResults := s.reg.Gauge("gtl_store_recovered_results", "Journaled job results recovered at startup (rewarmed into the result cache).")
+	lazyReloads := s.reg.Counter("gtl_store_lazy_reloads_total", "Netlists re-parsed on demand from the blob store (recovered or evicted entries touched again).")
+	truncated := s.reg.Gauge("gtl_store_journal_truncated_bytes", "Torn journal tail bytes discarded by the last replay.")
 	s.reg.OnScrape(func() {
 		st := s.store.Stats()
 		netlists.Set(float64(st.Netlists))
@@ -124,6 +129,15 @@ func (s *Server) registerMetrics() {
 		pinBudget.Set(float64(st.PinBudget))
 		engineBytes.Set(float64(st.EngineBytes))
 		evictions.Set(float64(st.Evictions))
+		if st.Durable {
+			durable.Set(1)
+		} else {
+			durable.Set(0)
+		}
+		recovered.Set(float64(st.RecoveredNetlists))
+		recoveredResults.Set(float64(st.RecoveredResults))
+		lazyReloads.Set(float64(st.LazyReloads))
+		truncated.Set(float64(st.JournalTruncatedBytes))
 	})
 }
 

@@ -12,6 +12,14 @@
 // of "never existed". Jobs that resolved their netlist before the
 // eviction keep running — the hypergraph is immutable and only
 // becomes collectable once the last job releases it.
+//
+// Durability is pluggable (Backend): Open replays a crash-safe
+// journal of netlist metadata, delta lineage and completed job
+// results, with payload blobs content-addressed on disk and lazily
+// re-parsed on first touch. Under a durable backend, eviction and
+// restarts are both invisible to clients — the blob reloads on
+// demand — and ErrEvicted only remains reachable on the in-memory
+// NullBackend.
 package store
 
 import (
@@ -19,8 +27,12 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tanglefind"
 	"tanglefind/api"
@@ -31,17 +43,31 @@ import (
 var ErrNotFound = fmt.Errorf("store: netlist not found")
 
 // ErrEvicted is returned for digests whose netlist was evicted by the
-// pin budget; the payload must be uploaded again.
+// pin budget and whose payload the backend cannot re-read; it must be
+// uploaded again. With a durable backend, eviction is invisible to
+// callers — the blob is lazily re-parsed on the next touch.
 var ErrEvicted = fmt.Errorf("store: netlist evicted (re-upload it)")
 
 // Store is the registry. Safe for concurrent use.
 type Store struct {
+	backend   Backend
 	mu        sync.Mutex
 	pinBudget int64 // max Σ pins of loaded entries; <= 0 means unlimited
 	pins      int64
 	entries   map[string]*entry
 	lru       *list.List // front = most recently used; element value is *entry
 	evictions int64
+
+	lazyLoads atomic.Int64 // blobs re-parsed on touch (recovery or post-eviction)
+
+	// Recovery bookkeeping, fixed after Open.
+	recoveredNetlists int
+	truncatedBytes    int64
+	// recoveredResults holds the journal's job results until the jobs
+	// layer drains them into its cache (RecoveredResults); the count
+	// survives for stats.
+	recoveredResults     map[string][]byte
+	recoveredResultCount int
 }
 
 type entry struct {
@@ -65,12 +91,92 @@ type Lineage struct {
 
 // New creates a registry that evicts least-recently-used netlists once
 // the loaded pin total exceeds pinBudget (<= 0 disables eviction).
+// Nothing is persisted: New is Open with the NullBackend.
 func New(pinBudget int64) *Store {
-	return &Store{
-		pinBudget: pinBudget,
-		entries:   make(map[string]*entry),
-		lru:       list.New(),
+	s, _ := Open(pinBudget, NullBackend{}) // NullBackend replay cannot fail
+	return s
+}
+
+// Open creates a registry backed by b and replays b's journal:
+// netlist metadata and delta lineage are fully recovered (payloads are
+// lazily re-parsed from the blob store on first touch, so recovery
+// cost is O(journal records), not O(pins)), and completed job results
+// are staged for the jobs layer to rewarm its cache from
+// (RecoveredResults). A torn journal tail — a crash mid-append — is
+// truncated and reported in Stats, never an error.
+func Open(pinBudget int64, b Backend) (*Store, error) {
+	s := &Store{
+		backend:          b,
+		pinBudget:        pinBudget,
+		entries:          make(map[string]*entry),
+		lru:              list.New(),
+		recoveredResults: make(map[string][]byte),
 	}
+	rs, err := b.Replay(func(rec Record) error {
+		switch rec.Kind {
+		case RecNetlist:
+			if rec.Info == nil || rec.Info.Digest == "" {
+				return nil // malformed but checksummed: skip, don't fail recovery
+			}
+			e, ok := s.entries[rec.Info.Digest]
+			if !ok {
+				e = &entry{}
+				s.entries[rec.Info.Digest] = e
+				s.recoveredNetlists++
+			}
+			lineage := e.lineage
+			e.info = *rec.Info
+			e.info.Loaded = false // resident only after the blob is re-parsed
+			e.lineage = lineage
+		case RecLineage:
+			e, ok := s.entries[rec.Digest]
+			if !ok {
+				return nil // can't happen (lineage follows its netlist record)
+			}
+			if e.lineage == nil {
+				e.lineage = &Lineage{Parent: rec.Parent, Dirty: rec.Dirty}
+				if e.info.Parent == "" {
+					e.info.Parent = rec.Parent
+				}
+			}
+		case RecResult:
+			if rec.Key != "" {
+				s.recoveredResults[rec.Key] = rec.Result // last writer wins
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: journal replay: %w", err)
+	}
+	s.truncatedBytes = rs.TruncatedBytes
+	s.recoveredResultCount = len(s.recoveredResults)
+	return s, nil
+}
+
+// Close releases the backend. In-memory state stays usable, but
+// nothing further is persisted.
+func (s *Store) Close() error { return s.backend.Close() }
+
+// Durable reports whether the store persists across restarts.
+func (s *Store) Durable() bool { return s.backend.Durable() }
+
+// AppendResult journals one completed job result under its compute
+// identity so the result cache survives restarts. The jobs layer calls
+// it after each cache fill; on a non-durable backend it is a no-op.
+func (s *Store) AppendResult(key string, result json.RawMessage) error {
+	return s.backend.Append(Record{Kind: RecResult, Key: key, Result: result})
+}
+
+// RecoveredResults drains the job results recovered by Open — one
+// (cacheKey, api.JobResult JSON) pair per distinct key, last journal
+// write winning. The jobs layer consumes it exactly once at startup.
+func (s *Store) RecoveredResults() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.recoveredResults
+	s.recoveredResults = nil
+	return out
 }
 
 // Digest returns the registry key for a payload: lowercase hex
@@ -84,11 +190,14 @@ func Digest(data []byte) string {
 // content), stores the netlist under its digest and returns the entry
 // metadata. Re-uploading known bytes is idempotent and cheap when the
 // netlist is still loaded; re-uploading an evicted digest reloads it.
+// On a durable backend the payload and its metadata are journaled
+// before Ingest returns, so the digest resolves after a restart.
 func (s *Store) Ingest(data []byte) (api.NetlistInfo, error) {
 	digest := Digest(data)
 
 	// Fast path outside the parse: already loaded.
 	s.mu.Lock()
+	_, known := s.entries[digest]
 	if e, ok := s.entries[digest]; ok && e.nl != nil {
 		s.touch(e)
 		info := e.info
@@ -119,6 +228,20 @@ func (s *Store) Ingest(data []byte) (api.NetlistInfo, error) {
 		Pins:    st.Pins,
 		AvgPins: st.AvgPins,
 		Loaded:  true,
+	}
+
+	// Persist before registering: a digest must never be visible to
+	// clients without its blob and journal record behind it (blob
+	// first, so replay never meets a record without bytes; duplicate
+	// records from a racing identical upload are last-writer-wins on
+	// replay and therefore harmless).
+	if !known || !s.backend.HasBlob(digest) {
+		if err := s.backend.PutBlob(digest, data); err != nil {
+			return api.NetlistInfo{}, err
+		}
+		if err := s.backend.Append(Record{Kind: RecNetlist, Info: &info}); err != nil {
+			return api.NetlistInfo{}, err
+		}
 	}
 
 	s.mu.Lock()
@@ -200,6 +323,23 @@ func (s *Store) ApplyDelta(parent string, deltaJSON []byte) (api.DeltaResult, er
 	}
 	lineage := &Lineage{Parent: parent, Dirty: eff.Dirty}
 
+	// Persist the child like an upload (blob first, then its netlist
+	// record, so replay never meets a record without bytes). The
+	// lineage record is appended after registration below — only by
+	// the call that actually attached it — and therefore always lands
+	// behind its netlist record in the journal: a torn tail can strand
+	// a lineage-less netlist (harmless: it just loses incremental
+	// routing until the delta is re-applied) but never lineage
+	// pointing at an unknown digest.
+	if !s.backend.HasBlob(digest) {
+		if err := s.backend.PutBlob(digest, buf.Bytes()); err != nil {
+			return api.DeltaResult{}, err
+		}
+		if err := s.backend.Append(Record{Kind: RecNetlist, Info: &info}); err != nil {
+			return api.DeltaResult{}, err
+		}
+	}
+
 	res := api.DeltaResult{
 		Parent:       parent,
 		DirtyCells:   len(eff.Dirty),
@@ -209,11 +349,12 @@ func (s *Store) ApplyDelta(parent string, deltaJSON []byte) (api.DeltaResult, er
 		NetsRemoved:  eff.NetsRemoved,
 	}
 
+	attachedLineage := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if e, ok := s.entries[digest]; ok {
 		if e.lineage == nil {
 			e.lineage = lineage
+			attachedLineage = true
 			// An entry that predates its lineage (the child bytes were
 			// uploaded directly first) gets the parent backfilled so
 			// the wire metadata and Lineage never contradict.
@@ -222,18 +363,28 @@ func (s *Store) ApplyDelta(parent string, deltaJSON []byte) (api.DeltaResult, er
 			}
 		}
 		if e.nl == nil {
-			// Known digest, evicted payload: reload it in place.
+			// Known digest, non-resident payload: reload it in place.
 			s.loadLocked(e, child)
 		} else {
 			s.touch(e)
 		}
 		res.Netlist = e.info
-		return res, nil
+	} else {
+		e := &entry{info: info, lineage: lineage}
+		s.entries[digest] = e
+		s.loadLocked(e, child)
+		res.Netlist = e.info
+		attachedLineage = true
 	}
-	e := &entry{info: info, lineage: lineage}
-	s.entries[digest] = e
-	s.loadLocked(e, child)
-	res.Netlist = e.info
+	s.mu.Unlock()
+
+	// Journal the lineage exactly once — by whichever call attached it
+	// ("the first recorded lineage wins" holds across restarts too).
+	if attachedLineage {
+		if err := s.backend.Append(Record{Kind: RecLineage, Digest: digest, Parent: parent, Dirty: eff.Dirty}); err != nil {
+			return api.DeltaResult{}, err
+		}
+	}
 	return res, nil
 }
 
@@ -250,27 +401,74 @@ func (s *Store) Lineage(digest string) (*Lineage, bool) {
 }
 
 // Get returns the loaded netlist for digest, refreshing its LRU
-// position. It fails with ErrNotFound or ErrEvicted.
+// position. A digest that is known but not resident (recovered from
+// the journal, or evicted under a durable backend) is lazily re-parsed
+// from the blob store; Get fails with ErrNotFound for unknown digests
+// and ErrEvicted when no payload is retrievable.
 func (s *Store) Get(digest string) (*netlist.Netlist, api.NetlistInfo, error) {
+	_, nl, info, err := s.acquire(digest)
+	return nl, info, err
+}
+
+// acquire resolves digest to a resident entry, re-parsing the blob on
+// a miss (the lazy half of recovery). It returns with s.mu released;
+// the returned netlist pointer stays valid regardless of later
+// eviction (the hypergraph is immutable).
+func (s *Store) acquire(digest string) (*entry, *netlist.Netlist, api.NetlistInfo, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, err := s.loaded(digest)
-	if err != nil {
-		return nil, api.NetlistInfo{}, err
+	e, ok := s.entries[digest]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, api.NetlistInfo{}, ErrNotFound
 	}
-	s.touch(e)
-	return e.nl, e.info, nil
+	if e.nl != nil {
+		s.touch(e)
+		nl, info := e.nl, e.info
+		s.mu.Unlock()
+		return e, nl, info, nil
+	}
+	s.mu.Unlock()
+
+	// Not resident. Re-parse outside the lock: a recovery-sized replay
+	// of blobs must not serialize every reader behind one parse.
+	data, err := s.backend.GetBlob(digest)
+	if err != nil {
+		if errors.Is(err, ErrNoBlob) {
+			return nil, nil, api.NetlistInfo{}, ErrEvicted
+		}
+		return nil, nil, api.NetlistInfo{}, err
+	}
+	nl, err := netlist.ReadAuto(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, api.NetlistInfo{}, fmt.Errorf("store: reload %s: %w", digest, err)
+	}
+	s.mu.Lock()
+	if e.nl == nil {
+		s.loadLocked(e, nl)
+		s.lazyLoads.Add(1)
+	} else {
+		s.touch(e) // lost a reload race; the winner's copy is equivalent
+	}
+	rnl, info := e.nl, e.info
+	s.mu.Unlock()
+	return e, rnl, info, nil
 }
 
 // Engine returns the shared finder engine for digest, building it on
-// first use. Jobs should hold the returned engine (it pins the
-// netlist) rather than re-resolving the digest mid-run.
+// first use (and lazily reloading the netlist like Get). Jobs should
+// hold the returned engine (it pins the netlist) rather than
+// re-resolving the digest mid-run.
 func (s *Store) Engine(digest string) (*tanglefind.Finder, api.NetlistInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, err := s.loaded(digest)
+	e, nl, _, err := s.acquire(digest)
 	if err != nil {
 		return nil, api.NetlistInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.nl == nil {
+		// Evicted between acquire and here; the parse we hold is still
+		// the digest's netlist, so reinstate it rather than failing.
+		s.loadLocked(e, nl)
 	}
 	if e.finder == nil {
 		f, ferr := tanglefind.NewFinder(e.nl)
@@ -294,8 +492,11 @@ func (s *Store) Info(digest string) (api.NetlistInfo, bool) {
 	return e.info, true
 }
 
-// List returns every entry's metadata, most recently used first,
-// tombstones last.
+// List returns every entry's metadata in the API's documented total
+// order: resident entries most recently used first, then non-resident
+// entries (tombstones and not-yet-reloaded recovered digests) in
+// ascending digest order. Two consecutive calls over an unchanged
+// registry return identical listings.
 func (s *Store) List() []api.NetlistInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -303,11 +504,16 @@ func (s *Store) List() []api.NetlistInfo {
 	for el := s.lru.Front(); el != nil; el = el.Next() {
 		out = append(out, el.Value.(*entry).info)
 	}
+	unloadedFrom := len(out)
 	for _, e := range s.entries {
 		if e.elem == nil {
 			out = append(out, e.info)
 		}
 	}
+	// Map iteration order is random; pin the tail so the listing is a
+	// total order, not a per-call shuffle.
+	tail := out[unloadedFrom:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Digest < tail[j].Digest })
 	return out
 }
 
@@ -324,11 +530,16 @@ func (s *Store) Stats() api.StoreStats {
 		}
 	}
 	st := api.StoreStats{
-		Netlists:   s.lru.Len(),
-		Tombstones: len(s.entries) - s.lru.Len(),
-		PinsLoaded: s.pins,
-		PinBudget:  max(s.pinBudget, 0),
-		Evictions:  s.evictions,
+		Netlists:              s.lru.Len(),
+		Tombstones:            len(s.entries) - s.lru.Len(),
+		PinsLoaded:            s.pins,
+		PinBudget:             max(s.pinBudget, 0),
+		Evictions:             s.evictions,
+		Durable:               s.backend.Durable(),
+		RecoveredNetlists:     s.recoveredNetlists,
+		RecoveredResults:      s.recoveredResultCount,
+		LazyReloads:           s.lazyLoads.Load(),
+		JournalTruncatedBytes: s.truncatedBytes,
 	}
 	s.mu.Unlock()
 	// Estimate outside the registry lock: MemoryEstimate takes engine
@@ -367,18 +578,6 @@ func (s *Store) loadLocked(e *entry, nl *netlist.Netlist) {
 	e.elem = s.lru.PushFront(e)
 	s.pins += int64(e.info.Pins)
 	s.evict()
-}
-
-// loaded resolves digest to a live entry; callers hold s.mu.
-func (s *Store) loaded(digest string) (*entry, error) {
-	e, ok := s.entries[digest]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if e.nl == nil {
-		return nil, ErrEvicted
-	}
-	return e, nil
 }
 
 // touch marks an entry most recently used; callers hold s.mu.
